@@ -1,0 +1,81 @@
+//! Ablation benches for the design decisions of DESIGN.md §5.
+//!
+//! Each variant reruns the Figure 7 scenario (saturated UDP, 11 Mb/s)
+//! with one mechanism removed. The *throughputs* these produce are
+//! reported by `cargo run --example ablations`; the benches measure how
+//! each mechanism changes the simulation cost (EIFS and PCS change the
+//! number of MAC events dramatically).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use desim::SimDuration;
+use std::hint::black_box;
+
+use dot11_adhoc::{ScenarioBuilder, Traffic};
+use dot11_mac::MacConfig;
+use dot11_phy::{DayProfile, PhyRate, RadioConfig};
+
+#[derive(Clone, Copy)]
+struct Variant {
+    name: &'static str,
+    eifs: bool,
+    pcs: bool,
+    capture: bool,
+    still: bool,
+    ctrl_at_data: bool,
+}
+
+const BASE: Variant = Variant {
+    name: "baseline",
+    eifs: true,
+    pcs: true,
+    capture: true,
+    still: false,
+    ctrl_at_data: false,
+};
+
+const VARIANTS: [Variant; 6] = [
+    BASE,
+    Variant { name: "d1_no_pcs", pcs: false, ..BASE },
+    Variant { name: "d2_ctrl_at_data_rate", ctrl_at_data: true, ..BASE },
+    Variant { name: "d3_no_eifs", eifs: false, ..BASE },
+    Variant { name: "d4_still_channel", still: true, ..BASE },
+    Variant { name: "d5_no_capture", capture: false, ..BASE },
+];
+
+fn run_variant(v: Variant) -> f64 {
+    let mut mac = MacConfig::new(PhyRate::R11);
+    mac.eifs_enabled = v.eifs;
+    if v.ctrl_at_data {
+        mac.control_rate = mac.data_rate;
+    }
+    let mut radio = RadioConfig::dwl650();
+    if !v.pcs {
+        radio = radio.without_pcs_advantage();
+    }
+    radio.capture_enabled = v.capture;
+    let day = if v.still { DayProfile::still() } else { DayProfile::clear() };
+    let report = ScenarioBuilder::new(PhyRate::R11)
+        .line(&[0.0, 25.0, 107.5, 132.5])
+        .mac_config(mac)
+        .radio(radio)
+        .day(day)
+        .seed(3)
+        .duration(SimDuration::from_secs(1))
+        .warmup(SimDuration::from_millis(200))
+        .flow(0, 1, Traffic::SaturatedUdp { payload_bytes: 512, backlog: 10 })
+        .flow(2, 3, Traffic::SaturatedUdp { payload_bytes: 512, backlog: 10 })
+        .run();
+    report.total_throughput_kbps()
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations_fig7");
+    g.sample_size(10);
+    for v in VARIANTS {
+        g.bench_function(v.name, |b| b.iter(|| black_box(run_variant(v))));
+    }
+    g.finish();
+}
+
+criterion_group!(ablation_benches, bench_ablations);
+criterion_main!(ablation_benches);

@@ -1,0 +1,32 @@
+//! Shared helpers for the testbed benches.
+//!
+//! The benches live in `benches/`, one Criterion group per paper artifact
+//! (see `DESIGN.md` §3). Each group measures the cost of *regenerating*
+//! that artifact; the `repro` binary in the workspace root prints the
+//! artifacts themselves.
+
+use desim::SimDuration;
+use dot11_adhoc::experiments::ExpConfig;
+
+/// The reduced configuration benches run at: 1 s sessions are enough to
+/// exercise every code path while keeping Criterion's repeated sampling
+/// affordable.
+pub fn bench_config() -> ExpConfig {
+    ExpConfig {
+        seed: 3,
+        duration: SimDuration::from_secs(1),
+        warmup: SimDuration::from_millis(200),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_config_is_short_but_valid() {
+        let c = bench_config();
+        assert!(c.warmup < c.duration);
+        assert_eq!(c.seed, 3, "benches pin the reference channel state");
+    }
+}

@@ -1,0 +1,153 @@
+//! Multi-station saturation throughput (Bianchi's DCF model).
+//!
+//! The paper's Eq. (1) covers a *single* active sender (no collisions).
+//! Its natural companion for n saturated contenders is Bianchi's model
+//! (G. Bianchi, "Performance Analysis of the IEEE 802.11 Distributed
+//! Coordination Function", JSAC 2000): each station transmits in a
+//! generic slot with probability τ, found as the fixed point of
+//!
+//! ```text
+//! τ = 2(1-2p) / ((1-2p)(W+1) + pW(1-(2p)^m))
+//! p = 1 - (1-τ)^(n-1)
+//! ```
+//!
+//! with W = CWmin and m backoff stages (CWmax = 2^m · CWmin). Saturation
+//! throughput then follows from the per-slot probabilities and the
+//! success/collision slot durations built from the same Table 1 timings
+//! and Figure 1 encapsulation as Eq. (1).
+//!
+//! For n = 1 the model degenerates to (almost) Eq. (1) — p = 0,
+//! τ = 2/(W+1) — and for growing n it quantifies the collision overhead
+//! the paper's single-pair experiments deliberately avoid. The
+//! integration test `bianchi_matches_simulation` checks the simulator
+//! against it for n = 1..4.
+
+use dot11_phy::PhyRate;
+
+use super::params::Dot11bParams;
+
+/// The result of evaluating the model for one station count.
+#[derive(Debug, Clone, Copy)]
+pub struct BianchiPoint {
+    /// Saturated contenders.
+    pub stations: u32,
+    /// Per-slot transmission probability τ.
+    pub tau: f64,
+    /// Conditional collision probability p.
+    pub collision_prob: f64,
+    /// Aggregate application-level saturation throughput, Mb/s.
+    pub throughput_mbps: f64,
+}
+
+/// Evaluates Bianchi's saturation model for `n` stations sending
+/// `m_bytes` application payloads at `data_rate` with basic access.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn bianchi(n: u32, m_bytes: u32, data_rate: PhyRate) -> BianchiPoint {
+    assert!(n > 0, "at least one station");
+    let p_tbl = Dot11bParams::table1();
+    let w = p_tbl.cw_min;
+    // CWmax = 2^m · CWmin: 1024 = 2^5 · 32.
+    let stages = (p_tbl.cw_max / p_tbl.cw_min).log2().round();
+
+    // Fixed point by damped iteration (contraction for all n of interest).
+    let mut tau = 2.0 / (w + 1.0);
+    let mut p = 0.0;
+    for _ in 0..10_000 {
+        p = 1.0 - (1.0 - tau).powi(n as i32 - 1);
+        let two_p = 2.0 * p;
+        let tau_next = if p == 0.0 {
+            2.0 / (w + 1.0)
+        } else {
+            2.0 * (1.0 - two_p)
+                / ((1.0 - two_p) * (w + 1.0) + p * w * (1.0 - two_p.powf(stages)))
+        };
+        let new = 0.5 * tau + 0.5 * tau_next;
+        if (new - tau).abs() < 1e-12 {
+            tau = new;
+            break;
+        }
+        tau = new;
+    }
+
+    let rate = data_rate.bits_per_micro();
+    let ctrl = data_rate.control_rate().bits_per_micro();
+    let payload_bits = m_bytes as f64 * 8.0;
+    let t_data = p_tbl.phy_hdr_bits
+        + (p_tbl.mac_hdr_bits + (m_bytes as f64 + p_tbl.ip_udp_header_bytes) * 8.0) / rate;
+    let t_ack = p_tbl.phy_hdr_bits + p_tbl.ack_bits / ctrl;
+    // Successful-slot and collision-slot durations (basic access).
+    let t_success = t_data + p_tbl.sifs_us + t_ack + p_tbl.difs_us + 2.0 * p_tbl.tau_us;
+    let t_collision = t_data + p_tbl.difs_us + p_tbl.tau_us;
+
+    let n_f = n as f64;
+    let p_tr = 1.0 - (1.0 - tau).powi(n as i32);
+    let p_s = if p_tr > 0.0 {
+        n_f * tau * (1.0 - tau).powi(n as i32 - 1) / p_tr
+    } else {
+        0.0
+    };
+    let denom = (1.0 - p_tr) * p_tbl.slot_us
+        + p_tr * p_s * t_success
+        + p_tr * (1.0 - p_s) * t_collision;
+    let throughput_mbps = p_tr * p_s * payload_bits / denom;
+
+    BianchiPoint { stations: n, tau, collision_prob: p, throughput_mbps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::{max_throughput_eq, AccessScheme};
+
+    #[test]
+    fn single_station_approaches_eq1() {
+        let b = bianchi(1, 512, PhyRate::R11);
+        assert_eq!(b.collision_prob, 0.0, "no collisions alone");
+        // τ = 2/(W+1) ⇒ mean 15.5 idle slots per frame vs Eq. (1)'s
+        // CWmin/2 = 16: within a few percent.
+        let eq1 = max_throughput_eq(512, PhyRate::R11, AccessScheme::Basic);
+        let rel = (b.throughput_mbps - eq1).abs() / eq1;
+        assert!(rel < 0.03, "bianchi n=1 {:.3} vs Eq.(1) {:.3}", b.throughput_mbps, eq1);
+    }
+
+    #[test]
+    fn collisions_grow_with_n_and_erode_throughput() {
+        let pts: Vec<BianchiPoint> = (1..=10).map(|n| bianchi(n, 512, PhyRate::R11)).collect();
+        for w in pts.windows(2) {
+            assert!(w[1].collision_prob > w[0].collision_prob);
+            assert!(w[1].tau < w[0].tau, "per-station aggressiveness drops");
+        }
+        // Aggregate throughput first *rises* (contenders fill each other's
+        // idle backoff slots) to a peak around n≈5, then collision cost
+        // takes over — the classic DCF hump.
+        let peak = pts.iter().map(|p| p.throughput_mbps).fold(0.0, f64::max);
+        assert!(peak > pts[0].throughput_mbps, "peak {peak:.3} above n=1 {:.3}", pts[0].throughput_mbps);
+        let far = bianchi(50, 512, PhyRate::R11);
+        assert!(far.throughput_mbps < peak, "large n erodes: {:.3} < {peak:.3}", far.throughput_mbps);
+        assert!(far.throughput_mbps > pts[0].throughput_mbps * 0.7, "but does not collapse");
+    }
+
+    #[test]
+    fn fixed_point_is_stable_across_rates_and_sizes() {
+        for &rate in &PhyRate::ALL {
+            for &m in &[512u32, 1024] {
+                for n in [1u32, 2, 5, 20] {
+                    let b = bianchi(n, m, rate);
+                    assert!(b.tau > 0.0 && b.tau < 1.0, "{rate} n={n}: tau {}", b.tau);
+                    assert!((0.0..1.0).contains(&b.collision_prob));
+                    assert!(b.throughput_mbps > 0.0);
+                    assert!(b.throughput_mbps < rate.bits_per_micro());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one station")]
+    fn zero_stations_panics() {
+        let _ = bianchi(0, 512, PhyRate::R11);
+    }
+}

@@ -1,0 +1,16 @@
+//! The paper's analytical model: parameters (Table 1), encapsulation
+//! overheads (Figure 1), and maximum-throughput equations (1)/(2) with
+//! their Table 2 results.
+
+mod bianchi;
+mod overhead;
+mod params;
+mod throughput;
+
+pub use bianchi::{bianchi, BianchiPoint};
+pub use overhead::{overhead_breakdown, EncapsulationBreakdown, TransportKind};
+pub use params::Dot11bParams;
+pub use throughput::{
+    max_throughput_eq, max_throughput_eq_with, max_throughput_paper, table2, AccessScheme,
+    Table2Row,
+};

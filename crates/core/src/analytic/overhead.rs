@@ -1,0 +1,130 @@
+//! Encapsulation overheads — the paper's Figure 1.
+//!
+//! A stream of `m` application bytes accretes TCP/UDP, IP, MAC and PLCP
+//! overhead on the way to the antenna; at 11 Mb/s the fixed-rate PLCP is
+//! the dominant airtime cost, which is why the usable fraction of the
+//! nominal bandwidth is so low (Table 2).
+
+use dot11_phy::{PhyRate, Preamble};
+
+/// Transport protocol wrapping the application bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// UDP (the paper's CBR workload): 8-byte header.
+    Udp,
+    /// TCP (the paper's ftp workload): 20-byte header.
+    Tcp,
+}
+
+impl TransportKind {
+    /// Header size, bytes.
+    pub fn header_bytes(self) -> u32 {
+        match self {
+            TransportKind::Udp => 8,
+            TransportKind::Tcp => 20,
+        }
+    }
+}
+
+/// The per-layer sizes and airtimes of one data frame (Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EncapsulationBreakdown {
+    /// Application payload, bytes (`m`).
+    pub app_bytes: u32,
+    /// TCP/UDP segment, bytes.
+    pub transport_bytes: u32,
+    /// IP datagram, bytes.
+    pub ip_bytes: u32,
+    /// MAC frame (MPDU incl. header+FCS), bytes.
+    pub mpdu_bytes: u32,
+    /// PLCP preamble + header airtime, µs.
+    pub plcp_us: f64,
+    /// MPDU airtime at the data rate, µs.
+    pub mpdu_us: f64,
+    /// Airtime of the payload bits alone at the data rate, µs.
+    pub payload_us: f64,
+}
+
+impl EncapsulationBreakdown {
+    /// Total airtime of the frame, µs.
+    pub fn total_us(&self) -> f64 {
+        self.plcp_us + self.mpdu_us
+    }
+
+    /// Fraction of the frame's airtime carrying application bytes.
+    pub fn payload_airtime_fraction(&self) -> f64 {
+        self.payload_us / self.total_us()
+    }
+}
+
+/// Computes Figure 1's encapsulation for `m` application bytes.
+///
+/// # Example
+///
+/// ```
+/// use dot11_adhoc::analytic::{overhead_breakdown, TransportKind};
+/// use dot11_phy::{PhyRate, Preamble};
+///
+/// let b = overhead_breakdown(512, TransportKind::Udp, PhyRate::R11, Preamble::Long);
+/// assert_eq!(b.ip_bytes, 540);
+/// assert_eq!(b.mpdu_bytes, 574);
+/// // At 11 Mb/s, barely 45% of this frame's airtime is application data.
+/// assert!(b.payload_airtime_fraction() < 0.65);
+/// ```
+pub fn overhead_breakdown(
+    app_bytes: u32,
+    transport: TransportKind,
+    rate: PhyRate,
+    preamble: Preamble,
+) -> EncapsulationBreakdown {
+    let transport_bytes = app_bytes + transport.header_bytes();
+    let ip_bytes = transport_bytes + dot11_net::IP_HEADER_BYTES;
+    let mpdu_bytes = ip_bytes + dot11_mac::DATA_HEADER_BYTES;
+    let plcp_us = preamble.duration().as_micros_f64();
+    let mpdu_us = mpdu_bytes as f64 * 8.0 / rate.bits_per_micro();
+    let payload_us = app_bytes as f64 * 8.0 / rate.bits_per_micro();
+    EncapsulationBreakdown {
+        app_bytes,
+        transport_bytes,
+        ip_bytes,
+        mpdu_bytes,
+        plcp_us,
+        mpdu_us,
+        payload_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_sizes_accumulate() {
+        let b = overhead_breakdown(1024, TransportKind::Tcp, PhyRate::R2, Preamble::Long);
+        assert_eq!(b.transport_bytes, 1044);
+        assert_eq!(b.ip_bytes, 1064);
+        assert_eq!(b.mpdu_bytes, 1098);
+        assert_eq!(b.plcp_us, 192.0);
+        assert!((b.mpdu_us - 1098.0 * 8.0 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn payload_fraction_improves_with_packet_size_and_worsens_with_rate() {
+        let small = overhead_breakdown(512, TransportKind::Udp, PhyRate::R11, Preamble::Long);
+        let large = overhead_breakdown(1024, TransportKind::Udp, PhyRate::R11, Preamble::Long);
+        assert!(large.payload_airtime_fraction() > small.payload_airtime_fraction());
+        let slow = overhead_breakdown(512, TransportKind::Udp, PhyRate::R1, Preamble::Long);
+        assert!(
+            slow.payload_airtime_fraction() > small.payload_airtime_fraction(),
+            "fixed-rate PLCP hurts relatively more at high data rates"
+        );
+    }
+
+    #[test]
+    fn udp_vs_tcp_header_cost() {
+        let udp = overhead_breakdown(512, TransportKind::Udp, PhyRate::R11, Preamble::Long);
+        let tcp = overhead_breakdown(512, TransportKind::Tcp, PhyRate::R11, Preamble::Long);
+        assert_eq!(tcp.mpdu_bytes - udp.mpdu_bytes, 12);
+        assert!(tcp.total_us() > udp.total_us());
+    }
+}

@@ -1,0 +1,88 @@
+//! Protocol parameters — the paper's Table 1.
+
+/// IEEE 802.11b parameter values (Table 1 of the paper), expressed in
+/// microseconds and bits so the throughput equations can be computed in
+/// closed form.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dot11bParams {
+    /// Slot time, µs.
+    pub slot_us: f64,
+    /// Propagation delay τ, µs.
+    pub tau_us: f64,
+    /// PLCP preamble + header, bits (sent at 1 Mb/s, so also µs).
+    pub phy_hdr_bits: f64,
+    /// MAC header + FCS of a data frame, bits.
+    pub mac_hdr_bits: f64,
+    /// SIFS, µs.
+    pub sifs_us: f64,
+    /// DIFS, µs.
+    pub difs_us: f64,
+    /// ACK frame body, bits (PHY header excluded).
+    pub ack_bits: f64,
+    /// RTS frame body, bits.
+    pub rts_bits: f64,
+    /// CTS frame body, bits.
+    pub cts_bits: f64,
+    /// Minimum contention window, slots.
+    pub cw_min: f64,
+    /// Maximum contention window, slots.
+    pub cw_max: f64,
+    /// IP + UDP headers added by the legacy Internet stack, bytes
+    /// (Figure 1's network/transport encapsulation for the CBR workload).
+    pub ip_udp_header_bytes: f64,
+}
+
+impl Dot11bParams {
+    /// The values of Table 1.
+    pub fn table1() -> Dot11bParams {
+        Dot11bParams {
+            slot_us: 20.0,
+            tau_us: 1.0,
+            phy_hdr_bits: 192.0,
+            mac_hdr_bits: 272.0,
+            sifs_us: 10.0,
+            difs_us: 50.0,
+            ack_bits: 112.0,
+            rts_bits: 160.0,
+            cts_bits: 112.0,
+            cw_min: 32.0,
+            cw_max: 1024.0,
+            ip_udp_header_bytes: 28.0,
+        }
+    }
+
+    /// Mean backoff charged per packet: `CWmin/2 · SlotTime`, µs.
+    pub fn mean_backoff_us(&self) -> f64 {
+        self.cw_min / 2.0 * self.slot_us
+    }
+}
+
+impl Default for Dot11bParams {
+    fn default() -> Self {
+        Dot11bParams::table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reference_values() {
+        let p = Dot11bParams::table1();
+        assert_eq!(p.slot_us, 20.0);
+        assert_eq!(p.phy_hdr_bits, 192.0);
+        // Table 1 writes PHYhdr as 9.6 slot times.
+        assert_eq!(p.phy_hdr_bits, 9.6 * p.slot_us);
+        assert_eq!(p.mac_hdr_bits, 272.0);
+        assert_eq!(p.difs_us, 50.0);
+        assert_eq!(p.sifs_us, 10.0);
+        assert_eq!(p.ack_bits, 112.0);
+        assert_eq!((p.cw_min, p.cw_max), (32.0, 1024.0));
+    }
+
+    #[test]
+    fn mean_backoff_is_320_us() {
+        assert_eq!(Dot11bParams::table1().mean_backoff_us(), 320.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Figure 4: the 1 Mb/s transmission range on two different days.
+//!
+//! The paper measured the same loss-vs-distance sweep on 2002-12-06 and
+//! 2002-12-09 and found visibly different ranges ("the variability of the
+//! transmission ranges depending on the weather conditions"). We rerun
+//! the 1 Mb/s sweep under the two [`DayProfile`]s.
+
+use dot11_phy::{DayProfile, PhyRate};
+
+use crate::range::LossCurve;
+
+use super::figure3::loss_curve;
+use super::ExpConfig;
+
+/// The probed distances of Figure 4, meters (the paper sweeps 50–160 m
+/// for this figure).
+pub const DISTANCES_M: [f64; 12] =
+    [50.0, 60.0, 70.0, 80.0, 90.0, 100.0, 110.0, 120.0, 130.0, 140.0, 150.0, 160.0];
+
+/// One curve of Figure 4.
+#[derive(Debug, Clone)]
+pub struct DayLossCurve {
+    /// Day label (e.g. `"2002-12-06 (clear)"`).
+    pub day: String,
+    /// Loss vs distance at 1 Mb/s.
+    pub curve: LossCurve,
+}
+
+/// Runs Figure 4: the 1 Mb/s sweep on both measurement days.
+pub fn figure4(cfg: ExpConfig) -> Vec<DayLossCurve> {
+    [DayProfile::clear(), DayProfile::rainy()]
+        .into_iter()
+        .map(|day| DayLossCurve {
+            day: day.name.clone(),
+            curve: loss_curve(cfg, PhyRate::R1, day, &DISTANCES_M),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::range::estimate_crossing;
+    use desim::SimDuration;
+
+    #[test]
+    fn damp_day_shortens_the_range() {
+        let cfg = ExpConfig { duration: SimDuration::from_secs(6), ..ExpConfig::quick() };
+        let curves = figure4(cfg);
+        assert_eq!(curves.len(), 2);
+        let clear = estimate_crossing(&curves[0].curve, 0.5).expect("clear day crosses");
+        let damp = estimate_crossing(&curves[1].curve, 0.5).expect("damp day crosses");
+        assert!(
+            damp < clear - 5.0,
+            "damp-day range {damp:.0} m should sit visibly below clear-day {clear:.0} m"
+        );
+        // Both in the paper's 1 Mb/s band.
+        assert!((95.0..140.0).contains(&clear), "clear-day range {clear:.0} m");
+        assert!((80.0..130.0).contains(&damp), "damp-day range {damp:.0} m");
+    }
+}

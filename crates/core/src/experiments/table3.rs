@@ -1,0 +1,80 @@
+//! Table 3: transmission-range estimates per data rate.
+//!
+//! Distills the Figure 3 sweeps into the paper's range table: the
+//! distance at which the datagram loss crosses 50%, for data frames at
+//! every rate, plus the control-frame ranges (control frames travel at
+//! the basic rates, so their range is the corresponding basic-rate data
+//! range — the paper's 90 m / 120 m entries).
+
+use dot11_phy::PhyRate;
+
+use crate::range::estimate_crossing;
+
+use super::figure3::figure3;
+use super::ExpConfig;
+
+/// One column of Table 3.
+#[derive(Debug, Clone, Copy)]
+pub struct Table3Entry {
+    /// The NIC data rate.
+    pub rate: PhyRate,
+    /// Estimated data-frame transmission range, m (`None` = beyond the
+    /// 150 m sweep).
+    pub data_range_m: Option<f64>,
+    /// Estimated control-frame transmission range, m — the range of the
+    /// basic rate (`min(rate, 2 Mb/s)`) the NIC uses for RTS/CTS/ACK.
+    pub control_range_m: Option<f64>,
+}
+
+/// Regenerates Table 3 from the Figure 3 sweeps.
+pub fn table3(cfg: ExpConfig) -> Vec<Table3Entry> {
+    let curves = figure3(cfg);
+    let range = |rate: PhyRate| {
+        curves
+            .iter()
+            .find(|c| c.rate == rate)
+            .and_then(|c| estimate_crossing(&c.curve, 0.5))
+    };
+    PhyRate::ALL
+        .iter()
+        .map(|&rate| Table3Entry {
+            rate,
+            data_range_m: range(rate),
+            control_range_m: range(rate.control_rate()),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::SimDuration;
+
+    #[test]
+    fn ranges_land_in_the_papers_bands() {
+        let cfg = ExpConfig { duration: SimDuration::from_secs(6), ..ExpConfig::quick() };
+        let entries = table3(cfg);
+        let get = |rate: PhyRate| {
+            entries
+                .iter()
+                .find(|e| e.rate == rate)
+                .expect("rate present")
+                .data_range_m
+                .expect("within sweep")
+        };
+        // Paper's Table 3 bands, slightly widened for simulation noise.
+        assert!((22.0..42.0).contains(&get(PhyRate::R11)), "11 Mb/s: {}", get(PhyRate::R11));
+        assert!((50.0..85.0).contains(&get(PhyRate::R5_5)), "5.5 Mb/s: {}", get(PhyRate::R5_5));
+        assert!((80.0..110.0).contains(&get(PhyRate::R2)), "2 Mb/s: {}", get(PhyRate::R2));
+        assert!((100.0..140.0).contains(&get(PhyRate::R1)), "1 Mb/s: {}", get(PhyRate::R1));
+        // Control range at 11 Mb/s equals the 2 Mb/s data range: much
+        // larger than the 11 Mb/s data range (the paper's key point).
+        let e11 = entries.iter().find(|e| e.rate == PhyRate::R11).expect("11 Mb/s entry");
+        let ctrl = e11.control_range_m.expect("control range in sweep");
+        let data = e11.data_range_m.expect("data range in sweep");
+        assert!(ctrl > 2.0 * data, "control {ctrl:.0} m vs data {data:.0} m");
+        // At 1 Mb/s data and control travel identically.
+        let e1 = entries.iter().find(|e| e.rate == PhyRate::R1).expect("1 Mb/s entry");
+        assert_eq!(e1.data_range_m, e1.control_range_m);
+    }
+}

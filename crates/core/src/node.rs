@@ -1,0 +1,97 @@
+//! A station: PHY + MAC + transport endpoints + traffic sources.
+
+use std::collections::HashMap;
+
+use dot11_mac::DcfMac;
+use dot11_net::{CbrSource, FlowId, Packet, SaturatedSource, TcpReceiver, TcpSender};
+use dot11_phy::{NodeId, PhyState};
+
+/// Receiver-side accounting for a UDP flow.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UdpSink {
+    /// Datagrams delivered.
+    pub datagrams: u64,
+    /// Application payload bytes delivered.
+    pub payload_bytes: u64,
+    /// Highest datagram sequence number seen (for reordering diagnostics).
+    pub max_seq: u64,
+    /// Sum of end-to-end delays (source emission → delivery), ns.
+    pub delay_sum_ns: u64,
+    /// Largest end-to-end delay observed, ns.
+    pub delay_max_ns: u64,
+}
+
+impl UdpSink {
+    /// Mean end-to-end datagram delay, milliseconds.
+    pub fn mean_delay_ms(&self) -> f64 {
+        if self.datagrams == 0 {
+            0.0
+        } else {
+            self.delay_sum_ns as f64 / self.datagrams as f64 / 1e6
+        }
+    }
+}
+
+/// One station's full protocol stack.
+///
+/// Fields are crate-internal; the [`crate::world::World`] event loop is
+/// the only driver. Reports expose the interesting state.
+#[derive(Debug)]
+pub struct Node {
+    pub(crate) id: NodeId,
+    pub(crate) phy: PhyState,
+    pub(crate) mac: DcfMac<Packet>,
+    /// Last carrier-sense state reported to the MAC (edge detection).
+    pub(crate) cs_reported: bool,
+    pub(crate) tcp_senders: HashMap<FlowId, TcpSender>,
+    pub(crate) tcp_receivers: HashMap<FlowId, TcpReceiver>,
+    pub(crate) cbr_sources: HashMap<FlowId, CbrSource>,
+    pub(crate) saturated_sources: HashMap<FlowId, SaturatedSource>,
+    pub(crate) udp_sinks: HashMap<FlowId, UdpSink>,
+}
+
+impl Node {
+    pub(crate) fn new(id: NodeId, phy: PhyState, mac: DcfMac<Packet>) -> Node {
+        Node {
+            id,
+            phy,
+            mac,
+            cs_reported: false,
+            tcp_senders: HashMap::new(),
+            tcp_receivers: HashMap::new(),
+            cbr_sources: HashMap::new(),
+            saturated_sources: HashMap::new(),
+            udp_sinks: HashMap::new(),
+        }
+    }
+
+    /// The station's address.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// PHY-layer counters.
+    pub fn phy_counters(&self) -> dot11_phy::state::PhyCounters {
+        self.phy.counters()
+    }
+
+    /// MAC-layer counters.
+    pub fn mac_counters(&self) -> dot11_mac::MacCounters {
+        self.mac.counters()
+    }
+
+    /// The UDP sink state for `flow`, if this node terminates it.
+    pub fn udp_sink(&self, flow: FlowId) -> Option<&UdpSink> {
+        self.udp_sinks.get(&flow)
+    }
+
+    /// The TCP receiving endpoint for `flow`, if this node terminates it.
+    pub fn tcp_receiver(&self, flow: FlowId) -> Option<&TcpReceiver> {
+        self.tcp_receivers.get(&flow)
+    }
+
+    /// The TCP sending endpoint for `flow`, if this node originates it.
+    pub fn tcp_sender(&self, flow: FlowId) -> Option<&TcpSender> {
+        self.tcp_senders.get(&flow)
+    }
+}

@@ -1,0 +1,142 @@
+//! Transmission-range estimation from loss-vs-distance curves.
+//!
+//! The paper's Table 3 distills its Figure 3 sweeps into per-rate range
+//! estimates. We do the same: sweep distance, record the packet loss
+//! rate, and report where the curve crosses a threshold (0.5 by default —
+//! the midpoint of the waterfall).
+
+/// A measured loss-vs-distance curve.
+#[derive(Debug, Clone, Default)]
+pub struct LossCurve {
+    points: Vec<(f64, f64)>,
+}
+
+impl LossCurve {
+    /// Creates an empty curve.
+    pub fn new() -> LossCurve {
+        LossCurve { points: Vec::new() }
+    }
+
+    /// Appends a `(distance m, loss in 0..=1)` sample. Samples must be
+    /// pushed in increasing distance order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance` does not increase or `loss` is outside `0..=1`.
+    pub fn push(&mut self, distance: f64, loss: f64) {
+        assert!((0.0..=1.0).contains(&loss), "loss {loss} outside [0,1]");
+        if let Some(&(prev, _)) = self.points.last() {
+            assert!(distance > prev, "distances must increase: {prev} then {distance}");
+        }
+        self.points.push((distance, loss));
+    }
+
+    /// The samples.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Loss at the first sampled distance.
+    pub fn first_loss(&self) -> Option<f64> {
+        self.points.first().map(|&(_, l)| l)
+    }
+
+    /// Loss at the last sampled distance.
+    pub fn last_loss(&self) -> Option<f64> {
+        self.points.last().map(|&(_, l)| l)
+    }
+}
+
+/// Estimates the distance at which the curve first crosses `threshold`,
+/// interpolating linearly between the bracketing samples.
+///
+/// Returns `None` if the curve never reaches the threshold (station still
+/// in range at the last probed distance) — callers report that as "range
+/// beyond the sweep".
+///
+/// # Example
+///
+/// ```
+/// use dot11_adhoc::{estimate_crossing, LossCurve};
+/// let mut c = LossCurve::new();
+/// c.push(20.0, 0.0);
+/// c.push(30.0, 0.2);
+/// c.push(40.0, 0.8);
+/// let r = estimate_crossing(&c, 0.5).expect("crosses");
+/// assert!((r - 35.0).abs() < 1e-9);
+/// ```
+pub fn estimate_crossing(curve: &LossCurve, threshold: f64) -> Option<f64> {
+    let pts = curve.points();
+    if pts.is_empty() {
+        return None;
+    }
+    if pts[0].1 >= threshold {
+        return Some(pts[0].0);
+    }
+    for w in pts.windows(2) {
+        let (d0, l0) = w[0];
+        let (d1, l1) = w[1];
+        if l1 >= threshold {
+            if (l1 - l0).abs() < 1e-12 {
+                return Some(d1);
+            }
+            let t = (threshold - l0) / (l1 - l0);
+            return Some(d0 + t * (d1 - d0));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(samples: &[(f64, f64)]) -> LossCurve {
+        let mut c = LossCurve::new();
+        for &(d, l) in samples {
+            c.push(d, l);
+        }
+        c
+    }
+
+    #[test]
+    fn interpolates_between_brackets() {
+        let c = curve(&[(10.0, 0.0), (20.0, 0.25), (30.0, 0.75), (40.0, 1.0)]);
+        let r = estimate_crossing(&c, 0.5).expect("crosses");
+        assert!((r - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn never_crossing_reports_none() {
+        let c = curve(&[(10.0, 0.0), (50.0, 0.1)]);
+        assert_eq!(estimate_crossing(&c, 0.5), None);
+        assert_eq!(estimate_crossing(&LossCurve::new(), 0.5), None);
+    }
+
+    #[test]
+    fn crossing_at_first_sample() {
+        let c = curve(&[(10.0, 0.9), (20.0, 1.0)]);
+        assert_eq!(estimate_crossing(&c, 0.5), Some(10.0));
+    }
+
+    #[test]
+    fn flat_segment_at_threshold() {
+        let c = curve(&[(10.0, 0.5), (20.0, 0.5)]);
+        assert_eq!(estimate_crossing(&c, 0.5), Some(10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "distances must increase")]
+    fn non_monotone_distances_panic() {
+        let mut c = LossCurve::new();
+        c.push(20.0, 0.1);
+        c.push(10.0, 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn loss_out_of_range_panics() {
+        let mut c = LossCurve::new();
+        c.push(20.0, 1.5);
+    }
+}

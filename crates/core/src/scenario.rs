@@ -1,0 +1,345 @@
+//! Declarative experiment descriptions.
+//!
+//! A [`Scenario`] is the full recipe for one measurement run: station
+//! positions, radio and MAC configuration, channel/day profile, traffic
+//! flows, seed and timing. [`ScenarioBuilder`] assembles it fluently; the
+//! result turns into a [`crate::World`] and runs.
+//!
+//! # Example
+//!
+//! ```
+//! use dot11_adhoc::{ScenarioBuilder, Traffic};
+//! use dot11_phy::PhyRate;
+//! use desim::SimDuration;
+//!
+//! // Two stations 10 m apart, saturated UDP, 11 Mb/s, basic access.
+//! let report = ScenarioBuilder::new(PhyRate::R11)
+//!     .line(&[0.0, 10.0])
+//!     .duration(SimDuration::from_secs(2))
+//!     .flow(0, 1, Traffic::SaturatedUdp { payload_bytes: 512, backlog: 10 })
+//!     .run();
+//! assert!(report.flow(dot11_net::FlowId(0)).throughput_kbps > 1000.0);
+//! ```
+
+use desim::SimDuration;
+use dot11_mac::MacConfig;
+use dot11_net::{FlowId, StaticRoutes};
+use dot11_phy::{DayProfile, NodeId, PathLoss, PhyRate, Position, RadioConfig};
+
+use crate::calib::calibrated_path_loss;
+use crate::stats::RunReport;
+use crate::world::World;
+
+/// Traffic carried by one flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Traffic {
+    /// Asymptotic UDP: the source keeps `backlog` datagrams queued at the
+    /// interface — the paper's saturated-CBR condition.
+    SaturatedUdp {
+        /// Application payload per datagram, bytes.
+        payload_bytes: u32,
+        /// Interface-queue backlog to maintain, packets.
+        backlog: usize,
+    },
+    /// Paced CBR over UDP (used for the loss-vs-distance probes).
+    CbrUdp {
+        /// Application payload per datagram, bytes.
+        payload_bytes: u32,
+        /// Inter-datagram interval.
+        interval: SimDuration,
+        /// Stop after this many datagrams (`None` = run forever).
+        limit: Option<u64>,
+    },
+    /// Asymptotic bulk transfer over TCP (the paper's ftp).
+    BulkTcp {
+        /// Maximum segment size (application payload per segment), bytes.
+        mss: u32,
+    },
+}
+
+/// One unidirectional session.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowSpec {
+    /// Flow identifier (builder-assigned, dense from 0).
+    pub id: FlowId,
+    /// Data source station.
+    pub src: NodeId,
+    /// Data sink station.
+    pub dst: NodeId,
+    /// Workload.
+    pub traffic: Traffic,
+    /// When the source starts, relative to the run start.
+    pub start: SimDuration,
+}
+
+/// A complete experiment description.
+pub struct Scenario {
+    pub(crate) positions: Vec<Position>,
+    pub(crate) radio: RadioConfig,
+    pub(crate) mac: MacConfig,
+    pub(crate) day: DayProfile,
+    pub(crate) path_loss: Box<dyn PathLoss>,
+    pub(crate) flows: Vec<FlowSpec>,
+    pub(crate) routes: StaticRoutes,
+    pub(crate) seed: u64,
+    pub(crate) duration: SimDuration,
+    pub(crate) warmup: SimDuration,
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("stations", &self.positions.len())
+            .field("data_rate", &self.mac.data_rate)
+            .field("rts", &self.mac.rts_enabled)
+            .field("flows", &self.flows.len())
+            .field("seed", &self.seed)
+            .field("duration", &self.duration)
+            .finish()
+    }
+}
+
+impl Scenario {
+    /// Builds the simulation world.
+    pub fn into_world(self) -> World {
+        World::new(self)
+    }
+
+    /// Builds and runs to completion.
+    pub fn run(self) -> RunReport {
+        self.into_world().run()
+    }
+}
+
+/// Fluent constructor for [`Scenario`].
+pub struct ScenarioBuilder {
+    scenario: Scenario,
+    next_flow: u32,
+}
+
+impl ScenarioBuilder {
+    /// Starts a scenario at the given NIC data rate with the calibrated
+    /// radio/channel defaults: DWL-650 radio, clear-day shadowing,
+    /// calibrated outdoor path loss, basic access, 10 s runs with 1 s
+    /// warm-up, seed 1.
+    pub fn new(data_rate: PhyRate) -> ScenarioBuilder {
+        ScenarioBuilder {
+            scenario: Scenario {
+                positions: Vec::new(),
+                radio: RadioConfig::dwl650(),
+                mac: MacConfig::new(data_rate),
+                day: DayProfile::clear(),
+                path_loss: Box::new(calibrated_path_loss()),
+                flows: Vec::new(),
+                routes: StaticRoutes::new(),
+                seed: 1,
+                duration: SimDuration::from_secs(10),
+                warmup: SimDuration::from_secs(1),
+            },
+            next_flow: 0,
+        }
+    }
+
+    /// Adds a station at `position`; returns its id (dense from 0).
+    pub fn station(&mut self, position: Position) -> NodeId {
+        self.scenario.positions.push(position);
+        NodeId(self.scenario.positions.len() as u32 - 1)
+    }
+
+    /// Adds stations on the x-axis at the given coordinates (meters) —
+    /// the paper's chain topologies.
+    pub fn line(mut self, xs: &[f64]) -> ScenarioBuilder {
+        for &x in xs {
+            self.scenario.positions.push(Position::on_line(x));
+        }
+        self
+    }
+
+    /// Enables the RTS/CTS mechanism.
+    pub fn rts(mut self, enabled: bool) -> ScenarioBuilder {
+        self.scenario.mac.rts_enabled = enabled;
+        self
+    }
+
+    /// Enables classic ARF dynamic rate switching (starting from the
+    /// scenario's data rate).
+    pub fn arf(mut self, enabled: bool) -> ScenarioBuilder {
+        self.scenario.mac.arf = if enabled {
+            dot11_mac::ArfConfig::classic()
+        } else {
+            dot11_mac::ArfConfig::disabled()
+        };
+        self
+    }
+
+    /// Installs a static next-hop table; stations forward packets that
+    /// are not addressed to them along it (multi-hop operation).
+    pub fn routes(mut self, routes: StaticRoutes) -> ScenarioBuilder {
+        self.scenario.routes = routes;
+        self
+    }
+
+    /// Convenience: chain routing over all stations added so far, in
+    /// index order (call after the stations are in place).
+    pub fn chain_routes(mut self) -> ScenarioBuilder {
+        self.scenario.routes = StaticRoutes::chain(self.scenario.positions.len() as u32);
+        self
+    }
+
+    /// Replaces the MAC configuration wholesale (ablations).
+    pub fn mac_config(mut self, mac: MacConfig) -> ScenarioBuilder {
+        self.scenario.mac = mac;
+        self
+    }
+
+    /// Replaces the radio configuration (ablations).
+    pub fn radio(mut self, radio: RadioConfig) -> ScenarioBuilder {
+        self.scenario.radio = radio;
+        self
+    }
+
+    /// Selects the day/weather profile.
+    pub fn day(mut self, day: DayProfile) -> ScenarioBuilder {
+        self.scenario.day = day;
+        self
+    }
+
+    /// Replaces the path-loss model (e.g. ns-2 style two-ray ground).
+    pub fn path_loss(mut self, model: Box<dyn PathLoss>) -> ScenarioBuilder {
+        self.scenario.path_loss = model;
+        self
+    }
+
+    /// Sets the random seed.
+    pub fn seed(mut self, seed: u64) -> ScenarioBuilder {
+        self.scenario.seed = seed;
+        self
+    }
+
+    /// Sets the run length.
+    pub fn duration(mut self, duration: SimDuration) -> ScenarioBuilder {
+        self.scenario.duration = duration;
+        self
+    }
+
+    /// Sets the warm-up excluded from throughput measurements.
+    pub fn warmup(mut self, warmup: SimDuration) -> ScenarioBuilder {
+        self.scenario.warmup = warmup;
+        self
+    }
+
+    /// Adds a flow from station `src` to station `dst` (indices into the
+    /// stations added so far). Returns the builder for chaining; flow ids
+    /// are assigned densely from 0 in call order.
+    pub fn flow(mut self, src: u32, dst: u32, traffic: Traffic) -> ScenarioBuilder {
+        let id = FlowId(self.next_flow);
+        self.next_flow += 1;
+        self.scenario.flows.push(FlowSpec {
+            id,
+            src: NodeId(src),
+            dst: NodeId(dst),
+            traffic,
+            start: SimDuration::ZERO,
+        });
+        self
+    }
+
+    /// Like [`ScenarioBuilder::flow`] with a delayed start.
+    pub fn flow_at(
+        mut self,
+        src: u32,
+        dst: u32,
+        traffic: Traffic,
+        start: SimDuration,
+    ) -> ScenarioBuilder {
+        let id = FlowId(self.next_flow);
+        self.next_flow += 1;
+        self.scenario.flows.push(FlowSpec {
+            id,
+            src: NodeId(src),
+            dst: NodeId(dst),
+            traffic,
+            start,
+        });
+        self
+    }
+
+    /// Finalizes the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flow references a missing station, a flow loops onto
+    /// its source, the warm-up is not shorter than the duration, or there
+    /// are no stations.
+    pub fn build(self) -> Scenario {
+        let s = &self.scenario;
+        assert!(!s.positions.is_empty(), "scenario has no stations");
+        assert!(s.warmup < s.duration, "warmup {} must be shorter than duration {}", s.warmup, s.duration);
+        for f in &s.flows {
+            assert!(
+                f.src.index() < s.positions.len() && f.dst.index() < s.positions.len(),
+                "flow {} references a missing station",
+                f.id
+            );
+            assert!(f.src != f.dst, "flow {} loops onto its source", f.id);
+        }
+        self.scenario
+    }
+
+    /// Builds and runs in one step.
+    pub fn run(self) -> RunReport {
+        self.build().run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let s = ScenarioBuilder::new(PhyRate::R2)
+            .line(&[0.0, 10.0, 20.0])
+            .flow(0, 1, Traffic::SaturatedUdp { payload_bytes: 512, backlog: 5 })
+            .flow(1, 2, Traffic::BulkTcp { mss: 512 })
+            .build();
+        assert_eq!(s.positions.len(), 3);
+        assert_eq!(s.flows[0].id, FlowId(0));
+        assert_eq!(s.flows[1].id, FlowId(1));
+        assert_eq!(s.flows[1].src, NodeId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "missing station")]
+    fn flow_to_missing_station_panics() {
+        let _ = ScenarioBuilder::new(PhyRate::R2)
+            .line(&[0.0])
+            .flow(0, 3, Traffic::BulkTcp { mss: 512 })
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "loops onto its source")]
+    fn self_flow_panics() {
+        let _ = ScenarioBuilder::new(PhyRate::R2)
+            .line(&[0.0, 5.0])
+            .flow(1, 1, Traffic::BulkTcp { mss: 512 })
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "no stations")]
+    fn empty_scenario_panics() {
+        let _ = ScenarioBuilder::new(PhyRate::R2).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "warmup")]
+    fn warmup_longer_than_duration_panics() {
+        let _ = ScenarioBuilder::new(PhyRate::R2)
+            .line(&[0.0, 5.0])
+            .duration(SimDuration::from_secs(1))
+            .warmup(SimDuration::from_secs(2))
+            .build();
+    }
+}

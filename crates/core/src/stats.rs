@@ -1,0 +1,182 @@
+//! Run reports: per-flow throughput/loss and per-node counters.
+
+use desim::SimDuration;
+use dot11_mac::{ArfCounters, MacCounters};
+use dot11_net::FlowId;
+use dot11_phy::{state::PhyCounters, Airtime, NodeId, PhyRate};
+
+/// Measured results for one flow.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowReport {
+    /// The flow.
+    pub flow: FlowId,
+    /// Data source station.
+    pub src: NodeId,
+    /// Data sink station.
+    pub dst: NodeId,
+    /// Packets (UDP datagrams / TCP data segments) emitted by the source,
+    /// including TCP retransmissions.
+    pub offered_packets: u64,
+    /// Application payload bytes delivered in order over the whole run.
+    pub delivered_bytes: u64,
+    /// UDP datagrams delivered (TCP: delivered bytes / MSS).
+    pub delivered_packets: u64,
+    /// Payload bytes delivered inside the measurement window
+    /// (after warm-up).
+    pub measured_bytes: u64,
+    /// Application-level throughput over the measurement window, kb/s.
+    pub throughput_kbps: f64,
+    /// End-to-end datagram loss over the whole run (UDP flows;
+    /// 0 for TCP, which retransmits).
+    pub loss_rate: f64,
+    /// Mean end-to-end datagram delay, ms (UDP flows; 0 for TCP).
+    pub mean_delay_ms: f64,
+    /// Maximum end-to-end datagram delay, ms (UDP flows; 0 for TCP).
+    pub max_delay_ms: f64,
+}
+
+/// Per-station counters after a run.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeReport {
+    /// The station.
+    pub node: NodeId,
+    /// MAC counters.
+    pub mac: MacCounters,
+    /// PHY counters.
+    pub phy: PhyCounters,
+    /// ARF rate-switching counters (zero when ARF is off).
+    pub arf: ArfCounters,
+    /// The data rate in effect when the run ended (moves only under ARF).
+    pub final_data_rate: PhyRate,
+    /// How this station's airtime split between transmitting, receiving
+    /// (locked — the "deaf" share), sensing-busy and idle.
+    pub airtime: Airtime,
+}
+
+/// Jain's fairness index over per-flow throughputs:
+/// `(Σx)² / (n·Σx²)` — 1.0 is perfectly fair, 1/n is a single winner.
+///
+/// # Example
+///
+/// ```
+/// use dot11_adhoc::stats::jain_index;
+/// assert!((jain_index(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+/// assert!((jain_index(&[1.0, 0.0]) - 0.5).abs() < 1e-12);
+/// ```
+pub fn jain_index(throughputs: &[f64]) -> f64 {
+    if throughputs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = throughputs.iter().sum();
+    let sq: f64 = throughputs.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (throughputs.len() as f64 * sq)
+}
+
+/// Everything a finished run reports.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Total simulated time.
+    pub duration: SimDuration,
+    /// Warm-up excluded from throughput measurement.
+    pub warmup: SimDuration,
+    /// Per-flow results, in flow-id order.
+    pub flows: Vec<FlowReport>,
+    /// Per-station counters, in station order.
+    pub nodes: Vec<NodeReport>,
+    /// Events dispatched by the simulator (diagnostic).
+    pub events: u64,
+}
+
+impl RunReport {
+    /// The report for `flow`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow does not exist in this run.
+    pub fn flow(&self, flow: FlowId) -> &FlowReport {
+        self.flows
+            .iter()
+            .find(|f| f.flow == flow)
+            .unwrap_or_else(|| panic!("no such flow {flow}"))
+    }
+
+    /// Sum of all flows' measured throughput, kb/s.
+    pub fn total_throughput_kbps(&self) -> f64 {
+        self.flows.iter().map(|f| f.throughput_kbps).sum()
+    }
+
+    /// Jain's fairness index across this run's flows.
+    pub fn fairness(&self) -> f64 {
+        let t: Vec<f64> = self.flows.iter().map(|f| f.throughput_kbps).collect();
+        jain_index(&t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            duration: SimDuration::from_secs(10),
+            warmup: SimDuration::from_secs(1),
+            flows: vec![
+                FlowReport {
+                    flow: FlowId(0),
+                    src: NodeId(0),
+                    dst: NodeId(1),
+                    offered_packets: 100,
+                    delivered_bytes: 51_200,
+                    delivered_packets: 100,
+                    measured_bytes: 46_080,
+                    throughput_kbps: 40.96,
+                    loss_rate: 0.0,
+                    mean_delay_ms: 1.5,
+                    max_delay_ms: 9.0,
+                },
+                FlowReport {
+                    flow: FlowId(1),
+                    src: NodeId(2),
+                    dst: NodeId(3),
+                    offered_packets: 100,
+                    delivered_bytes: 25_600,
+                    delivered_packets: 50,
+                    measured_bytes: 23_040,
+                    throughput_kbps: 20.48,
+                    loss_rate: 0.5,
+                    mean_delay_ms: 3.0,
+                    max_delay_ms: 30.0,
+                },
+            ],
+            nodes: vec![],
+            events: 1234,
+        }
+    }
+
+    #[test]
+    fn flow_lookup_and_totals() {
+        let r = report();
+        assert_eq!(r.flow(FlowId(1)).delivered_packets, 50);
+        assert!((r.total_throughput_kbps() - 61.44).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fairness_index() {
+        let r = report();
+        // 40.96 vs 20.48: (61.44)^2 / (2*(40.96^2+20.48^2)) = 0.9.
+        assert!((r.fairness() - 0.9).abs() < 1e-9);
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert!((jain_index(&[5.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no such flow")]
+    fn missing_flow_panics() {
+        let r = report();
+        let _ = r.flow(FlowId(9));
+    }
+}

@@ -1,0 +1,615 @@
+//! The simulation world: event dispatch across nodes and the medium.
+//!
+//! The [`World`] owns the simulator, the medium, and every station. Each
+//! popped event is routed to the owning station's PHY/MAC/transport; the
+//! actions they emit (transmissions, timers, deliveries) are executed
+//! immediately, possibly recursing (a delivered TCP segment produces an
+//! ACK, which enqueues at the MAC, which may arm a DIFS timer…).
+//!
+//! Determinism: all state mutation happens in event order; all randomness
+//! flows from per-component substreams of the scenario seed. Two runs of
+//! the same scenario are bit-identical.
+
+use std::collections::HashMap;
+
+use desim::{EventHandle, SimDuration, SimRng, SimTime, Simulator};
+use dot11_mac::{DcfMac, MacAction, MacFrame, MacSdu, TimerKind};
+use dot11_net::{FlowId, Packet, Segment, StaticRoutes, TcpOutput, TcpReceiver, TcpSender};
+use dot11_net::{CbrSource, SaturatedSource, TcpConfig};
+use dot11_phy::{Medium, MediumConfig, NodeId, PhyState, RxOutcomeKind, Shadowing, TxId, TxSignal};
+
+use crate::node::{Node, UdpSink};
+use crate::scenario::{FlowSpec, Scenario, Traffic};
+use crate::stats::{FlowReport, NodeReport, RunReport};
+
+/// Events flowing through the simulator.
+#[derive(Debug)]
+pub enum Event {
+    /// A traffic source starts.
+    FlowStart {
+        /// Which flow.
+        flow: FlowId,
+    },
+    /// A transmitted signal reaches a receiver's antenna.
+    SignalStart {
+        /// The receiver.
+        rx: NodeId,
+        /// The signal as seen there.
+        sig: TxSignal,
+    },
+    /// The signal leaves the receiver's antenna.
+    SignalEnd {
+        /// The receiver.
+        rx: NodeId,
+        /// The transmission.
+        tx_id: TxId,
+    },
+    /// The transmitter finishes keying the frame out.
+    TxAirEnd {
+        /// The transmitter.
+        node: NodeId,
+        /// The transmission.
+        tx_id: TxId,
+    },
+    /// A MAC timer fires.
+    MacTimer {
+        /// The station.
+        node: NodeId,
+        /// Which timer.
+        kind: TimerKind,
+    },
+    /// A TCP retransmission timer fires.
+    RtoTimer {
+        /// The sending station.
+        node: NodeId,
+        /// The flow.
+        flow: FlowId,
+    },
+    /// A TCP delayed-ACK timer fires.
+    DelackTimer {
+        /// The receiving station.
+        node: NodeId,
+        /// The flow.
+        flow: FlowId,
+    },
+    /// A paced CBR source is due to emit.
+    CbrTick {
+        /// The source station.
+        node: NodeId,
+        /// The flow.
+        flow: FlowId,
+    },
+    /// Warm-up over: snapshot delivered-byte counters.
+    MeasureStart,
+}
+
+struct InFlight {
+    frame: MacFrame<Packet>,
+    remaining: usize,
+}
+
+/// The assembled simulation (see module docs).
+pub struct World {
+    sim: Simulator<Event>,
+    medium: Medium,
+    nodes: Vec<Node>,
+    flows: Vec<FlowSpec>,
+    in_flight: HashMap<TxId, InFlight>,
+    mac_timers: HashMap<(u32, TimerKind), EventHandle>,
+    rto_timers: HashMap<(u32, u32), EventHandle>,
+    delack_timers: HashMap<(u32, u32), EventHandle>,
+    next_tag: u64,
+    snapshot: HashMap<FlowId, u64>,
+    routes: StaticRoutes,
+    duration: SimDuration,
+    warmup: SimDuration,
+}
+
+impl World {
+    /// Assembles a world from a scenario.
+    pub fn new(scenario: Scenario) -> World {
+        let Scenario {
+            positions,
+            radio,
+            mac,
+            day,
+            path_loss,
+            flows,
+            routes,
+            seed,
+            duration,
+            warmup,
+        } = scenario;
+        let master = SimRng::from_seed(seed);
+        let shadowing = Shadowing::new(day.clone(), master.substream(b"shadowing"));
+        let medium = Medium::new(
+            positions.clone(),
+            shadowing,
+            MediumConfig { path_loss, day, propagation_delay: desim::SimDuration::from_micros(1) },
+        );
+        let mut radio = radio;
+        radio.preamble = mac.preamble;
+        let mut nodes = Vec::with_capacity(positions.len());
+        for i in 0..positions.len() {
+            let id = NodeId(i as u32);
+            let phy = PhyState::new(radio, master.substream(format!("phy/{i}").as_bytes()));
+            let dcf: DcfMac<Packet> =
+                DcfMac::new(id, mac, master.substream(format!("mac/{i}").as_bytes()));
+            nodes.push(Node::new(id, phy, dcf));
+        }
+        let mut sim = Simulator::new();
+        for f in &flows {
+            sim.schedule_at(SimTime::ZERO + f.start, Event::FlowStart { flow: f.id });
+        }
+        sim.schedule_at(SimTime::ZERO + warmup, Event::MeasureStart);
+        let mut world = World {
+            sim,
+            medium,
+            nodes,
+            flows,
+            in_flight: HashMap::new(),
+            mac_timers: HashMap::new(),
+            rto_timers: HashMap::new(),
+            delack_timers: HashMap::new(),
+            next_tag: 1,
+            snapshot: HashMap::new(),
+            routes,
+            duration,
+            warmup,
+        };
+        world.install_endpoints();
+        world
+    }
+
+    fn install_endpoints(&mut self) {
+        for f in self.flows.clone() {
+            match f.traffic {
+                Traffic::SaturatedUdp { payload_bytes, backlog } => {
+                    self.nodes[f.src.index()].saturated_sources.insert(
+                        f.id,
+                        SaturatedSource::new(f.id, f.src, f.dst, payload_bytes, backlog),
+                    );
+                    self.nodes[f.dst.index()].udp_sinks.insert(f.id, UdpSink::default());
+                }
+                Traffic::CbrUdp { payload_bytes, interval, limit } => {
+                    self.nodes[f.src.index()].cbr_sources.insert(
+                        f.id,
+                        CbrSource::new(f.id, f.src, f.dst, payload_bytes, interval, limit),
+                    );
+                    self.nodes[f.dst.index()].udp_sinks.insert(f.id, UdpSink::default());
+                }
+                Traffic::BulkTcp { mss } => {
+                    let cfg = TcpConfig::new(mss);
+                    self.nodes[f.src.index()]
+                        .tcp_senders
+                        .insert(f.id, TcpSender::new(f.id, f.src, f.dst, cfg));
+                    self.nodes[f.dst.index()]
+                        .tcp_receivers
+                        .insert(f.id, TcpReceiver::new(f.id, f.dst, f.src, cfg));
+                }
+            }
+        }
+    }
+
+    /// Runs the scenario to its configured duration and reports.
+    pub fn run(mut self) -> RunReport {
+        let end = SimTime::ZERO + self.duration;
+        while let Some(t) = self.sim.peek_time() {
+            if t > end {
+                break;
+            }
+            let (now, ev) = self.sim.pop().expect("peeked event");
+            self.handle(now, ev);
+        }
+        self.report()
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Event) {
+        match ev {
+            Event::FlowStart { flow } => self.start_flow(flow, now),
+            Event::SignalStart { rx, sig } => {
+                self.nodes[rx.index()].phy.signal_start(&sig, now);
+                self.sync_cs(rx.index(), now);
+            }
+            Event::SignalEnd { rx, tx_id } => self.on_signal_end(rx, tx_id, now),
+            Event::TxAirEnd { node, tx_id } => self.on_tx_air_end(node, tx_id, now),
+            Event::MacTimer { node, kind } => {
+                self.mac_timers.remove(&(node.0, kind));
+                let mut actions = Vec::new();
+                self.nodes[node.index()].mac.on_timer(kind, now, &mut actions);
+                self.apply_mac_actions(node.index(), actions, now);
+            }
+            Event::RtoTimer { node, flow } => {
+                self.rto_timers.remove(&(node.0, flow.0));
+                let mut outs = Vec::new();
+                if let Some(s) = self.nodes[node.index()].tcp_senders.get_mut(&flow) {
+                    s.on_rto(now, &mut outs);
+                }
+                self.apply_tcp_outputs(node.index(), flow, outs, now);
+            }
+            Event::DelackTimer { node, flow } => {
+                self.delack_timers.remove(&(node.0, flow.0));
+                let mut outs = Vec::new();
+                if let Some(r) = self.nodes[node.index()].tcp_receivers.get_mut(&flow) {
+                    r.on_delack_timer(now, &mut outs);
+                }
+                self.apply_tcp_outputs(node.index(), flow, outs, now);
+            }
+            Event::CbrTick { node, flow } => self.on_cbr_tick(node, flow, now),
+            Event::MeasureStart => {
+                for f in &self.flows {
+                    let bytes = self.delivered_bytes(f);
+                    self.snapshot.insert(f.id, bytes);
+                }
+            }
+        }
+    }
+
+    // --- traffic ---------------------------------------------------------
+
+    fn start_flow(&mut self, flow: FlowId, now: SimTime) {
+        let spec = *self.flows.iter().find(|f| f.id == flow).expect("known flow");
+        match spec.traffic {
+            Traffic::SaturatedUdp { .. } => self.refill_saturated(spec.src.index(), now),
+            Traffic::CbrUdp { .. } => self.on_cbr_tick(spec.src, flow, now),
+            Traffic::BulkTcp { .. } => {
+                let mut outs = Vec::new();
+                self.nodes[spec.src.index()]
+                    .tcp_senders
+                    .get_mut(&flow)
+                    .expect("sender installed")
+                    .start(now, &mut outs);
+                self.apply_tcp_outputs(spec.src.index(), flow, outs, now);
+            }
+        }
+    }
+
+    fn on_cbr_tick(&mut self, node: NodeId, flow: FlowId, now: SimTime) {
+        let idx = node.index();
+        let Some(src) = self.nodes[idx].cbr_sources.get_mut(&flow) else {
+            return;
+        };
+        if let Some((packet, next)) = src.tick(now) {
+            if let Some(next) = next {
+                self.sim.schedule_at(next, Event::CbrTick { node, flow });
+            }
+            self.enqueue_packet(idx, packet, now);
+        }
+    }
+
+    fn refill_saturated(&mut self, idx: usize, now: SimTime) {
+        let flows: Vec<FlowId> = self.nodes[idx].saturated_sources.keys().copied().collect();
+        for flow in flows {
+            // One top-up per invocation: the source emits enough datagrams
+            // to restore its backlog given the current queue depth. (A
+            // loop would never terminate if the backlog exceeded the MAC
+            // queue capacity — drops would be "re-filled" forever.)
+            let queued = self.nodes[idx].mac.queue_len();
+            let packets = self.nodes[idx]
+                .saturated_sources
+                .get_mut(&flow)
+                .expect("source present")
+                .refill(queued, now);
+            for p in packets {
+                self.enqueue_packet(idx, p, now);
+            }
+        }
+    }
+
+    // --- packet plumbing ---------------------------------------------------
+
+    fn enqueue_packet(&mut self, idx: usize, packet: Packet, now: SimTime) {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        let at = self.nodes[idx].id;
+        // Multi-hop: the MAC-level receiver is the configured next hop
+        // toward the packet's final destination (or the destination
+        // itself when no route is installed).
+        let hop = self.routes.next_hop(at, packet.dst).unwrap_or(packet.dst);
+        let sdu = MacSdu { dst: hop, bytes: packet.wire_bytes(), tag, payload: packet };
+        let mut actions = Vec::new();
+        self.nodes[idx].mac.enqueue(sdu, now, &mut actions);
+        self.apply_mac_actions(idx, actions, now);
+    }
+
+    fn deliver_packet(&mut self, idx: usize, packet: Packet, now: SimTime) {
+        if packet.dst != self.nodes[idx].id {
+            // We are an intermediate hop: forward toward the destination.
+            self.enqueue_packet(idx, packet, now);
+            return;
+        }
+        match packet.seg {
+            Segment::Udp { seq } => {
+                if let Some(sink) = self.nodes[idx].udp_sinks.get_mut(&packet.flow) {
+                    sink.datagrams += 1;
+                    sink.payload_bytes += packet.payload_bytes as u64;
+                    sink.max_seq = sink.max_seq.max(seq);
+                    let delay = now.saturating_duration_since(packet.sent_at).as_nanos();
+                    sink.delay_sum_ns += delay;
+                    sink.delay_max_ns = sink.delay_max_ns.max(delay);
+                }
+            }
+            Segment::Tcp { seq, ack } => {
+                let flow = packet.flow;
+                let mut outs = Vec::new();
+                if packet.payload_bytes > 0 {
+                    if let Some(r) = self.nodes[idx].tcp_receivers.get_mut(&flow) {
+                        r.on_segment(seq, packet.payload_bytes, now, &mut outs);
+                    }
+                } else if let Some(s) = self.nodes[idx].tcp_senders.get_mut(&flow) {
+                    s.on_ack(ack, now, &mut outs);
+                }
+                self.apply_tcp_outputs(idx, flow, outs, now);
+            }
+        }
+    }
+
+    fn apply_tcp_outputs(
+        &mut self,
+        idx: usize,
+        flow: FlowId,
+        outs: Vec<TcpOutput>,
+        now: SimTime,
+    ) {
+        for out in outs {
+            match out {
+                TcpOutput::Send(packet) => self.enqueue_packet(idx, packet, now),
+                TcpOutput::ArmRto(delay) => {
+                    let node = self.nodes[idx].id;
+                    let h = self.sim.schedule_in(delay, Event::RtoTimer { node, flow });
+                    if let Some(old) = self.rto_timers.insert((node.0, flow.0), h) {
+                        self.sim.cancel(old);
+                    }
+                }
+                TcpOutput::CancelRto => {
+                    let node = self.nodes[idx].id;
+                    if let Some(h) = self.rto_timers.remove(&(node.0, flow.0)) {
+                        self.sim.cancel(h);
+                    }
+                }
+                TcpOutput::ArmDelack(delay) => {
+                    let node = self.nodes[idx].id;
+                    let h = self.sim.schedule_in(delay, Event::DelackTimer { node, flow });
+                    if let Some(old) = self.delack_timers.insert((node.0, flow.0), h) {
+                        self.sim.cancel(old);
+                    }
+                }
+                TcpOutput::CancelDelack => {
+                    let node = self.nodes[idx].id;
+                    if let Some(h) = self.delack_timers.remove(&(node.0, flow.0)) {
+                        self.sim.cancel(h);
+                    }
+                }
+            }
+        }
+    }
+
+    // --- MAC/PHY plumbing ----------------------------------------------------
+
+    fn apply_mac_actions(&mut self, idx: usize, actions: Vec<MacAction<Packet>>, now: SimTime) {
+        for action in actions {
+            match action {
+                MacAction::Transmit { frame, rate } => self.start_transmission(idx, frame, rate, now),
+                MacAction::StartTimer { kind, delay } => {
+                    let node = self.nodes[idx].id;
+                    let h = self.sim.schedule_in(delay, Event::MacTimer { node, kind });
+                    if let Some(old) = self.mac_timers.insert((node.0, kind), h) {
+                        self.sim.cancel(old);
+                    }
+                }
+                MacAction::CancelTimer { kind } => {
+                    let node = self.nodes[idx].id;
+                    if let Some(h) = self.mac_timers.remove(&(node.0, kind)) {
+                        self.sim.cancel(h);
+                    }
+                }
+                MacAction::Deliver { src: _, payload } => self.deliver_packet(idx, payload, now),
+                MacAction::TxStatus { .. } => self.refill_saturated(idx, now),
+            }
+        }
+    }
+
+    fn start_transmission(
+        &mut self,
+        idx: usize,
+        frame: MacFrame<Packet>,
+        rate: dot11_phy::PhyRate,
+        now: SimTime,
+    ) {
+        let source = self.nodes[idx].id;
+        let radio = *self.nodes[idx].phy.config();
+        let (tx_id, airtime, deliveries) = self.medium.transmit(
+            source,
+            radio.tx_power,
+            rate,
+            frame.mpdu_bytes,
+            radio.preamble,
+            now,
+        );
+        let until = now + airtime.total();
+        self.nodes[idx].phy.begin_tx(until, now);
+        self.sync_cs(idx, now);
+        self.in_flight.insert(tx_id, InFlight { frame, remaining: deliveries.len() });
+        self.sim.schedule_at(until, Event::TxAirEnd { node: source, tx_id });
+        for (rx, sig) in deliveries {
+            self.sim.schedule_at(sig.starts_at, Event::SignalStart { rx, sig });
+            self.sim.schedule_at(sig.ends_at, Event::SignalEnd { rx, tx_id });
+        }
+        if self.in_flight[&tx_id].remaining == 0 {
+            self.in_flight.remove(&tx_id);
+        }
+    }
+
+    fn on_signal_end(&mut self, rx: NodeId, tx_id: TxId, now: SimTime) {
+        let idx = rx.index();
+        let outcome = self.nodes[idx].phy.signal_end(tx_id, now);
+        let mut actions = Vec::new();
+        if let Some(out) = outcome {
+            match out.kind {
+                RxOutcomeKind::Decoded => {
+                    let frame = self
+                        .in_flight
+                        .get(&tx_id)
+                        .expect("frame still in flight at its own end")
+                        .frame
+                        .clone();
+                    self.nodes[idx].mac.on_rx_frame(frame, now, &mut actions);
+                }
+                RxOutcomeKind::BodyError | RxOutcomeKind::HeaderError => {
+                    self.nodes[idx].mac.on_rx_error(now, &mut actions);
+                }
+            }
+        }
+        if let Some(entry) = self.in_flight.get_mut(&tx_id) {
+            entry.remaining -= 1;
+            if entry.remaining == 0 {
+                self.in_flight.remove(&tx_id);
+            }
+        }
+        self.apply_mac_actions(idx, actions, now);
+        self.sync_cs(idx, now);
+    }
+
+    fn on_tx_air_end(&mut self, node: NodeId, tx_id: TxId, now: SimTime) {
+        let _ = tx_id;
+        let idx = node.index();
+        self.nodes[idx].phy.end_tx(now);
+        let mut actions = Vec::new();
+        self.nodes[idx].mac.on_tx_end(now, &mut actions);
+        self.apply_mac_actions(idx, actions, now);
+        self.sync_cs(idx, now);
+    }
+
+    /// Reports carrier-sense edges to the MAC.
+    fn sync_cs(&mut self, idx: usize, now: SimTime) {
+        let busy = self.nodes[idx].phy.carrier_busy();
+        if busy != self.nodes[idx].cs_reported {
+            self.nodes[idx].cs_reported = busy;
+            let mut actions = Vec::new();
+            if busy {
+                self.nodes[idx].mac.on_channel_busy(now, &mut actions);
+            } else {
+                self.nodes[idx].mac.on_channel_idle(now, &mut actions);
+            }
+            self.apply_mac_actions(idx, actions, now);
+        }
+    }
+
+    // --- reporting -------------------------------------------------------------
+
+    fn delivered_bytes(&self, spec: &FlowSpec) -> u64 {
+        match spec.traffic {
+            Traffic::SaturatedUdp { .. } | Traffic::CbrUdp { .. } => self.nodes
+                [spec.dst.index()]
+            .udp_sinks
+            .get(&spec.id)
+            .map(|s| s.payload_bytes)
+            .unwrap_or(0),
+            Traffic::BulkTcp { .. } => self.nodes[spec.dst.index()]
+                .tcp_receivers
+                .get(&spec.id)
+                .map(|r| r.delivered_bytes())
+                .unwrap_or(0),
+        }
+    }
+
+    fn report(&mut self) -> RunReport {
+        // Fold the tail span into each station's airtime ledger.
+        let end = (SimTime::ZERO + self.duration).max(self.sim.now());
+        for n in &mut self.nodes {
+            n.phy.account_airtime(end);
+        }
+        let window = (self.duration - self.warmup).as_secs_f64();
+        let flows = self
+            .flows
+            .iter()
+            .map(|f| {
+                let delivered_bytes = self.delivered_bytes(f);
+                let measured =
+                    delivered_bytes.saturating_sub(*self.snapshot.get(&f.id).unwrap_or(&0));
+                let (mean_delay_ms, max_delay_ms) = self.nodes[f.dst.index()]
+                    .udp_sinks
+                    .get(&f.id)
+                    .map(|s| (s.mean_delay_ms(), s.delay_max_ns as f64 / 1e6))
+                    .unwrap_or((0.0, 0.0));
+                let (offered, delivered_packets, loss) = match f.traffic {
+                    Traffic::SaturatedUdp { .. } | Traffic::CbrUdp { .. } => {
+                        let offered = self.nodes[f.src.index()]
+                            .saturated_sources
+                            .get(&f.id)
+                            .map(|s| s.emitted())
+                            .or_else(|| {
+                                self.nodes[f.src.index()]
+                                    .cbr_sources
+                                    .get(&f.id)
+                                    .map(|s| s.emitted())
+                            })
+                            .unwrap_or(0);
+                        let got = self.nodes[f.dst.index()]
+                            .udp_sinks
+                            .get(&f.id)
+                            .map(|s| s.datagrams)
+                            .unwrap_or(0);
+                        let loss = if offered > 0 {
+                            1.0 - got as f64 / offered as f64
+                        } else {
+                            0.0
+                        };
+                        (offered, got, loss)
+                    }
+                    Traffic::BulkTcp { mss } => {
+                        let offered = self.nodes[f.src.index()]
+                            .tcp_senders
+                            .get(&f.id)
+                            .map(|s| s.stats().segments_sent)
+                            .unwrap_or(0);
+                        (offered, delivered_bytes / mss as u64, 0.0)
+                    }
+                };
+                FlowReport {
+                    flow: f.id,
+                    src: f.src,
+                    dst: f.dst,
+                    offered_packets: offered,
+                    delivered_bytes,
+                    delivered_packets,
+                    measured_bytes: measured,
+                    throughput_kbps: measured as f64 * 8.0 / window / 1000.0,
+                    loss_rate: loss.clamp(0.0, 1.0),
+                    mean_delay_ms,
+                    max_delay_ms,
+                }
+            })
+            .collect();
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| NodeReport {
+                node: n.id,
+                mac: n.mac.counters(),
+                phy: n.phy.counters(),
+                arf: n.mac.arf_counters(),
+                final_data_rate: n.mac.current_data_rate(),
+                airtime: n.phy.airtime(),
+            })
+            .collect();
+        RunReport {
+            duration: self.duration,
+            warmup: self.warmup,
+            flows,
+            nodes,
+            events: self.sim.events_dispatched(),
+        }
+    }
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("stations", &self.nodes.len())
+            .field("flows", &self.flows.len())
+            .field("now", &self.sim.now())
+            .field("pending", &self.sim.pending())
+            .finish()
+    }
+}

@@ -1,0 +1,245 @@
+//! The pending-event set: a priority queue ordered by `(time, sequence)`.
+//!
+//! Two properties matter for reproducible simulation:
+//!
+//! * **Deterministic tie-break.** Events scheduled for the same instant pop
+//!   in the order they were scheduled (FIFO), never in heap-internal order.
+//! * **O(log n) cancellation.** Timers (ACK timeouts, backoff expiry) are
+//!   cancelled far more often than they fire. Cancellation marks the entry
+//!   dead via its sequence number; dead entries are skipped lazily on pop.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// A handle to a scheduled event, used to cancel it before it fires.
+///
+/// Handles are cheap to copy and remain valid (but inert) after the event
+/// has fired or been cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle {
+    seq: u64,
+}
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) wins.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A cancellable future-event set ordered by `(time, insertion order)`.
+///
+/// This is the scheduling core used by [`crate::Simulator`]; it can also be
+/// used directly when the caller wants to manage the clock itself.
+///
+/// # Example
+///
+/// ```
+/// use desim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// let h = q.push(SimTime::from_micros(10), "timeout");
+/// q.push(SimTime::from_micros(10), "same-instant, scheduled later");
+/// assert!(q.cancel(h));
+/// let (_, ev) = q.pop().expect("one live event left");
+/// assert_eq!(ev, "same-instant, scheduled later");
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Sequence numbers of entries still in the heap and not cancelled.
+    pending: HashSet<u64>,
+    /// Sequence numbers cancelled while still in the heap; their entries
+    /// are skipped (and the mark dropped) when they surface in `pop`.
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `time` and returns a cancellation handle.
+    pub fn push(&mut self, time: SimTime, event: E) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+        self.pending.insert(seq);
+        EventHandle { seq }
+    }
+
+    /// Cancels a scheduled event.
+    ///
+    /// Returns `true` if the event was still pending, `false` if it had
+    /// already fired or been cancelled (in which case nothing changes).
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if self.pending.remove(&handle.seq) {
+            self.cancelled.insert(handle.seq);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns the earliest live event with its time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue; // skip dead entry
+            }
+            self.pending.remove(&entry.seq);
+            return Some((entry.time, entry.event));
+        }
+        None
+    }
+
+    /// The time of the earliest live event, if any, without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(entry.time);
+            }
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if no live events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("live", &self.pending.len())
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), "c");
+        q.push(t(10), "a");
+        q.push(t(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_instant_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let h1 = q.push(t(10), 1);
+        let h2 = q.push(t(20), 2);
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(h1));
+        assert!(!q.cancel(h1), "double cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(20), 2)));
+        assert!(!q.cancel(h2), "cancelling a fired event reports false");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let h = q.push(t(10), 1);
+        q.push(t(20), 2);
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(t(20)));
+        assert_eq!(q.pop(), Some((t(20), 2)));
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn bogus_handle_is_rejected() {
+        let mut q = EventQueue::<u32>::new();
+        let h = q.push(t(1), 7);
+        let mut other = EventQueue::<u32>::new();
+        // A handle minted by a different queue with a higher seq is inert.
+        for _ in 0..3 {
+            other.push(t(1), 0);
+        }
+        let foreign = other.push(t(1), 0);
+        assert!(!q.cancel(foreign));
+        assert!(q.cancel(h));
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(t(10), "a");
+        let (time, e) = q.pop().expect("event pending");
+        assert_eq!((time, e), (t(10), "a"));
+        q.push(time + SimDuration::from_micros(5), "b");
+        q.push(time + SimDuration::from_micros(1), "c");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("c"));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the event-queue and time invariants.
+
+use desim::{EventQueue, SimDuration, SimTime, Simulator};
+use proptest::prelude::*;
+
+proptest! {
+    /// Popping always yields events in non-decreasing time order, with FIFO
+    /// order among equal times, regardless of the push order.
+    #[test]
+    fn queue_pops_sorted_stable(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_micros(t), (t, i));
+        }
+        let mut last: Option<(u64, usize)> = None;
+        while let Some((at, (t, i))) = q.pop() {
+            prop_assert_eq!(at, SimTime::from_micros(t));
+            if let Some((lt, li)) = last {
+                prop_assert!(t > lt || (t == lt && i > li), "order violated: ({lt},{li}) then ({t},{i})");
+            }
+            last = Some((t, i));
+        }
+        prop_assert!(q.is_empty());
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn queue_cancellation_exact(
+        times in proptest::collection::vec(0u64..100, 1..100),
+        mask in proptest::collection::vec(any::<bool>(), 100),
+    ) {
+        let mut q = EventQueue::new();
+        let handles: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, q.push(SimTime::from_micros(t), i)))
+            .collect();
+        let mut kept = Vec::new();
+        for (i, h) in &handles {
+            if mask[*i % mask.len()] {
+                prop_assert!(q.cancel(*h));
+                prop_assert!(!q.cancel(*h));
+            } else {
+                kept.push(*i);
+            }
+        }
+        prop_assert_eq!(q.len(), kept.len());
+        let mut popped: Vec<usize> = Vec::new();
+        while let Some((_, i)) = q.pop() {
+            popped.push(i);
+        }
+        popped.sort_unstable();
+        kept.sort_unstable();
+        prop_assert_eq!(popped, kept);
+    }
+
+    /// The simulator clock is monotone over any schedule of relative delays.
+    #[test]
+    fn simulator_clock_monotone(delays in proptest::collection::vec(0u64..10_000, 1..100)) {
+        let mut sim = Simulator::new();
+        for &d in &delays {
+            sim.schedule_in(SimDuration::from_nanos(d), d);
+        }
+        let mut prev = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((t, _)) = sim.pop() {
+            prop_assert!(t >= prev);
+            prev = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, delays.len());
+        prop_assert_eq!(sim.events_dispatched(), delays.len() as u64);
+    }
+
+    /// Time arithmetic: (t + d) - t == d and ordering is consistent.
+    #[test]
+    fn time_arithmetic_roundtrip(base in 0u64..1_000_000_000, delta in 0u64..1_000_000_000) {
+        let t = SimTime::from_nanos(base);
+        let d = SimDuration::from_nanos(delta);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert!(t + d >= t);
+    }
+
+    /// Duration float conversions round-trip within one nanosecond.
+    #[test]
+    fn duration_float_roundtrip(ns in 0u64..1_000_000_000_000) {
+        let d = SimDuration::from_nanos(ns);
+        let via_f64 = SimDuration::from_secs_f64(d.as_secs_f64());
+        let err = via_f64.as_nanos().abs_diff(d.as_nanos());
+        // f64 has 53 bits of mantissa; below ~2^53 ns the round trip is
+        // exact, and our range stays well below that.
+        prop_assert!(err <= 1, "round trip error {err} ns");
+    }
+}

@@ -1,0 +1,231 @@
+//! Auto Rate Fallback (ARF) — dynamic rate switching.
+//!
+//! The paper's §2 notes that "802.11b cards may implement a dynamic rate
+//! switching with the objective of improving performance" (the test-bed
+//! pinned the rate instead, to isolate per-rate behaviour). This module
+//! implements the classic ARF scheme of Kamerman & Monteban (WaveLAN-II,
+//! 1997), the algorithm 2002-era firmware actually shipped:
+//!
+//! * after [`ArfConfig::up_after`] consecutive successful transmissions,
+//!   step one rate up; the first frame at the new rate is a **probe**;
+//! * if the probe fails, fall straight back down;
+//! * outside probing, [`ArfConfig::down_after`] consecutive failures
+//!   step one rate down.
+//!
+//! Success/failure is counted per transmission attempt (each MAC ACK is
+//! a success, each ACK/CTS timeout a failure), which is what firmware
+//! observes.
+
+use dot11_phy::PhyRate;
+
+/// ARF tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArfConfig {
+    /// Whether ARF drives the data rate at all (off = fixed rate, as in
+    /// the paper's test-bed).
+    pub enabled: bool,
+    /// Consecutive successes before probing the next rate up.
+    pub up_after: u32,
+    /// Consecutive failures before stepping down (outside a probe).
+    pub down_after: u32,
+}
+
+impl ArfConfig {
+    /// Classic WaveLAN-II parameters: up after 10, down after 2.
+    pub fn classic() -> ArfConfig {
+        ArfConfig { enabled: true, up_after: 10, down_after: 2 }
+    }
+
+    /// ARF disabled (fixed-rate operation).
+    pub fn disabled() -> ArfConfig {
+        ArfConfig { enabled: false, up_after: 10, down_after: 2 }
+    }
+}
+
+impl Default for ArfConfig {
+    fn default() -> Self {
+        ArfConfig::disabled()
+    }
+}
+
+/// Cumulative ARF statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArfCounters {
+    /// Rate increases committed (probe succeeded).
+    pub up_steps: u64,
+    /// Rate decreases (including failed probes).
+    pub down_steps: u64,
+    /// Probes that failed and fell straight back.
+    pub failed_probes: u64,
+}
+
+/// Per-station ARF state.
+#[derive(Debug, Clone, Copy)]
+pub struct ArfState {
+    cfg: ArfConfig,
+    rate: PhyRate,
+    successes: u32,
+    failures: u32,
+    probing: bool,
+    counters: ArfCounters,
+}
+
+impl ArfState {
+    /// Starts at `initial` (the configured NIC rate).
+    pub fn new(cfg: ArfConfig, initial: PhyRate) -> ArfState {
+        ArfState {
+            cfg,
+            rate: initial,
+            successes: 0,
+            failures: 0,
+            probing: false,
+            counters: ArfCounters::default(),
+        }
+    }
+
+    /// The rate the next data frame should use.
+    pub fn rate(&self) -> PhyRate {
+        self.rate
+    }
+
+    /// True while the current rate is an uncommitted upward probe.
+    pub fn is_probing(&self) -> bool {
+        self.probing
+    }
+
+    /// Statistics.
+    pub fn counters(&self) -> ArfCounters {
+        self.counters
+    }
+
+    /// A transmission at the current rate was acknowledged.
+    pub fn on_success(&mut self) {
+        if !self.cfg.enabled {
+            return;
+        }
+        self.failures = 0;
+        if self.probing {
+            // Probe confirmed: commit the new rate.
+            self.probing = false;
+            self.counters.up_steps += 1;
+            self.successes = 0;
+            return;
+        }
+        self.successes += 1;
+        if self.successes >= self.cfg.up_after {
+            self.successes = 0;
+            if let Some(up) = self.rate.step_up() {
+                self.rate = up;
+                self.probing = true;
+            }
+        }
+    }
+
+    /// A transmission at the current rate failed (ACK/CTS timeout chain
+    /// exhausted or a retry, depending on the caller's granularity).
+    pub fn on_failure(&mut self) {
+        if !self.cfg.enabled {
+            return;
+        }
+        self.successes = 0;
+        if self.probing {
+            // Failed probe: straight back down.
+            self.probing = false;
+            self.counters.failed_probes += 1;
+            self.counters.down_steps += 1;
+            self.rate = self.rate.step_down().unwrap_or(self.rate);
+            self.failures = 0;
+            return;
+        }
+        self.failures += 1;
+        if self.failures >= self.cfg.down_after {
+            self.failures = 0;
+            if let Some(down) = self.rate.step_down() {
+                self.rate = down;
+                self.counters.down_steps += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_arf_never_moves() {
+        let mut a = ArfState::new(ArfConfig::disabled(), PhyRate::R5_5);
+        for _ in 0..100 {
+            a.on_success();
+        }
+        for _ in 0..100 {
+            a.on_failure();
+        }
+        assert_eq!(a.rate(), PhyRate::R5_5);
+        assert_eq!(a.counters(), ArfCounters::default());
+    }
+
+    #[test]
+    fn ten_successes_probe_up_and_commit() {
+        let mut a = ArfState::new(ArfConfig::classic(), PhyRate::R2);
+        for _ in 0..9 {
+            a.on_success();
+            assert_eq!(a.rate(), PhyRate::R2);
+        }
+        a.on_success();
+        assert_eq!(a.rate(), PhyRate::R5_5, "10th success probes up");
+        assert!(a.is_probing());
+        a.on_success();
+        assert!(!a.is_probing(), "probe success commits");
+        assert_eq!(a.counters().up_steps, 1);
+    }
+
+    #[test]
+    fn failed_probe_falls_straight_back() {
+        let mut a = ArfState::new(ArfConfig::classic(), PhyRate::R2);
+        for _ in 0..10 {
+            a.on_success();
+        }
+        assert_eq!(a.rate(), PhyRate::R5_5);
+        a.on_failure();
+        assert_eq!(a.rate(), PhyRate::R2, "single probe failure reverts");
+        assert_eq!(a.counters().failed_probes, 1);
+    }
+
+    #[test]
+    fn two_failures_step_down() {
+        let mut a = ArfState::new(ArfConfig::classic(), PhyRate::R11);
+        a.on_failure();
+        assert_eq!(a.rate(), PhyRate::R11, "one failure is tolerated");
+        a.on_failure();
+        assert_eq!(a.rate(), PhyRate::R5_5);
+        a.on_failure();
+        a.on_failure();
+        assert_eq!(a.rate(), PhyRate::R2);
+        assert_eq!(a.counters().down_steps, 2);
+    }
+
+    #[test]
+    fn ladder_saturates_at_both_ends() {
+        let mut a = ArfState::new(ArfConfig::classic(), PhyRate::R1);
+        for _ in 0..10 {
+            a.on_failure();
+        }
+        assert_eq!(a.rate(), PhyRate::R1, "cannot go below 1 Mb/s");
+        let mut b = ArfState::new(ArfConfig::classic(), PhyRate::R11);
+        for _ in 0..50 {
+            b.on_success();
+        }
+        assert_eq!(b.rate(), PhyRate::R11, "cannot go above 11 Mb/s");
+        assert!(!b.is_probing());
+    }
+
+    #[test]
+    fn success_resets_failure_streak() {
+        let mut a = ArfState::new(ArfConfig::classic(), PhyRate::R11);
+        a.on_failure();
+        a.on_success();
+        a.on_failure();
+        assert_eq!(a.rate(), PhyRate::R11, "non-consecutive failures don't step down");
+    }
+}

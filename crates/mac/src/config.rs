@@ -1,0 +1,94 @@
+//! Per-station MAC configuration.
+
+use dot11_phy::{PhyRate, Preamble};
+
+use crate::arf::ArfConfig;
+use crate::timing::MacTiming;
+
+/// Configuration of one station's DCF MAC.
+#[derive(Debug, Clone, Copy)]
+pub struct MacConfig {
+    /// Rate used for data MPDUs (the NIC rate, fixed per experiment as in
+    /// the paper's test-bed).
+    pub data_rate: PhyRate,
+    /// Rate used for RTS/CTS/ACK. The standard requires a basic-set rate;
+    /// the test-bed's basic set is {1, 2} Mb/s and by default control
+    /// goes at the highest basic rate not above the data rate.
+    pub control_rate: PhyRate,
+    /// Whether the RTS/CTS exchange precedes data frames.
+    pub rts_enabled: bool,
+    /// Maximum transmissions of an RTS or of a basic-access data frame
+    /// (dot11ShortRetryLimit).
+    pub short_retry_limit: u32,
+    /// Maximum transmissions of a data frame protected by RTS/CTS
+    /// (dot11LongRetryLimit).
+    pub long_retry_limit: u32,
+    /// Interface queue capacity, MSDUs.
+    pub queue_capacity: usize,
+    /// Timing constants.
+    pub timing: MacTiming,
+    /// PLCP preamble in use.
+    pub preamble: Preamble,
+    /// Whether EIFS is applied after undecodable frames (ablation D3
+    /// disables it).
+    pub eifs_enabled: bool,
+    /// Dynamic rate switching (ARF). Disabled by default — the paper's
+    /// test-bed pinned the NIC rate; enabling this reproduces what
+    /// shipping firmware did instead.
+    pub arf: ArfConfig,
+}
+
+impl MacConfig {
+    /// The paper's configuration at a given NIC rate: basic access
+    /// (RTS/CTS off), control at the matching basic rate, standard retry
+    /// limits, 50-packet interface queue.
+    pub fn new(data_rate: PhyRate) -> MacConfig {
+        MacConfig {
+            data_rate,
+            control_rate: data_rate.control_rate(),
+            rts_enabled: false,
+            short_retry_limit: 7,
+            long_retry_limit: 4,
+            queue_capacity: 50,
+            timing: MacTiming::dsss(),
+            preamble: Preamble::Long,
+            eifs_enabled: true,
+            arf: ArfConfig::disabled(),
+        }
+    }
+
+    /// The same configuration with the RTS/CTS mechanism on.
+    pub fn with_rts(mut self) -> MacConfig {
+        self.rts_enabled = true;
+        self
+    }
+
+    /// The same configuration with classic ARF rate switching on,
+    /// starting from the configured data rate.
+    pub fn with_arf(mut self) -> MacConfig {
+        self.arf = ArfConfig::classic();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_rate_follows_basic_set() {
+        assert_eq!(MacConfig::new(PhyRate::R11).control_rate, PhyRate::R2);
+        assert_eq!(MacConfig::new(PhyRate::R5_5).control_rate, PhyRate::R2);
+        assert_eq!(MacConfig::new(PhyRate::R2).control_rate, PhyRate::R2);
+        assert_eq!(MacConfig::new(PhyRate::R1).control_rate, PhyRate::R1);
+    }
+
+    #[test]
+    fn rts_toggle() {
+        let base = MacConfig::new(PhyRate::R11);
+        assert!(!base.rts_enabled);
+        assert!(base.with_rts().rts_enabled);
+        assert_eq!(base.short_retry_limit, 7);
+        assert_eq!(base.long_retry_limit, 4);
+    }
+}

@@ -1,0 +1,51 @@
+//! MAC-level statistics counters.
+
+/// Cumulative counters for one station's MAC.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MacCounters {
+    /// Data MPDU transmission attempts (including retransmissions).
+    pub data_tx: u64,
+    /// RTS transmissions.
+    pub rts_tx: u64,
+    /// CTS transmissions.
+    pub cts_tx: u64,
+    /// ACK transmissions.
+    pub ack_tx: u64,
+    /// MSDUs handed up to the network layer.
+    pub delivered: u64,
+    /// Duplicate data frames filtered by the `(src, tag)` cache.
+    pub duplicates: u64,
+    /// MSDUs completed successfully (MAC ACK received / broadcast sent).
+    pub tx_success: u64,
+    /// MSDUs dropped at the retry limit.
+    pub tx_dropped: u64,
+    /// MSDUs rejected because the interface queue was full.
+    pub queue_drops: u64,
+    /// Retransmission attempts (CTS or ACK timeouts).
+    pub retries: u64,
+    /// Times the EIFS deferral was used instead of DIFS.
+    pub eifs_defers: u64,
+    /// Times the NAV was set/extended by an overheard frame.
+    pub nav_updates: u64,
+    /// CTS suppressed because the NAV was busy when an RTS arrived.
+    pub cts_suppressed: u64,
+}
+
+impl MacCounters {
+    /// Total frames put on the air by this station.
+    pub fn total_tx(&self) -> u64 {
+        self.data_tx + self.rts_tx + self.cts_tx + self.ack_tx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_tx_sums_frame_classes() {
+        let c = MacCounters { data_tx: 3, rts_tx: 2, cts_tx: 1, ack_tx: 4, ..Default::default() };
+        assert_eq!(c.total_tx(), 10);
+        assert_eq!(MacCounters::default().total_tx(), 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! MAC frame formats and sizes.
+//!
+//! Sizes follow the paper's Table 1: the data MAC header (addresses,
+//! control fields **and** FCS, which the paper folds into the header) is
+//! 272 bits = 34 bytes. Control frames use their standard lengths: RTS
+//! 20 bytes, CTS and ACK 14 bytes (112 bits, as in Table 1's ACK row).
+
+use desim::SimDuration;
+use dot11_phy::NodeId;
+
+/// MAC header + FCS overhead of a data frame, bytes (272 bits, Table 1).
+pub const DATA_HEADER_BYTES: u32 = 34;
+/// RTS frame length, bytes (160 bits).
+pub const RTS_BYTES: u32 = 20;
+/// CTS frame length, bytes (112 bits).
+pub const CTS_BYTES: u32 = 14;
+/// ACK frame length, bytes (112 bits, Table 1).
+pub const ACK_BYTES: u32 = 14;
+
+/// The broadcast destination address.
+pub const BROADCAST: NodeId = NodeId(u32::MAX);
+
+/// What the upper layer hands to the MAC for transmission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MacSdu<P> {
+    /// Destination station ([`BROADCAST`] for broadcast).
+    pub dst: NodeId,
+    /// MSDU length in bytes (the network-layer packet size).
+    pub bytes: u32,
+    /// Caller-chosen identifier reported back in
+    /// [`crate::MacAction::TxStatus`]; retransmissions keep the tag, and
+    /// the receiver MAC uses `(src, tag)` to filter duplicates.
+    pub tag: u64,
+    /// Opaque upper-layer payload carried through to the receiver.
+    pub payload: P,
+}
+
+/// Frame type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A data frame carrying an MSDU.
+    Data,
+    /// Request-to-send.
+    Rts,
+    /// Clear-to-send.
+    Cts,
+    /// MAC-level acknowledgement.
+    Ack,
+}
+
+/// A MAC frame on the air.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MacFrame<P> {
+    /// Frame type.
+    pub kind: FrameKind,
+    /// Transmitting station.
+    pub src: NodeId,
+    /// Addressed station (receiver address).
+    pub dst: NodeId,
+    /// The Duration/ID field: how long the medium is reserved beyond this
+    /// frame. Third-party stations load it into their NAV.
+    pub duration: SimDuration,
+    /// MPDU length on the air, bytes (header + payload for data frames).
+    pub mpdu_bytes: u32,
+    /// Upper-layer identifier (data frames only; 0 otherwise).
+    pub tag: u64,
+    /// The carried MSDU payload (data frames only).
+    pub payload: Option<P>,
+}
+
+impl<P> MacFrame<P> {
+    /// True if this frame is addressed to `node` specifically.
+    pub fn addressed_to(&self, node: NodeId) -> bool {
+        self.dst == node
+    }
+
+    /// True if this is a broadcast frame.
+    pub fn is_broadcast(&self) -> bool {
+        self.dst == BROADCAST
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_sizes_in_bits() {
+        assert_eq!(DATA_HEADER_BYTES * 8, 272);
+        assert_eq!(ACK_BYTES * 8, 112);
+        assert_eq!(CTS_BYTES * 8, 112);
+        assert_eq!(RTS_BYTES * 8, 160);
+    }
+
+    #[test]
+    fn addressing_predicates() {
+        let f: MacFrame<()> = MacFrame {
+            kind: FrameKind::Ack,
+            src: NodeId(1),
+            dst: NodeId(2),
+            duration: SimDuration::ZERO,
+            mpdu_bytes: ACK_BYTES,
+            tag: 0,
+            payload: None,
+        };
+        assert!(f.addressed_to(NodeId(2)));
+        assert!(!f.addressed_to(NodeId(1)));
+        assert!(!f.is_broadcast());
+        let b = MacFrame { dst: BROADCAST, ..f };
+        assert!(b.is_broadcast());
+    }
+}

@@ -1,0 +1,97 @@
+//! MAC timing parameters (the paper's Table 1).
+
+use desim::SimDuration;
+use dot11_phy::{FrameAirtime, PhyRate, Preamble};
+
+use crate::frame::ACK_BYTES;
+
+/// The DCF timing constants.
+///
+/// Defaults are exactly the paper's Table 1: slot 20 µs, SIFS 10 µs,
+/// DIFS 50 µs, CWmin 32 slots, CWmax 1024 slots, propagation delay
+/// τ = 1 µs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MacTiming {
+    /// Slot time.
+    pub slot: SimDuration,
+    /// Short interframe space.
+    pub sifs: SimDuration,
+    /// DCF interframe space (SIFS + 2 slots).
+    pub difs: SimDuration,
+    /// Minimum contention window, slots.
+    pub cw_min: u32,
+    /// Maximum contention window, slots.
+    pub cw_max: u32,
+    /// One-way propagation delay budgeted in timeouts (Table 1's τ).
+    pub propagation: SimDuration,
+}
+
+impl MacTiming {
+    /// 802.11b DSSS values (Table 1).
+    pub fn dsss() -> MacTiming {
+        MacTiming {
+            slot: SimDuration::from_micros(20),
+            sifs: SimDuration::from_micros(10),
+            difs: SimDuration::from_micros(50),
+            cw_min: 32,
+            cw_max: 1024,
+            propagation: SimDuration::from_micros(1),
+        }
+    }
+
+    /// Extended interframe space used after a frame is sensed but not
+    /// decoded: `SIFS + DIFS + T_ACK` at the lowest basic rate
+    /// (802.11-1999 §9.2.3.4).
+    pub fn eifs(&self, preamble: Preamble) -> SimDuration {
+        let ack_at_1mbps = FrameAirtime::new(ACK_BYTES, PhyRate::R1, preamble).total();
+        self.sifs + self.difs + ack_at_1mbps
+    }
+
+    /// How long a transmitter waits for a CTS/ACK response before
+    /// declaring the attempt failed: SIFS + response airtime + a slot of
+    /// slack + two propagation delays.
+    pub fn response_timeout(&self, response_air: SimDuration) -> SimDuration {
+        self.sifs + response_air + self.slot + self.propagation * 2
+    }
+}
+
+impl Default for MacTiming {
+    fn default() -> Self {
+        MacTiming::dsss()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        let t = MacTiming::dsss();
+        assert_eq!(t.slot.as_micros(), 20);
+        assert_eq!(t.sifs.as_micros(), 10);
+        assert_eq!(t.difs.as_micros(), 50);
+        assert_eq!(t.cw_min, 32);
+        assert_eq!(t.cw_max, 1024);
+        assert_eq!(t.propagation.as_micros(), 1);
+        // DIFS = SIFS + 2 slots, as the standard derives it.
+        assert_eq!(t.difs, t.sifs + t.slot * 2);
+    }
+
+    #[test]
+    fn eifs_is_sifs_difs_plus_ack_at_1mbps() {
+        let t = MacTiming::dsss();
+        // ACK at 1 Mb/s behind a long preamble: 192 + 112 = 304 µs.
+        assert_eq!(t.eifs(Preamble::Long).as_micros(), 10 + 50 + 304);
+        assert_eq!(t.eifs(Preamble::Short).as_micros(), 10 + 50 + 96 + 112);
+    }
+
+    #[test]
+    fn response_timeout_covers_the_response() {
+        let t = MacTiming::dsss();
+        let cts_air = FrameAirtime::new(14, PhyRate::R2, Preamble::Long).total();
+        let timeout = t.response_timeout(cts_air);
+        assert!(timeout > t.sifs + cts_air);
+        assert_eq!(timeout.as_micros(), 10 + 248 + 20 + 2);
+    }
+}

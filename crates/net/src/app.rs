@@ -1,0 +1,195 @@
+//! Application-layer traffic sources.
+//!
+//! The paper's workloads: a CBR generator over UDP and an asymptotic
+//! ("always has packets") source used for both the saturated-UDP and the
+//! loss-probe experiments.
+
+use desim::{SimDuration, SimTime};
+use dot11_phy::NodeId;
+
+use crate::packet::{FlowId, Packet, Segment};
+
+/// A constant-bit-rate UDP source: one `payload_bytes` datagram every
+/// `interval`.
+///
+/// # Example
+///
+/// ```
+/// use dot11_net::CbrSource;
+/// use dot11_phy::NodeId;
+/// use desim::{SimDuration, SimTime};
+///
+/// let mut cbr = CbrSource::new(
+///     dot11_net::FlowId(0), NodeId(0), NodeId(1),
+///     512, SimDuration::from_millis(10), Some(3),
+/// );
+/// let (p, next) = cbr.tick(SimTime::ZERO).expect("first packet");
+/// assert_eq!(p.payload_bytes, 512);
+/// assert_eq!(next, Some(SimTime::ZERO + SimDuration::from_millis(10)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CbrSource {
+    flow: FlowId,
+    src: NodeId,
+    dst: NodeId,
+    payload_bytes: u32,
+    interval: SimDuration,
+    limit: Option<u64>,
+    next_seq: u64,
+}
+
+impl CbrSource {
+    /// Creates a CBR source. `limit` bounds the number of datagrams
+    /// (`None` = unbounded).
+    pub fn new(
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        payload_bytes: u32,
+        interval: SimDuration,
+        limit: Option<u64>,
+    ) -> CbrSource {
+        CbrSource { flow, src, dst, payload_bytes, interval, limit, next_seq: 0 }
+    }
+
+    /// Datagrams emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Emits the datagram due at `now` and reports when the next one is
+    /// due (`None` when the limit is reached).
+    pub fn tick(&mut self, now: SimTime) -> Option<(Packet, Option<SimTime>)> {
+        if let Some(limit) = self.limit {
+            if self.next_seq >= limit {
+                return None;
+            }
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let done = self.limit.is_some_and(|l| self.next_seq >= l);
+        let packet = Packet {
+            flow: self.flow,
+            src: self.src,
+            dst: self.dst,
+            seg: Segment::Udp { seq },
+            payload_bytes: self.payload_bytes,
+            sent_at: now,
+        };
+        let next = if done { None } else { Some(now + self.interval) };
+        Some((packet, next))
+    }
+}
+
+/// An asymptotic UDP source: keeps the interface queue topped up so the
+/// MAC always has a frame ready — the paper's saturated-CBR condition.
+#[derive(Debug, Clone)]
+pub struct SaturatedSource {
+    flow: FlowId,
+    src: NodeId,
+    dst: NodeId,
+    payload_bytes: u32,
+    /// How many packets to keep queued at the interface.
+    backlog: usize,
+    next_seq: u64,
+}
+
+impl SaturatedSource {
+    /// Creates a source that keeps `backlog` datagrams queued.
+    pub fn new(
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        payload_bytes: u32,
+        backlog: usize,
+    ) -> SaturatedSource {
+        SaturatedSource { flow, src, dst, payload_bytes, backlog, next_seq: 0 }
+    }
+
+    /// Datagrams emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Produces enough datagrams to restore the backlog given the current
+    /// interface-queue occupancy.
+    pub fn refill(&mut self, queued: usize, now: SimTime) -> Vec<Packet> {
+        let want = self.backlog.saturating_sub(queued);
+        (0..want)
+            .map(|_| {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                Packet {
+                    flow: self.flow,
+                    src: self.src,
+                    dst: self.dst,
+                    seg: Segment::Udp { seq },
+                    payload_bytes: self.payload_bytes,
+                    sent_at: now,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cbr_paces_and_numbers_datagrams() {
+        let mut cbr = CbrSource::new(
+            FlowId(1),
+            NodeId(0),
+            NodeId(1),
+            512,
+            SimDuration::from_millis(5),
+            None,
+        );
+        let (p0, n0) = cbr.tick(SimTime::ZERO).expect("packet");
+        let (p1, _) = cbr.tick(n0.expect("next due")).expect("packet");
+        assert_eq!((p0.payload_bytes, p1.payload_bytes), (512, 512));
+        assert!(matches!(p0.seg, Segment::Udp { seq: 0 }));
+        assert!(matches!(p1.seg, Segment::Udp { seq: 1 }));
+        assert_eq!(cbr.emitted(), 2);
+    }
+
+    #[test]
+    fn cbr_limit_stops_the_source() {
+        let mut cbr = CbrSource::new(
+            FlowId(1),
+            NodeId(0),
+            NodeId(1),
+            100,
+            SimDuration::from_millis(1),
+            Some(2),
+        );
+        let (_, n0) = cbr.tick(SimTime::ZERO).expect("packet 0");
+        assert!(n0.is_some());
+        let (_, n1) = cbr.tick(n0.expect("due")).expect("packet 1");
+        assert_eq!(n1, None, "limit reached: no next tick");
+        assert!(cbr.tick(SimTime::from_secs(1)).is_none());
+    }
+
+    #[test]
+    fn saturated_source_tops_up_to_backlog() {
+        let mut s = SaturatedSource::new(FlowId(0), NodeId(0), NodeId(1), 512, 5);
+        let first = s.refill(0, SimTime::ZERO);
+        assert_eq!(first.len(), 5);
+        let again = s.refill(5, SimTime::ZERO);
+        assert!(again.is_empty());
+        let partial = s.refill(3, SimTime::ZERO);
+        assert_eq!(partial.len(), 2);
+        // Sequence numbers are continuous across refills.
+        let seqs: Vec<u64> = first
+            .iter()
+            .chain(partial.iter())
+            .map(|p| match p.seg {
+                Segment::Udp { seq } => seq,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(seqs, (0..7).collect::<Vec<_>>());
+        assert_eq!(s.emitted(), 7);
+    }
+}

@@ -1,0 +1,125 @@
+//! The size-accounting packet model (the paper's Figure 1 encapsulation).
+
+use desim::SimTime;
+use dot11_phy::NodeId;
+
+/// IPv4 header, bytes (no options).
+pub const IP_HEADER_BYTES: u32 = 20;
+/// UDP header, bytes.
+pub const UDP_HEADER_BYTES: u32 = 8;
+/// TCP header, bytes (no options).
+pub const TCP_HEADER_BYTES: u32 = 20;
+
+/// Identifier of an end-to-end flow (one sender/receiver session).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FlowId(pub u32);
+
+impl std::fmt::Display for FlowId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "flow{}", self.0)
+    }
+}
+
+/// Transport-layer content of a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Segment {
+    /// A UDP datagram, numbered by the source for loss accounting.
+    Udp {
+        /// Datagram sequence number (source-assigned, starting at 0).
+        seq: u64,
+    },
+    /// A TCP segment (data, pure ACK, or both roles use the same shape).
+    Tcp {
+        /// Sequence number of the first payload byte.
+        seq: u64,
+        /// Cumulative acknowledgement number.
+        ack: u64,
+    },
+}
+
+/// A network-layer packet in flight.
+///
+/// # Example
+///
+/// ```
+/// use dot11_net::{FlowId, Packet, Segment};
+/// use dot11_phy::NodeId;
+/// use desim::SimTime;
+///
+/// let p = Packet {
+///     flow: FlowId(0),
+///     src: NodeId(0),
+///     dst: NodeId(1),
+///     seg: Segment::Udp { seq: 0 },
+///     payload_bytes: 512,
+///     sent_at: SimTime::ZERO,
+/// };
+/// // 512 B of application data costs 512 + 8 (UDP) + 20 (IP) on the wire.
+/// assert_eq!(p.wire_bytes(), 540);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// The flow this packet belongs to.
+    pub flow: FlowId,
+    /// Source station.
+    pub src: NodeId,
+    /// Destination station.
+    pub dst: NodeId,
+    /// Transport content.
+    pub seg: Segment,
+    /// Application payload bytes carried.
+    pub payload_bytes: u32,
+    /// When the transport layer emitted it (RTT sampling, delay stats).
+    pub sent_at: SimTime,
+}
+
+impl Packet {
+    /// The network-layer size handed to the MAC: payload + transport
+    /// header + IP header.
+    pub fn wire_bytes(&self) -> u32 {
+        let transport = match self.seg {
+            Segment::Udp { .. } => UDP_HEADER_BYTES,
+            Segment::Tcp { .. } => TCP_HEADER_BYTES,
+        };
+        self.payload_bytes + transport + IP_HEADER_BYTES
+    }
+
+    /// True for a TCP segment that carries no payload (a pure ACK).
+    pub fn is_pure_ack(&self) -> bool {
+        matches!(self.seg, Segment::Tcp { .. }) && self.payload_bytes == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn udp(payload: u32) -> Packet {
+        Packet {
+            flow: FlowId(1),
+            src: NodeId(0),
+            dst: NodeId(1),
+            seg: Segment::Udp { seq: 3 },
+            payload_bytes: payload,
+            sent_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn udp_wire_size_is_figure1_encapsulation() {
+        assert_eq!(udp(512).wire_bytes(), 512 + 8 + 20);
+        assert_eq!(udp(1024).wire_bytes(), 1024 + 28);
+        assert_eq!(udp(0).wire_bytes(), 28);
+    }
+
+    #[test]
+    fn tcp_wire_size_and_pure_ack() {
+        let data = Packet { seg: Segment::Tcp { seq: 0, ack: 0 }, payload_bytes: 512, ..udp(0) };
+        assert_eq!(data.wire_bytes(), 512 + 20 + 20);
+        assert!(!data.is_pure_ack());
+        let ack = Packet { seg: Segment::Tcp { seq: 0, ack: 512 }, payload_bytes: 0, ..udp(0) };
+        assert_eq!(ack.wire_bytes(), 40);
+        assert!(ack.is_pure_ack());
+        assert!(!udp(0).is_pure_ack(), "UDP is never a TCP ACK");
+    }
+}

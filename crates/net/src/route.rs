@@ -1,0 +1,132 @@
+//! Static routing for multi-hop ad hoc topologies.
+//!
+//! The paper's introduction motivates multi-hop ad hoc networking —
+//! "the addition of routing mechanisms at stations so that they can
+//! forward packets towards the intended destination" — and measures only
+//! the single-hop building block. This module provides the static
+//! routing substrate the multi-hop extension experiments use: the
+//! test-bed equivalent of manually configured routes over a static
+//! topology (no route discovery — the paper's scenarios are static by
+//! design, precisely to exclude route recomputation effects).
+
+use std::collections::HashMap;
+
+use dot11_phy::NodeId;
+
+/// A static next-hop table: `(at, final destination) → next hop`.
+///
+/// # Example
+///
+/// ```
+/// use dot11_net::StaticRoutes;
+/// use dot11_phy::NodeId;
+///
+/// // A 4-station chain: 0 - 1 - 2 - 3.
+/// let routes = StaticRoutes::chain(4);
+/// assert_eq!(routes.next_hop(NodeId(0), NodeId(3)), Some(NodeId(1)));
+/// assert_eq!(routes.next_hop(NodeId(2), NodeId(3)), Some(NodeId(3)));
+/// assert_eq!(routes.next_hop(NodeId(3), NodeId(0)), Some(NodeId(2)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StaticRoutes {
+    hops: HashMap<(NodeId, NodeId), NodeId>,
+}
+
+impl StaticRoutes {
+    /// An empty table (every destination is assumed directly reachable).
+    pub fn new() -> StaticRoutes {
+        StaticRoutes { hops: HashMap::new() }
+    }
+
+    /// Routes for a linear chain of `n` stations (ids `0..n`): packets
+    /// step one station at a time toward the destination, both ways.
+    pub fn chain(n: u32) -> StaticRoutes {
+        let mut r = StaticRoutes::new();
+        for at in 0..n {
+            for dst in 0..n {
+                if at == dst {
+                    continue;
+                }
+                let via = if dst > at { at + 1 } else { at - 1 };
+                r.add(NodeId(at), NodeId(dst), NodeId(via));
+            }
+        }
+        r
+    }
+
+    /// Adds (or replaces) the route `at → dst via next`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate routes (`at == dst`, `next == at`).
+    pub fn add(&mut self, at: NodeId, dst: NodeId, next: NodeId) -> &mut StaticRoutes {
+        assert_ne!(at, dst, "route to self");
+        assert_ne!(next, at, "route via self");
+        self.hops.insert((at, dst), next);
+        self
+    }
+
+    /// The configured next hop from `at` toward `dst`, if any. `None`
+    /// means "deliver directly" (single-hop assumption).
+    pub fn next_hop(&self, at: NodeId, dst: NodeId) -> Option<NodeId> {
+        self.hops.get(&(at, dst)).copied()
+    }
+
+    /// Number of configured entries.
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// True if no routes are configured.
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_routes_step_one_hop_at_a_time() {
+        let r = StaticRoutes::chain(5);
+        // Forward direction.
+        assert_eq!(r.next_hop(NodeId(0), NodeId(4)), Some(NodeId(1)));
+        assert_eq!(r.next_hop(NodeId(1), NodeId(4)), Some(NodeId(2)));
+        assert_eq!(r.next_hop(NodeId(3), NodeId(4)), Some(NodeId(4)));
+        // Reverse direction (TCP ACKs travel it).
+        assert_eq!(r.next_hop(NodeId(4), NodeId(0)), Some(NodeId(3)));
+        assert_eq!(r.next_hop(NodeId(1), NodeId(0)), Some(NodeId(0)));
+        // Adjacent stations deliver directly: chain() stores the direct
+        // hop explicitly.
+        assert_eq!(r.next_hop(NodeId(2), NodeId(3)), Some(NodeId(3)));
+    }
+
+    #[test]
+    fn unknown_pairs_mean_direct_delivery() {
+        let r = StaticRoutes::new();
+        assert_eq!(r.next_hop(NodeId(0), NodeId(9)), None);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn manual_routes_override() {
+        let mut r = StaticRoutes::chain(3);
+        let before = r.len();
+        r.add(NodeId(0), NodeId(2), NodeId(1)); // same as chain
+        assert_eq!(r.len(), before);
+        assert_eq!(r.next_hop(NodeId(0), NodeId(2)), Some(NodeId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "route to self")]
+    fn self_route_panics() {
+        StaticRoutes::new().add(NodeId(1), NodeId(1), NodeId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "route via self")]
+    fn via_self_panics() {
+        StaticRoutes::new().add(NodeId(1), NodeId(2), NodeId(1));
+    }
+}

@@ -1,0 +1,102 @@
+//! TCP Reno: sender, receiver, and RTO estimation.
+//!
+//! The connection model matches what the paper's test-bed ran (ftp over
+//! the Linux stack of 2002) at the fidelity the measurements depend on:
+//!
+//! * window-based self-clocking — the data rate is set by returning ACKs
+//!   crossing the same radio channel, which is why the paper's TCP
+//!   throughput sits visibly below UDP;
+//! * Reno loss recovery (triple-dupack fast retransmit + fast recovery,
+//!   RTO with exponential backoff) — MAC-level drops after retry
+//!   exhaustion look like congestion losses and halve the window, which
+//!   is how the four-station unfairness softens under TCP;
+//! * delayed ACKs (every 2nd segment or a 40 ms timeout).
+//!
+//! Connections start established (no handshake) and carry data one way;
+//! the reverse path carries pure ACKs. This mirrors the paper's
+//! unidirectional ftp sessions.
+
+mod receiver;
+mod rto;
+mod sender;
+
+pub use receiver::{TcpReceiver, TcpReceiverStats};
+pub use rto::RtoEstimator;
+pub use sender::{TcpSender, TcpSenderStats};
+
+use desim::SimDuration;
+
+use crate::packet::Packet;
+
+/// Tuning of one TCP connection.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpConfig {
+    /// Maximum segment size: application payload bytes per data segment.
+    /// The paper's experiments use 512-byte application packets.
+    pub mss: u32,
+    /// Initial congestion window, bytes.
+    pub initial_cwnd: u32,
+    /// Initial slow-start threshold, bytes.
+    pub initial_ssthresh: u32,
+    /// Receiver advertised window, bytes (2002-era Linux default: 32 KiB).
+    pub recv_window: u32,
+    /// Duplicate ACKs triggering fast retransmit.
+    pub dupack_threshold: u32,
+    /// Lower bound on the retransmission timeout.
+    pub min_rto: SimDuration,
+    /// Upper bound on the retransmission timeout.
+    pub max_rto: SimDuration,
+    /// RTO before the first RTT sample.
+    pub initial_rto: SimDuration,
+    /// Delayed-ACK: acknowledge every `ack_every`-th in-order segment…
+    pub ack_every: u32,
+    /// …or after this timeout, whichever comes first.
+    pub delack_timeout: SimDuration,
+}
+
+impl TcpConfig {
+    /// Defaults for an `mss`-byte-payload connection.
+    pub fn new(mss: u32) -> TcpConfig {
+        TcpConfig {
+            mss,
+            initial_cwnd: 2 * mss,
+            initial_ssthresh: 64 * 1024,
+            recv_window: 32 * 1024,
+            dupack_threshold: 3,
+            min_rto: SimDuration::from_millis(200),
+            max_rto: SimDuration::from_secs(60),
+            initial_rto: SimDuration::from_secs(1),
+            ack_every: 2,
+            delack_timeout: SimDuration::from_millis(40),
+        }
+    }
+}
+
+/// What a TCP endpoint asks its host to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TcpOutput {
+    /// Hand this packet to the interface (MAC) queue.
+    Send(Packet),
+    /// (Re)arm the retransmission timer.
+    ArmRto(SimDuration),
+    /// Cancel the retransmission timer.
+    CancelRto,
+    /// Arm the delayed-ACK timer.
+    ArmDelack(SimDuration),
+    /// Cancel the delayed-ACK timer.
+    CancelDelack,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_scale_with_mss() {
+        let c = TcpConfig::new(512);
+        assert_eq!(c.initial_cwnd, 1024);
+        assert_eq!(c.recv_window, 32 * 1024);
+        assert_eq!(c.dupack_threshold, 3);
+        assert!(c.min_rto < c.initial_rto && c.initial_rto < c.max_rto);
+    }
+}

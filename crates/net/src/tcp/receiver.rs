@@ -1,0 +1,280 @@
+//! The TCP receiving endpoint: reassembly and (delayed) ACK generation.
+
+use std::collections::BTreeMap;
+
+use desim::SimTime;
+use dot11_phy::NodeId;
+
+use crate::packet::{FlowId, Packet, Segment};
+use crate::tcp::{TcpConfig, TcpOutput};
+
+/// Cumulative receiver-side statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TcpReceiverStats {
+    /// Segments that arrived entirely below `rcv_nxt`.
+    pub duplicates: u64,
+    /// Segments buffered out of order.
+    pub out_of_order: u64,
+    /// ACK packets emitted.
+    pub acks_sent: u64,
+}
+
+/// The receiving half of a unidirectional TCP connection.
+///
+/// Generates cumulative ACKs with the delayed-ACK rule (every 2nd in-order
+/// segment or on the 40 ms timer), and immediate ACKs for out-of-order or
+/// duplicate segments — the dup-ACK stream that drives the sender's fast
+/// retransmit.
+#[derive(Debug)]
+pub struct TcpReceiver {
+    flow: FlowId,
+    /// This endpoint's station (the ACK source).
+    node: NodeId,
+    /// The data sender (the ACK destination).
+    peer: NodeId,
+    cfg: TcpConfig,
+    rcv_nxt: u64,
+    /// Out-of-order runs: start → end (exclusive).
+    ooo: BTreeMap<u64, u64>,
+    since_last_ack: u32,
+    delack_armed: bool,
+    stats: TcpReceiverStats,
+}
+
+impl TcpReceiver {
+    /// Creates the receiver for a flow whose data arrives `peer → node`.
+    pub fn new(flow: FlowId, node: NodeId, peer: NodeId, cfg: TcpConfig) -> TcpReceiver {
+        TcpReceiver {
+            flow,
+            node,
+            peer,
+            cfg,
+            rcv_nxt: 0,
+            ooo: BTreeMap::new(),
+            since_last_ack: 0,
+            delack_armed: false,
+            stats: TcpReceiverStats::default(),
+        }
+    }
+
+    /// Bytes delivered in order to the application so far.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.rcv_nxt
+    }
+
+    /// Receiver statistics.
+    pub fn stats(&self) -> TcpReceiverStats {
+        self.stats
+    }
+
+    /// Number of buffered out-of-order runs (diagnostic).
+    pub fn ooo_runs(&self) -> usize {
+        self.ooo.len()
+    }
+
+    /// Processes an arriving data segment.
+    pub fn on_segment(&mut self, seq: u64, len: u32, now: SimTime, out: &mut Vec<TcpOutput>) {
+        debug_assert!(len > 0, "zero-length data segment");
+        let end = seq + len as u64;
+        if end <= self.rcv_nxt {
+            // Entirely old: immediate ACK to resynchronize the sender.
+            self.stats.duplicates += 1;
+            self.emit_ack(now, out);
+        } else if seq <= self.rcv_nxt {
+            // In order (possibly partially overlapping).
+            self.rcv_nxt = end;
+            let had_holes = !self.ooo.is_empty();
+            self.drain_ooo();
+            if had_holes {
+                // Filling a hole: ACK immediately so the sender exits
+                // recovery promptly.
+                self.emit_ack(now, out);
+            } else {
+                self.since_last_ack += 1;
+                if self.since_last_ack >= self.cfg.ack_every {
+                    self.emit_ack(now, out);
+                } else if !self.delack_armed {
+                    self.delack_armed = true;
+                    out.push(TcpOutput::ArmDelack(self.cfg.delack_timeout));
+                }
+            }
+        } else {
+            // Out of order: buffer and send an immediate duplicate ACK.
+            self.stats.out_of_order += 1;
+            self.insert_ooo(seq, end);
+            self.emit_ack(now, out);
+        }
+    }
+
+    /// The delayed-ACK timer fired.
+    pub fn on_delack_timer(&mut self, now: SimTime, out: &mut Vec<TcpOutput>) {
+        self.delack_armed = false;
+        if self.since_last_ack > 0 {
+            self.emit_ack(now, out);
+        }
+    }
+
+    fn insert_ooo(&mut self, seq: u64, end: u64) {
+        // Merge with any overlapping or adjacent runs.
+        let mut start = seq;
+        let mut stop = end;
+        let overlapping: Vec<u64> = self
+            .ooo
+            .range(..=end)
+            .filter(|(_, &e)| e >= seq)
+            .map(|(&s, _)| s)
+            .collect();
+        for s in overlapping {
+            let e = self.ooo.remove(&s).expect("key just seen");
+            start = start.min(s);
+            stop = stop.max(e);
+        }
+        self.ooo.insert(start, stop);
+    }
+
+    fn drain_ooo(&mut self) {
+        while let Some((&s, &e)) = self.ooo.first_key_value() {
+            if s <= self.rcv_nxt {
+                self.ooo.remove(&s);
+                self.rcv_nxt = self.rcv_nxt.max(e);
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn emit_ack(&mut self, now: SimTime, out: &mut Vec<TcpOutput>) {
+        self.stats.acks_sent += 1;
+        self.since_last_ack = 0;
+        if self.delack_armed {
+            self.delack_armed = false;
+            out.push(TcpOutput::CancelDelack);
+        }
+        out.push(TcpOutput::Send(Packet {
+            flow: self.flow,
+            src: self.node,
+            dst: self.peer,
+            seg: Segment::Tcp { seq: 0, ack: self.rcv_nxt },
+            payload_bytes: 0,
+            sent_at: now,
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rx() -> TcpReceiver {
+        TcpReceiver::new(FlowId(0), NodeId(1), NodeId(0), TcpConfig::new(512))
+    }
+
+    fn acks(out: &[TcpOutput]) -> Vec<u64> {
+        out.iter()
+            .filter_map(|o| match o {
+                TcpOutput::Send(p) => match p.seg {
+                    Segment::Tcp { ack, .. } => Some(ack),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn every_second_segment_is_acked() {
+        let mut r = rx();
+        let mut out = Vec::new();
+        r.on_segment(0, 512, at(1), &mut out);
+        assert!(acks(&out).is_empty(), "first segment delays the ACK");
+        assert!(out.iter().any(|o| matches!(o, TcpOutput::ArmDelack(_))));
+        out.clear();
+        r.on_segment(512, 512, at(2), &mut out);
+        assert_eq!(acks(&out), vec![1024]);
+        assert_eq!(r.delivered_bytes(), 1024);
+    }
+
+    #[test]
+    fn delack_timer_flushes_pending_ack() {
+        let mut r = rx();
+        let mut out = Vec::new();
+        r.on_segment(0, 512, at(1), &mut out);
+        out.clear();
+        r.on_delack_timer(at(41), &mut out);
+        assert_eq!(acks(&out), vec![512]);
+        out.clear();
+        // No pending data: timer fires without emitting.
+        r.on_delack_timer(at(81), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn out_of_order_segment_triggers_immediate_dup_ack() {
+        let mut r = rx();
+        let mut out = Vec::new();
+        r.on_segment(0, 512, at(1), &mut out);
+        out.clear();
+        r.on_segment(1024, 512, at(2), &mut out); // hole at 512
+        assert_eq!(acks(&out), vec![512], "dup ack advertises rcv_nxt");
+        assert_eq!(r.ooo_runs(), 1);
+        out.clear();
+        r.on_segment(1536, 512, at(3), &mut out);
+        assert_eq!(acks(&out), vec![512]);
+        // Filling the hole delivers everything and acks immediately.
+        out.clear();
+        r.on_segment(512, 512, at(4), &mut out);
+        assert_eq!(acks(&out), vec![2048]);
+        assert_eq!(r.delivered_bytes(), 2048);
+        assert_eq!(r.ooo_runs(), 0);
+    }
+
+    #[test]
+    fn duplicate_old_segment_is_acked_immediately() {
+        let mut r = rx();
+        let mut out = Vec::new();
+        r.on_segment(0, 512, at(1), &mut out);
+        r.on_segment(512, 512, at(2), &mut out);
+        out.clear();
+        r.on_segment(0, 512, at(3), &mut out);
+        assert_eq!(acks(&out), vec![1024]);
+        assert_eq!(r.stats().duplicates, 1);
+        assert_eq!(r.delivered_bytes(), 1024, "no double delivery");
+    }
+
+    #[test]
+    fn overlapping_ooo_runs_merge() {
+        let mut r = rx();
+        let mut out = Vec::new();
+        r.on_segment(1024, 512, at(1), &mut out);
+        r.on_segment(2048, 512, at(2), &mut out);
+        r.on_segment(1536, 512, at(3), &mut out); // bridges the two runs
+        assert_eq!(r.ooo_runs(), 1);
+        out.clear();
+        r.on_segment(0, 1024, at(4), &mut out);
+        assert_eq!(r.delivered_bytes(), 2560);
+        assert_eq!(acks(&out), vec![2560]);
+    }
+
+    #[test]
+    fn ack_packets_are_pure_acks_with_reversed_direction() {
+        let mut r = rx();
+        let mut out = Vec::new();
+        r.on_segment(0, 512, at(1), &mut out);
+        r.on_segment(512, 512, at(2), &mut out);
+        let pkt = out
+            .iter()
+            .find_map(|o| match o {
+                TcpOutput::Send(p) => Some(*p),
+                _ => None,
+            })
+            .expect("ack packet");
+        assert!(pkt.is_pure_ack());
+        assert_eq!(pkt.src, NodeId(1));
+        assert_eq!(pkt.dst, NodeId(0));
+        assert_eq!(pkt.wire_bytes(), 40);
+    }
+}

@@ -1,0 +1,149 @@
+//! Retransmission-timeout estimation (Jacobson/Karn, RFC 6298 shape).
+
+use desim::SimDuration;
+
+/// SRTT/RTTVAR smoothing and the RTO it implies.
+///
+/// # Example
+///
+/// ```
+/// use dot11_net::tcp::RtoEstimator;
+/// use desim::SimDuration;
+///
+/// let mut est = RtoEstimator::new(
+///     SimDuration::from_secs(1),
+///     SimDuration::from_millis(200),
+///     SimDuration::from_secs(60),
+/// );
+/// est.on_sample(SimDuration::from_millis(10));
+/// // First sample: SRTT = 10 ms, RTTVAR = 5 ms, RTO clamps to min 200 ms.
+/// assert_eq!(est.rto(), SimDuration::from_millis(200));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct RtoEstimator {
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    rto: SimDuration,
+    min_rto: SimDuration,
+    max_rto: SimDuration,
+    /// Exponential backoff multiplier applied after timeouts, cleared by
+    /// the next valid sample.
+    backoff: u32,
+}
+
+impl RtoEstimator {
+    /// Creates an estimator with no samples yet.
+    pub fn new(initial_rto: SimDuration, min_rto: SimDuration, max_rto: SimDuration) -> Self {
+        RtoEstimator {
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            rto: initial_rto,
+            min_rto,
+            max_rto,
+            backoff: 0,
+        }
+    }
+
+    /// Incorporates a round-trip sample (from an un-retransmitted segment,
+    /// per Karn's algorithm — the caller enforces that).
+    pub fn on_sample(&mut self, sample: SimDuration) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(sample);
+                self.rttvar = sample / 2;
+            }
+            Some(srtt) => {
+                let err = if sample > srtt { sample - srtt } else { srtt - sample };
+                // RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - sample|
+                self.rttvar = (self.rttvar * 3 + err) / 4;
+                // SRTT = 7/8 SRTT + 1/8 sample
+                self.srtt = Some((srtt * 7 + sample) / 8);
+            }
+        }
+        self.backoff = 0;
+        let base = self.srtt.expect("just set") + self.rttvar * 4;
+        self.rto = clamp(base, self.min_rto, self.max_rto);
+    }
+
+    /// Doubles the timeout after an expiry (Karn backoff).
+    pub fn on_timeout(&mut self) {
+        self.backoff = (self.backoff + 1).min(10);
+    }
+
+    /// The current retransmission timeout.
+    pub fn rto(&self) -> SimDuration {
+        let scaled = self.rto * (1u64 << self.backoff.min(10));
+        clamp(scaled, self.min_rto, self.max_rto)
+    }
+
+    /// The smoothed round-trip time, if any sample has arrived.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+}
+
+fn clamp(v: SimDuration, lo: SimDuration, hi: SimDuration) -> SimDuration {
+    v.max(lo).min(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est() -> RtoEstimator {
+        RtoEstimator::new(
+            SimDuration::from_secs(1),
+            SimDuration::from_millis(200),
+            SimDuration::from_secs(60),
+        )
+    }
+
+    #[test]
+    fn initial_rto_before_samples() {
+        assert_eq!(est().rto(), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn first_sample_initializes_srtt_and_var() {
+        let mut e = est();
+        e.on_sample(SimDuration::from_millis(100));
+        assert_eq!(e.srtt(), Some(SimDuration::from_millis(100)));
+        // RTO = 100 + 4*50 = 300 ms.
+        assert_eq!(e.rto(), SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn smoothing_converges_toward_stable_rtt() {
+        let mut e = est();
+        for _ in 0..100 {
+            e.on_sample(SimDuration::from_millis(50));
+        }
+        let srtt = e.srtt().expect("samples seen");
+        assert!((srtt.as_micros() as i64 - 50_000).abs() < 1_000);
+        // Variance decays, so RTO approaches the floor.
+        assert_eq!(e.rto(), SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn timeout_backoff_doubles_and_sample_resets() {
+        let mut e = est();
+        e.on_sample(SimDuration::from_millis(100)); // RTO 300 ms
+        e.on_timeout();
+        assert_eq!(e.rto(), SimDuration::from_millis(600));
+        e.on_timeout();
+        assert_eq!(e.rto(), SimDuration::from_millis(1_200));
+        e.on_sample(SimDuration::from_millis(100));
+        assert!(e.rto() < SimDuration::from_millis(600), "backoff cleared by sample");
+    }
+
+    #[test]
+    fn rto_respects_bounds() {
+        let mut e = est();
+        e.on_sample(SimDuration::from_micros(500)); // tiny RTT
+        assert_eq!(e.rto(), SimDuration::from_millis(200), "min clamp");
+        for _ in 0..20 {
+            e.on_timeout();
+        }
+        assert_eq!(e.rto(), SimDuration::from_secs(60), "max clamp");
+    }
+}

@@ -1,0 +1,211 @@
+//! TCP integration over an in-memory lossy channel.
+//!
+//! A miniature event loop connects a [`TcpSender`] and [`TcpReceiver`]
+//! directly — no radio underneath — with deterministic per-segment loss
+//! injection and a fixed one-way latency. This isolates Reno's recovery
+//! logic: whatever is dropped, every byte must arrive exactly once and
+//! in order, via fast retransmit when the dupack stream allows it and
+//! via RTO when it does not.
+
+use std::collections::BinaryHeap;
+
+use desim::{SimDuration, SimTime};
+use dot11_net::{FlowId, Packet, Segment, TcpConfig, TcpOutput, TcpReceiver, TcpSender};
+use dot11_phy::NodeId;
+
+#[derive(Debug)]
+enum Ev {
+    /// Data segment arrives at the receiver.
+    DataArrives(u64, u32),
+    /// ACK arrives at the sender.
+    AckArrives(u64),
+    /// Sender RTO fires.
+    Rto,
+    /// Receiver delayed-ACK timer fires.
+    Delack,
+}
+
+struct Harness {
+    queue: BinaryHeap<(std::cmp::Reverse<(u64, u64)>, u64)>,
+    events: Vec<Option<Ev>>,
+    now: SimTime,
+    seq: u64,
+    rto_at: Option<u64>,
+    delack_at: Option<u64>,
+}
+
+impl Harness {
+    fn new() -> Harness {
+        Harness {
+            queue: BinaryHeap::new(),
+            events: Vec::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            rto_at: None,
+            delack_at: None,
+        }
+    }
+
+    fn at(&mut self, t: SimTime, ev: Ev) -> u64 {
+        let id = self.events.len() as u64;
+        self.events.push(Some(ev));
+        self.seq += 1;
+        self.queue.push((std::cmp::Reverse((t.as_nanos(), self.seq)), id));
+        id
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, Ev)> {
+        while let Some((std::cmp::Reverse((t, _)), id)) = self.queue.pop() {
+            if let Some(ev) = self.events[id as usize].take() {
+                self.now = SimTime::from_nanos(t);
+                return Some((self.now, ev));
+            }
+        }
+        None
+    }
+
+    fn cancel(&mut self, id: Option<u64>) {
+        if let Some(id) = id {
+            self.events[id as usize] = None;
+        }
+    }
+}
+
+/// Runs a transfer with `drop(seq) == true` meaning "lose that data
+/// segment's k-th transmission on the wire"; returns
+/// (delivered bytes, sender stats, acks sent).
+fn run_transfer(
+    total_ms: u64,
+    mut drop: impl FnMut(u64, u64) -> bool,
+) -> (u64, dot11_net::tcp::TcpSenderStats, u64) {
+    let latency = SimDuration::from_millis(2);
+    let cfg = TcpConfig::new(512);
+    let mut tx = TcpSender::new(FlowId(0), NodeId(0), NodeId(1), cfg);
+    let mut rx = TcpReceiver::new(FlowId(0), NodeId(1), NodeId(0), cfg);
+    let mut h = Harness::new();
+    let mut tx_count: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+
+    let mut outs = Vec::new();
+    tx.start(SimTime::ZERO, &mut outs);
+
+    loop {
+        // Apply sender/receiver outputs.
+        for out in outs.drain(..) {
+            match out {
+                TcpOutput::Send(Packet { seg: Segment::Tcp { seq, ack }, payload_bytes, .. }) => {
+                    let t = h.now + latency;
+                    if payload_bytes > 0 {
+                        let k = tx_count.entry(seq).and_modify(|k| *k += 1).or_insert(1);
+                        if !drop(seq, *k) {
+                            h.at(t, Ev::DataArrives(seq, payload_bytes));
+                        }
+                    } else {
+                        h.at(t, Ev::AckArrives(ack));
+                    }
+                }
+                TcpOutput::Send(_) => unreachable!("tcp endpoints emit tcp segments"),
+                TcpOutput::ArmRto(d) => {
+                    let old = h.rto_at.take();
+                    h.cancel(old);
+                    let t = h.now + d;
+                    h.rto_at = Some(h.at(t, Ev::Rto));
+                }
+                TcpOutput::CancelRto => {
+                    let old = h.rto_at.take();
+                    h.cancel(old);
+                }
+                TcpOutput::ArmDelack(d) => {
+                    let old = h.delack_at.take();
+                    h.cancel(old);
+                    let t = h.now + d;
+                    h.delack_at = Some(h.at(t, Ev::Delack));
+                }
+                TcpOutput::CancelDelack => {
+                    let old = h.delack_at.take();
+                    h.cancel(old);
+                }
+            }
+        }
+        let Some((now, ev)) = h.pop() else { break };
+        if now > SimTime::from_millis(total_ms) {
+            break;
+        }
+        match ev {
+            Ev::DataArrives(seq, len) => rx.on_segment(seq, len, now, &mut outs),
+            Ev::AckArrives(ack) => tx.on_ack(ack, now, &mut outs),
+            Ev::Rto => {
+                h.rto_at = None;
+                tx.on_rto(now, &mut outs);
+            }
+            Ev::Delack => {
+                h.delack_at = None;
+                rx.on_delack_timer(now, &mut outs);
+            }
+        }
+    }
+    (rx.delivered_bytes(), tx.stats(), rx.stats().acks_sent)
+}
+
+#[test]
+fn clean_channel_streams_at_line_speed() {
+    let (delivered, stats, acks) = run_transfer(1_000, |_, _| false);
+    // 2 ms each way → RTT 4 ms; cwnd caps at 32 KiB → ~8 MB/s potential;
+    // 1 s of transfer must deliver megabytes.
+    assert!(delivered > 2_000_000, "delivered {delivered}");
+    assert_eq!(stats.retransmits, 0);
+    assert_eq!(stats.timeouts, 0);
+    assert!(acks > 1_000);
+}
+
+#[test]
+fn single_loss_recovers_by_fast_retransmit() {
+    // Drop the first transmission of segment 100*512.
+    let lost = 100 * 512;
+    let (delivered, stats, _) = run_transfer(1_000, |seq, k| seq == lost && k == 1);
+    assert!(delivered > 1_000_000);
+    assert_eq!(stats.fast_retransmits, 1, "one dupack-triggered recovery");
+    assert_eq!(stats.timeouts, 0, "no RTO needed for an isolated loss");
+}
+
+#[test]
+fn periodic_loss_still_delivers_everything_in_order() {
+    // Lose every 50th segment's first transmission.
+    let (delivered, stats, _) = run_transfer(2_000, |seq, k| (seq / 512) % 50 == 49 && k == 1);
+    assert!(delivered > 500_000, "delivered {delivered}");
+    assert!(stats.retransmits > 10);
+    // delivered_bytes is rcv_nxt: in-order by construction; the harness
+    // also proves no byte was delivered twice because rcv_nxt only moves
+    // forward by the segment lengths handed up.
+    assert!(
+        stats.fast_retransmits * 5 > stats.timeouts,
+        "steady window should mostly recover via dupacks: {} fr vs {} rto",
+        stats.fast_retransmits,
+        stats.timeouts
+    );
+}
+
+#[test]
+fn burst_loss_falls_back_to_rto_and_survives() {
+    // Segment 50 loses its first two transmissions (the fast-retransmit
+    // copy dies too) and 51/52 lose their first: classic Reno head-of-
+    // line blindness. Once every later segment sits buffered at the
+    // receiver there are no duplicate ACKs left, so each remaining hole
+    // costs one full (backed-off) RTO — ~1.5 s of stall — after which
+    // the transfer resumes at line speed.
+    let (delivered, stats, _) = run_transfer(8_000, |seq, k| {
+        (seq / 512 == 50 && k < 3) || ((51..53).contains(&(seq / 512)) && k < 2)
+    });
+    assert!(delivered > 2_000_000, "delivered {delivered}");
+    assert!(stats.timeouts >= 2, "RTO-paced hole clearing: {} timeouts", stats.timeouts);
+    assert!(stats.retransmits >= 4);
+    assert!(stats.fast_retransmits >= 1, "the first loss still triggers dupack recovery");
+}
+
+#[test]
+fn total_blackout_makes_no_progress_but_does_not_panic() {
+    // 4 s of dead air: RTOs at ~1 s and ~3 s (1 s initial, then doubled).
+    let (delivered, stats, _) = run_transfer(4_000, |_, _| true);
+    assert_eq!(delivered, 0);
+    assert!(stats.timeouts >= 2, "RTO backoff keeps retrying: {}", stats.timeouts);
+    assert!(stats.segments_sent < 100, "exponential backoff bounds the retries");
+}

@@ -1,0 +1,232 @@
+//! The shared wireless medium: positions, propagation, active signals.
+//!
+//! `Medium` is pure computation — the event loop lives in the simulation
+//! driver. When a station starts transmitting, the driver calls
+//! [`Medium::transmit`], which samples the per-receiver powers **once**
+//! (path loss + that instant's shadowing) and returns them; the driver
+//! then schedules signal-start/end events at each receiver after the
+//! propagation delay.
+
+use desim::{SimDuration, SimTime};
+
+use crate::pathloss::PathLoss;
+use crate::plcp::{FrameAirtime, Preamble};
+use crate::rate::PhyRate;
+use crate::shadowing::{DayProfile, Shadowing};
+use crate::units::{Dbm, Meters, NodeId, Position};
+
+/// Identifier of one transmission on the medium (unique within a run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxId(pub u64);
+
+/// Static configuration of the medium.
+pub struct MediumConfig {
+    /// Deterministic path-loss model.
+    pub path_loss: Box<dyn PathLoss>,
+    /// Day/weather profile driving the shadowing process.
+    pub day: DayProfile,
+    /// Propagation delay applied uniformly (the paper's Table 1 lists
+    /// τ = 1 µs).
+    pub propagation_delay: SimDuration,
+}
+
+impl std::fmt::Debug for MediumConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MediumConfig")
+            .field("path_loss", &self.path_loss)
+            .field("day", &self.day.name)
+            .field("propagation_delay", &self.propagation_delay)
+            .finish()
+    }
+}
+
+/// One launched transmission, as seen by a particular receiver.
+#[derive(Debug, Clone, Copy)]
+pub struct TxSignal {
+    /// The transmission this signal belongs to.
+    pub tx_id: TxId,
+    /// The transmitting station.
+    pub source: NodeId,
+    /// Received power at this receiver (sampled at transmit time).
+    pub rx_power: Dbm,
+    /// Rate of the MPDU body.
+    pub rate: PhyRate,
+    /// MPDU length, bytes.
+    pub mpdu_bytes: u32,
+    /// Preamble format.
+    pub preamble: Preamble,
+    /// Airtime start at the receiver (transmit time + propagation delay).
+    pub starts_at: SimTime,
+    /// Airtime end at the receiver.
+    pub ends_at: SimTime,
+}
+
+/// The shared medium for one simulation run.
+#[derive(Debug)]
+pub struct Medium {
+    positions: Vec<Position>,
+    shadowing: Shadowing,
+    config: MediumConfig,
+    next_tx: u64,
+}
+
+impl Medium {
+    /// Creates a medium over the given station positions.
+    pub fn new(positions: Vec<Position>, shadowing: Shadowing, config: MediumConfig) -> Medium {
+        Medium {
+            positions,
+            shadowing,
+            config,
+            next_tx: 0,
+        }
+    }
+
+    /// Number of stations on the field.
+    pub fn station_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Position of a station.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn position(&self, node: NodeId) -> Position {
+        self.positions[node.index()]
+    }
+
+    /// Distance between two stations.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> Meters {
+        self.position(a).distance_to(self.position(b))
+    }
+
+    /// The propagation delay between any pair of stations.
+    pub fn propagation_delay(&self) -> SimDuration {
+        self.config.propagation_delay
+    }
+
+    /// Samples the received power on the directed link `tx → rx` at `now`
+    /// given the transmitter's TX power: path loss plus the current
+    /// shadowing state of that link.
+    pub fn rx_power(&mut self, tx: NodeId, rx: NodeId, tx_power: Dbm, now: SimTime) -> Dbm {
+        let d = self.distance(tx, rx);
+        let pl = self.config.path_loss.path_loss(d);
+        let excess = self.shadowing.sample(tx, rx, d, now);
+        tx_power - pl - excess
+    }
+
+    /// Launches a transmission at `now` from `source` and returns the
+    /// signal as it will appear at every *other* station, powers sampled
+    /// at launch (block-fading per frame).
+    pub fn transmit(
+        &mut self,
+        source: NodeId,
+        tx_power: Dbm,
+        rate: PhyRate,
+        mpdu_bytes: u32,
+        preamble: Preamble,
+        now: SimTime,
+    ) -> (TxId, FrameAirtime, Vec<(NodeId, TxSignal)>) {
+        let tx_id = TxId(self.next_tx);
+        self.next_tx += 1;
+        let airtime = FrameAirtime::new(mpdu_bytes, rate, preamble);
+        let starts_at = now + self.config.propagation_delay;
+        let ends_at = starts_at + airtime.total();
+        let mut deliveries = Vec::with_capacity(self.positions.len().saturating_sub(1));
+        for idx in 0..self.positions.len() {
+            let rx = NodeId(idx as u32);
+            if rx == source {
+                continue;
+            }
+            let rx_power = self.rx_power(source, rx, tx_power, now);
+            deliveries.push((
+                rx,
+                TxSignal {
+                    tx_id,
+                    source,
+                    rx_power,
+                    rate,
+                    mpdu_bytes,
+                    preamble,
+                    starts_at,
+                    ends_at,
+                },
+            ));
+        }
+        (tx_id, airtime, deliveries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pathloss::LogDistance;
+    use desim::SimRng;
+
+    fn medium(positions: Vec<Position>, sigma_zero: bool) -> Medium {
+        let day = if sigma_zero { DayProfile::still() } else { DayProfile::clear() };
+        Medium::new(
+            positions,
+            Shadowing::new(day.clone(), SimRng::from_seed(5)),
+            MediumConfig {
+                path_loss: Box::new(LogDistance::anchored_at_free_space_1m(3.0)),
+                day,
+                propagation_delay: SimDuration::from_micros(1),
+            },
+        )
+    }
+
+    #[test]
+    fn geometry_queries() {
+        let m = medium(vec![Position::on_line(0.0), Position::on_line(25.0)], true);
+        assert_eq!(m.station_count(), 2);
+        assert!((m.distance(NodeId(0), NodeId(1)).0 - 25.0).abs() < 1e-12);
+        assert_eq!(m.propagation_delay(), SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn rx_power_decreases_with_distance() {
+        let mut m = medium(
+            vec![Position::on_line(0.0), Position::on_line(10.0), Position::on_line(100.0)],
+            true,
+        );
+        let now = SimTime::ZERO;
+        let near = m.rx_power(NodeId(0), NodeId(1), Dbm(15.0), now);
+        let far = m.rx_power(NodeId(0), NodeId(2), Dbm(15.0), now);
+        assert!(near.0 > far.0 + 25.0, "near {near} vs far {far}");
+    }
+
+    #[test]
+    fn transmit_delivers_to_all_but_source() {
+        let mut m = medium(
+            vec![Position::on_line(0.0), Position::on_line(10.0), Position::on_line(20.0)],
+            true,
+        );
+        let now = SimTime::from_millis(1);
+        let (tx_id, airtime, deliveries) =
+            m.transmit(NodeId(1), Dbm(15.0), PhyRate::R2, 112 / 8, Preamble::Long, now);
+        assert_eq!(deliveries.len(), 2);
+        assert!(deliveries.iter().all(|(rx, _)| *rx != NodeId(1)));
+        for (_, sig) in &deliveries {
+            assert_eq!(sig.tx_id, tx_id);
+            assert_eq!(sig.starts_at, now + SimDuration::from_micros(1));
+            assert_eq!(sig.ends_at - sig.starts_at, airtime.total());
+        }
+        // Consecutive transmissions get distinct ids.
+        let (tx_id2, ..) = m.transmit(NodeId(0), Dbm(15.0), PhyRate::R1, 20, Preamble::Long, now);
+        assert_ne!(tx_id, tx_id2);
+    }
+
+    #[test]
+    fn shadowed_link_varies_but_still_link_does_not() {
+        let mut still = medium(vec![Position::on_line(0.0), Position::on_line(50.0)], true);
+        let a = still.rx_power(NodeId(0), NodeId(1), Dbm(15.0), SimTime::from_secs(1));
+        let b = still.rx_power(NodeId(0), NodeId(1), Dbm(15.0), SimTime::from_secs(30));
+        assert_eq!(a.0, b.0);
+
+        let mut varying = medium(vec![Position::on_line(0.0), Position::on_line(50.0)], false);
+        let a = varying.rx_power(NodeId(0), NodeId(1), Dbm(15.0), SimTime::from_secs(1));
+        let b = varying.rx_power(NodeId(0), NodeId(1), Dbm(15.0), SimTime::from_secs(30));
+        assert_ne!(a.0, b.0, "time-varying channel should move over 29 s");
+    }
+}

@@ -1,0 +1,107 @@
+//! PLCP framing: the preamble and header prepended to every frame.
+//!
+//! The PLCP preamble + header are transmitted at basic rates regardless of
+//! the body rate, so they dominate overhead at 11 Mb/s — one of the two
+//! structural reasons (with contention overhead) why the paper's Table 2
+//! finds **less than 44% of the nominal bandwidth usable**.
+
+use desim::SimDuration;
+
+use crate::rate::PhyRate;
+
+/// PLCP preamble format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Preamble {
+    /// Long PLCP: 144-bit preamble + 48-bit header, all at 1 Mb/s —
+    /// 192 µs. Mandatory, and the format the paper assumes.
+    #[default]
+    Long,
+    /// Short PLCP: 72-bit preamble at 1 Mb/s + 48-bit header at 2 Mb/s —
+    /// 96 µs. Optional in 802.11b; implemented for ablation experiments.
+    Short,
+}
+
+impl Preamble {
+    /// Total airtime of preamble + PLCP header.
+    pub fn duration(self) -> SimDuration {
+        match self {
+            Preamble::Long => SimDuration::from_micros(192),
+            Preamble::Short => SimDuration::from_micros(96),
+        }
+    }
+}
+
+/// The airtime decomposition of one PHY frame: PLCP portion at basic rate,
+/// body (MPDU) portion at the data rate.
+///
+/// # Example
+///
+/// ```
+/// use dot11_phy::{FrameAirtime, PhyRate, Preamble};
+/// // An ACK (14-byte MPDU) at 2 Mb/s: 192 + 112/2 = 248 µs.
+/// let ack = FrameAirtime::new(14, PhyRate::R2, Preamble::Long);
+/// assert_eq!(ack.total().as_micros(), 248);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameAirtime {
+    /// Airtime of the PLCP preamble + header.
+    pub plcp: SimDuration,
+    /// Airtime of the MPDU at the data rate.
+    pub body: SimDuration,
+    /// The rate carrying the body.
+    pub rate: PhyRate,
+    /// MPDU length in bytes.
+    pub mpdu_bytes: u32,
+}
+
+impl FrameAirtime {
+    /// Computes the airtime of an `mpdu_bytes`-byte MPDU at `rate` behind
+    /// the given preamble.
+    pub fn new(mpdu_bytes: u32, rate: PhyRate, preamble: Preamble) -> FrameAirtime {
+        FrameAirtime {
+            plcp: preamble.duration(),
+            body: rate.duration_of_bytes(mpdu_bytes),
+            rate,
+            mpdu_bytes,
+        }
+    }
+
+    /// Total frame airtime.
+    pub fn total(&self) -> SimDuration {
+        self.plcp + self.body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn long_preamble_is_192_micros() {
+        assert_eq!(Preamble::Long.duration(), SimDuration::from_micros(192));
+        assert_eq!(Preamble::Short.duration(), SimDuration::from_micros(96));
+    }
+
+    #[test]
+    fn paper_table1_phy_header_in_slots() {
+        // Table 1 expresses PHYhdr as 9.6 slot times (slot = 20 µs).
+        assert_eq!(Preamble::Long.duration().as_nanos(), (9.6 * 20_000.0) as u64);
+    }
+
+    #[test]
+    fn data_frame_airtime_decomposes() {
+        // 546-byte MPDU (512 payload + 34 MAC overhead) at 11 Mb/s.
+        let air = FrameAirtime::new(546, PhyRate::R11, Preamble::Long);
+        assert_eq!(air.plcp.as_micros(), 192);
+        assert_eq!(air.body.as_nanos(), 397_091); // 4368 bits / 11 = 397.09 µs
+        assert_eq!(air.total(), air.plcp + air.body);
+    }
+
+    #[test]
+    fn short_preamble_halves_plcp_cost() {
+        let long = FrameAirtime::new(100, PhyRate::R2, Preamble::Long);
+        let short = FrameAirtime::new(100, PhyRate::R2, Preamble::Short);
+        assert_eq!(long.body, short.body);
+        assert_eq!(long.plcp - short.plcp, SimDuration::from_micros(96));
+    }
+}

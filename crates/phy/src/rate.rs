@@ -1,0 +1,170 @@
+//! The four 802.11b DSSS data rates and their modulations.
+
+use desim::SimDuration;
+use std::fmt;
+
+use crate::ber::Modulation;
+
+/// An 802.11b physical-layer data rate.
+///
+/// 802.11b (High-Rate DSSS) adds 5.5 and 11 Mb/s CCK rates to the original
+/// 1 and 2 Mb/s DSSS rates. The *basic rate set* — rates every station can
+/// decode, used by control frames and broadcast — is {1, 2} Mb/s in the
+/// paper's test-bed.
+///
+/// # Example
+///
+/// ```
+/// use dot11_phy::PhyRate;
+/// assert_eq!(PhyRate::R11.bits_per_micro(), 11.0);
+/// assert!(PhyRate::R5_5 > PhyRate::R2);
+/// assert_eq!(PhyRate::R2.to_string(), "2 Mb/s");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PhyRate {
+    /// 1 Mb/s — DBPSK, 11-chip Barker spreading.
+    R1,
+    /// 2 Mb/s — DQPSK, 11-chip Barker spreading.
+    R2,
+    /// 5.5 Mb/s — CCK, 4 bits per 8-chip symbol.
+    R5_5,
+    /// 11 Mb/s — CCK, 8 bits per 8-chip symbol.
+    R11,
+}
+
+impl PhyRate {
+    /// All rates, slowest first. Iteration order matches the paper's
+    /// tables.
+    pub const ALL: [PhyRate; 4] = [PhyRate::R1, PhyRate::R2, PhyRate::R5_5, PhyRate::R11];
+
+    /// Data rate in bits per microsecond (equivalently, Mb/s).
+    pub fn bits_per_micro(self) -> f64 {
+        match self {
+            PhyRate::R1 => 1.0,
+            PhyRate::R2 => 2.0,
+            PhyRate::R5_5 => 5.5,
+            PhyRate::R11 => 11.0,
+        }
+    }
+
+    /// Data rate in bits per second.
+    pub fn bits_per_sec(self) -> f64 {
+        self.bits_per_micro() * 1e6
+    }
+
+    /// The modulation carrying this rate.
+    pub fn modulation(self) -> Modulation {
+        match self {
+            PhyRate::R1 => Modulation::Dbpsk,
+            PhyRate::R2 => Modulation::Dqpsk,
+            PhyRate::R5_5 => Modulation::Cck5_5,
+            PhyRate::R11 => Modulation::Cck11,
+        }
+    }
+
+    /// Airtime of `bits` payload bits at this rate, rounded to the nearest
+    /// nanosecond.
+    pub fn duration_of_bits(self, bits: u64) -> SimDuration {
+        SimDuration::from_micros_f64(bits as f64 / self.bits_per_micro())
+    }
+
+    /// Airtime of `bytes` payload bytes at this rate.
+    pub fn duration_of_bytes(self, bytes: u32) -> SimDuration {
+        self.duration_of_bits(bytes as u64 * 8)
+    }
+
+    /// The highest basic rate not exceeding this rate: the rate a
+    /// multirate station uses for control responses (CTS/ACK) to a frame
+    /// received at `self`, per the standard's "highest basic-set rate ≤
+    /// the received frame's rate" rule with basic set {1, 2} Mb/s.
+    pub fn control_rate(self) -> PhyRate {
+        match self {
+            PhyRate::R1 => PhyRate::R1,
+            _ => PhyRate::R2,
+        }
+    }
+
+    /// The next faster rate, if any (the rate-switching ladder).
+    pub fn step_up(self) -> Option<PhyRate> {
+        match self {
+            PhyRate::R1 => Some(PhyRate::R2),
+            PhyRate::R2 => Some(PhyRate::R5_5),
+            PhyRate::R5_5 => Some(PhyRate::R11),
+            PhyRate::R11 => None,
+        }
+    }
+
+    /// The next slower rate, if any.
+    pub fn step_down(self) -> Option<PhyRate> {
+        match self {
+            PhyRate::R1 => None,
+            PhyRate::R2 => Some(PhyRate::R1),
+            PhyRate::R5_5 => Some(PhyRate::R2),
+            PhyRate::R11 => Some(PhyRate::R5_5),
+        }
+    }
+}
+
+impl fmt::Display for PhyRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhyRate::R1 => write!(f, "1 Mb/s"),
+            PhyRate::R2 => write!(f, "2 Mb/s"),
+            PhyRate::R5_5 => write!(f, "5.5 Mb/s"),
+            PhyRate::R11 => write!(f, "11 Mb/s"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_are_ordered_slowest_first() {
+        let speeds: Vec<f64> = PhyRate::ALL.iter().map(|r| r.bits_per_micro()).collect();
+        assert_eq!(speeds, vec![1.0, 2.0, 5.5, 11.0]);
+        assert!(PhyRate::R1 < PhyRate::R2 && PhyRate::R2 < PhyRate::R5_5 && PhyRate::R5_5 < PhyRate::R11);
+    }
+
+    #[test]
+    fn bit_durations_round_to_nanoseconds() {
+        // 28 bytes at 11 Mb/s: 224/11 = 20.3636... µs → 20364 ns.
+        assert_eq!(PhyRate::R11.duration_of_bytes(28).as_nanos(), 20_364);
+        // 512 bytes at 1 Mb/s: exactly 4096 µs.
+        assert_eq!(PhyRate::R1.duration_of_bytes(512), SimDuration::from_micros(4096));
+        assert_eq!(PhyRate::R2.duration_of_bits(112), SimDuration::from_micros(56));
+    }
+
+    #[test]
+    fn control_rate_is_highest_basic_not_above() {
+        assert_eq!(PhyRate::R1.control_rate(), PhyRate::R1);
+        assert_eq!(PhyRate::R2.control_rate(), PhyRate::R2);
+        assert_eq!(PhyRate::R5_5.control_rate(), PhyRate::R2);
+        assert_eq!(PhyRate::R11.control_rate(), PhyRate::R2);
+    }
+
+    #[test]
+    fn rate_ladder_steps_are_inverse() {
+        for &r in &PhyRate::ALL {
+            if let Some(up) = r.step_up() {
+                assert_eq!(up.step_down(), Some(r));
+                assert!(up > r);
+            }
+            if let Some(down) = r.step_down() {
+                assert_eq!(down.step_up(), Some(r));
+                assert!(down < r);
+            }
+        }
+        assert_eq!(PhyRate::R11.step_up(), None);
+        assert_eq!(PhyRate::R1.step_down(), None);
+    }
+
+    #[test]
+    fn modulations_match_rates() {
+        assert_eq!(PhyRate::R1.modulation(), Modulation::Dbpsk);
+        assert_eq!(PhyRate::R2.modulation(), Modulation::Dqpsk);
+        assert_eq!(PhyRate::R5_5.modulation(), Modulation::Cck5_5);
+        assert_eq!(PhyRate::R11.modulation(), Modulation::Cck11);
+    }
+}

@@ -1,0 +1,298 @@
+//! Time-correlated log-normal shadowing with per-day weather profiles.
+//!
+//! The paper stresses that the channel is **time-varying and asymmetric**:
+//! the same link measured on different days (and within one session) shows
+//! different loss (their Figure 4, footnote 4, and the non-monotonic
+//! points of Figure 3). We model the deviation from deterministic path
+//! loss as two per-directed-link components in dB:
+//!
+//! * a **slow** (session-scale) log-normal term, drawn once per link per
+//!   run — antennas, ground moisture, people walking by: this is what
+//!   makes two sessions at the same distance measure different loss;
+//! * a **fast** Gauss–Markov (AR(1)) term with coherence time `τ`:
+//!
+//! ```text
+//! X(t+Δ) = ρ X(t) + σ_f √(1-ρ²) N(0,1),   ρ = exp(-Δ/τ)
+//! ```
+//!
+//! A [`DayProfile`] adds a constant weather offset and selects the random
+//! stream, so "2002-12-06" and "2002-12-09" are reproducible distinct
+//! days. Keying the state on the *directed* pair (a→b) yields the
+//! asymmetric channels the paper observed.
+
+use std::collections::HashMap;
+
+use desim::{SimDuration, SimRng, SimTime};
+
+use crate::units::{Db, Meters, NodeId};
+
+/// Weather/epoch profile for a measurement day.
+///
+/// # Example
+///
+/// ```
+/// use dot11_phy::DayProfile;
+/// let clear = DayProfile::clear();
+/// let rainy = DayProfile::rainy();
+/// assert!(rainy.extra_loss.0 > clear.extra_loss.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DayProfile {
+    /// Human-readable label, e.g. `"2002-12-06"`.
+    pub name: String,
+    /// Constant extra attenuation on every link (weather, humidity).
+    pub extra_loss: Db,
+    /// Standard deviation of the slow (per-session, per-link) component.
+    pub sigma_slow: Db,
+    /// Standard deviation of the fast AR(1) component.
+    pub sigma_fast: Db,
+    /// Coherence time of the fast component.
+    pub coherence: SimDuration,
+    /// Distance at which the sigmas reach full strength. Short links are
+    /// line-of-sight on the open field and shadow little; the variance
+    /// ramps linearly up to this distance (σ_eff = σ · min(1, d/d_full)).
+    pub sigma_full_distance: Meters,
+    /// Salt mixed into the random stream so different days decorrelate.
+    pub seed_salt: u64,
+}
+
+impl DayProfile {
+    /// A clear, dry day — the paper's 2002-12-06 session (longer ranges).
+    pub fn clear() -> DayProfile {
+        DayProfile {
+            name: "2002-12-06 (clear)".to_owned(),
+            extra_loss: Db(0.0),
+            sigma_slow: Db(2.0),
+            sigma_fast: Db(1.0),
+            coherence: SimDuration::from_millis(300),
+            sigma_full_distance: Meters(75.0),
+            seed_salt: 0x2002_1206,
+        }
+    }
+
+    /// A damp day — the paper's 2002-12-09 session, with visibly shorter
+    /// ranges (their Figure 4).
+    pub fn rainy() -> DayProfile {
+        DayProfile {
+            name: "2002-12-09 (damp)".to_owned(),
+            extra_loss: Db(4.0),
+            sigma_slow: Db(2.6),
+            sigma_fast: Db(1.2),
+            coherence: SimDuration::from_millis(300),
+            sigma_full_distance: Meters(75.0),
+            seed_salt: 0x2002_1209,
+        }
+    }
+
+    /// A hypothetical still channel (no shadowing) — ablation D4: with
+    /// σ = 0 the loss-vs-distance curves become knife edges, unlike the
+    /// paper's gradual Figure 3 transitions.
+    pub fn still() -> DayProfile {
+        DayProfile {
+            name: "still channel (ablation)".to_owned(),
+            extra_loss: Db(0.0),
+            sigma_slow: Db(0.0),
+            sigma_fast: Db(0.0),
+            coherence: SimDuration::from_millis(300),
+            sigma_full_distance: Meters(75.0),
+            seed_salt: 0,
+        }
+    }
+}
+
+impl Default for DayProfile {
+    fn default() -> Self {
+        DayProfile::clear()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LinkState {
+    at: SimTime,
+    slow_db: f64,
+    fast_db: f64,
+}
+
+/// The per-link shadowing process for one simulation run.
+#[derive(Debug)]
+pub struct Shadowing {
+    profile: DayProfile,
+    master: SimRng,
+    links: HashMap<(NodeId, NodeId), (LinkState, SimRng)>,
+}
+
+impl Shadowing {
+    /// Creates the process for `profile`, deriving all link streams from
+    /// `master` (pass a substream of the run's master seed).
+    pub fn new(profile: DayProfile, master: SimRng) -> Shadowing {
+        let master = master.substream(&profile.seed_salt.to_le_bytes());
+        Shadowing {
+            profile,
+            master,
+            links: HashMap::new(),
+        }
+    }
+
+    /// The active day profile.
+    pub fn profile(&self) -> &DayProfile {
+        &self.profile
+    }
+
+    /// Samples the total excess loss (weather offset + shadowing) on the
+    /// directed link `tx → rx` of length `distance` at time `now`.
+    ///
+    /// Consecutive samples on the same link are correlated with
+    /// coherence time `τ`; samples on different links (including the
+    /// reverse direction) are independent. Variance ramps with distance
+    /// (see [`DayProfile::sigma_full_distance`]).
+    pub fn sample(&mut self, tx: NodeId, rx: NodeId, distance: Meters, now: SimTime) -> Db {
+        let scale = (distance.0 / self.profile.sigma_full_distance.0.max(1e-9)).clamp(0.0, 1.0);
+        let slow = self.profile.sigma_slow.0 * scale;
+        let fast = self.profile.sigma_fast.0 * scale;
+        if slow == 0.0 && fast == 0.0 {
+            return self.profile.extra_loss;
+        }
+        let tau = self.profile.coherence.as_secs_f64().max(1e-9);
+        let (state, rng) = self.links.entry((tx, rx)).or_insert_with(|| {
+            let mut label = Vec::with_capacity(16);
+            label.extend_from_slice(b"shadow/");
+            label.extend_from_slice(&tx.0.to_le_bytes());
+            label.extend_from_slice(&rx.0.to_le_bytes());
+            let mut rng = self.master.substream(&label);
+            let slow_db = rng.gen_normal(0.0, slow);
+            let fast_db = rng.gen_normal(0.0, fast);
+            (LinkState { at: now, slow_db, fast_db }, rng)
+        });
+        let dt = now.saturating_duration_since(state.at).as_secs_f64();
+        if dt > 0.0 && fast > 0.0 {
+            let rho = (-dt / tau).exp();
+            let innov = fast * (1.0 - rho * rho).sqrt();
+            state.fast_db = rho * state.fast_db + rng.gen_normal(0.0, innov.max(0.0));
+            state.at = now;
+        }
+        Db(self.profile.extra_loss.0 + state.slow_db + state.fast_db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn process(profile: DayProfile, seed: u64) -> Shadowing {
+        Shadowing::new(profile, SimRng::from_seed(seed))
+    }
+
+    #[test]
+    fn still_profile_is_deterministic_offset() {
+        let mut s = process(DayProfile::still(), 1);
+        for k in 0..10 {
+            let v = s.sample(NodeId(0), NodeId(1), Meters(100.0), SimTime::from_millis(k * 10));
+            assert_eq!(v.0, 0.0);
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_samples() {
+        let mut a = process(DayProfile::clear(), 42);
+        let mut b = process(DayProfile::clear(), 42);
+        for k in 0..50 {
+            let t = SimTime::from_millis(k * 7);
+            assert_eq!(
+                a.sample(NodeId(0), NodeId(1), Meters(100.0), t).0.to_bits(),
+                b.sample(NodeId(0), NodeId(1), Meters(100.0), t).0.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut s = process(DayProfile::clear(), 42);
+        let t = SimTime::from_secs(1);
+        let fwd = s.sample(NodeId(0), NodeId(1), Meters(100.0), t);
+        let rev = s.sample(NodeId(1), NodeId(0), Meters(100.0), t);
+        assert_ne!(fwd.0, rev.0, "directed links should decorrelate");
+    }
+
+    #[test]
+    fn short_lags_are_highly_correlated_long_lags_are_not() {
+        // Correlation over many links: sample each link at t, t+1ms (short
+        // lag) and t+10s (≫ coherence time).
+        let mut s = process(DayProfile::clear(), 7);
+        let mut short_pairs = Vec::new();
+        let mut long_pairs = Vec::new();
+        for i in 0..300u32 {
+            let (a, b) = (NodeId(i), NodeId(i + 1000));
+            let x0 = s.sample(a, b, Meters(100.0), SimTime::from_secs(1)).0;
+            let x1 = s.sample(a, b, Meters(100.0), SimTime::from_secs(1) + SimDuration::from_millis(1)).0;
+            let x2 = s.sample(a, b, Meters(100.0), SimTime::from_secs(20)).0;
+            short_pairs.push((x0, x1));
+            long_pairs.push((x0, x2));
+        }
+        let corr = |pairs: &[(f64, f64)]| {
+            let n = pairs.len() as f64;
+            let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+            let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+            let cov = pairs.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>() / n;
+            let sx = (pairs.iter().map(|p| (p.0 - mx).powi(2)).sum::<f64>() / n).sqrt();
+            let sy = (pairs.iter().map(|p| (p.1 - my).powi(2)).sum::<f64>() / n).sqrt();
+            cov / (sx * sy)
+        };
+        let short = corr(&short_pairs);
+        let long = corr(&long_pairs);
+        assert!(short > 0.95, "1 ms lag should be near-perfectly correlated, got {short}");
+        // The fast component decorrelates over 10 s; the slow per-session
+        // component persists, so the long-lag correlation settles near
+        // slow² / (slow² + fast²) ≈ 0.81 for the clear profile.
+        assert!(long < short - 0.02, "fast component should decay: {long} vs {short}");
+        assert!((0.55..0.95).contains(&long), "slow component should persist, got {long}");
+    }
+
+    #[test]
+    fn marginal_std_matches_combined_sigma() {
+        let mut s = process(DayProfile::clear(), 9);
+        let vals: Vec<f64> = (0..2000u32)
+            .map(|i| s.sample(NodeId(i), NodeId(i + 10_000), Meters(100.0), SimTime::from_secs(5)).0)
+            .collect();
+        let n = vals.len() as f64;
+        let mean = vals.iter().sum::<f64>() / n;
+        let std = (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n).sqrt();
+        let expect = (2.0f64.powi(2) + 1.0f64.powi(2)).sqrt();
+        assert!((std - expect).abs() < 0.3, "marginal std {std} should approach {expect:.2}");
+        assert!(mean.abs() < 0.3, "mean {mean} should be near the 0 dB offset");
+    }
+
+    #[test]
+    fn short_links_shadow_less_than_long_links() {
+        let mut s = process(DayProfile::clear(), 21);
+        let spread = |d: f64, s: &mut Shadowing| {
+            let vals: Vec<f64> = (0..500u32)
+                .map(|i| s.sample(NodeId(i), NodeId(i + 5000), Meters(d), SimTime::from_secs(1)).0)
+                .collect();
+            let n = vals.len() as f64;
+            let mean = vals.iter().sum::<f64>() / n;
+            (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n).sqrt()
+        };
+        let near = spread(20.0, &mut s);
+        let mut s2 = process(DayProfile::clear(), 21);
+        let far = spread(120.0, &mut s2);
+        assert!(near < far * 0.5, "20 m spread {near:.2} dB should be well below 120 m {far:.2} dB");
+        // Beyond sigma_full_distance the variance saturates.
+        let mut s3 = process(DayProfile::clear(), 21);
+        let very_far = spread(300.0, &mut s3);
+        assert!((very_far - far).abs() < 0.4, "variance saturates: {far:.2} vs {very_far:.2}");
+    }
+
+    #[test]
+    fn rainy_day_adds_loss_on_average() {
+        let mut clear = process(DayProfile::clear(), 3);
+        let mut rainy = process(DayProfile::rainy(), 3);
+        let avg = |s: &mut Shadowing| {
+            (0..500u32)
+                .map(|i| s.sample(NodeId(i), NodeId(i + 1000), Meters(100.0), SimTime::from_secs(2)).0)
+                .sum::<f64>()
+                / 500.0
+        };
+        let diff = avg(&mut rainy) - avg(&mut clear);
+        assert!(diff > 2.0, "rainy day should average ≥2 dB extra loss, got {diff}");
+    }
+}

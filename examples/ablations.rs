@@ -1,0 +1,90 @@
+//! Ablations of the design decisions called out in DESIGN.md §5.
+//!
+//! Reruns the asymmetric four-station experiment (Figure 7 geometry,
+//! 11 Mb/s) with individual mechanisms disabled, to show which one each
+//! observed effect rests on:
+//!
+//! * **D1** `--no-pcs`   — carrier sense no more sensitive than decoding
+//!   (the naive `TX_range = PCS_range` simulation assumption);
+//! * **D3** `--no-eifs`  — EIFS disabled after undecodable frames;
+//! * **D4** `--still`    — no shadowing (knife-edge ranges);
+//! * **D5** `--no-capture` — preamble capture disabled.
+//!
+//! Run with `cargo run --release --example ablations [-- tcp]`.
+
+use desim::SimDuration;
+use dot11_adhoc::{ScenarioBuilder, Traffic};
+use dot11_mac::MacConfig;
+use dot11_net::FlowId;
+use dot11_phy::{DayProfile, PhyRate, RadioConfig};
+
+#[derive(Clone, Copy)]
+struct Knobs {
+    eifs: bool,
+    pcs: bool,
+    capture: bool,
+    still_channel: bool,
+    /// D2: force control frames (RTS/CTS/ACK) to the data rate instead of
+    /// the basic rate — removing the "control frames reserve 3x the data
+    /// range" effect the paper highlights.
+    control_at_data_rate: bool,
+}
+
+fn run(label: &str, knobs: Knobs, tcp: bool) {
+    let traffic = if tcp {
+        Traffic::BulkTcp { mss: 512 }
+    } else {
+        Traffic::SaturatedUdp { payload_bytes: 512, backlog: 10 }
+    };
+    let mut mac = MacConfig::new(PhyRate::R11);
+    mac.eifs_enabled = knobs.eifs;
+    if knobs.control_at_data_rate {
+        mac.control_rate = mac.data_rate;
+    }
+    let mut radio = RadioConfig::dwl650();
+    if !knobs.pcs {
+        radio = radio.without_pcs_advantage();
+    }
+    radio.capture_enabled = knobs.capture;
+    let day = if knobs.still_channel { DayProfile::still() } else { DayProfile::clear() };
+
+    let report = ScenarioBuilder::new(PhyRate::R11)
+        .line(&[0.0, 25.0, 107.5, 132.5])
+        .mac_config(mac)
+        .radio(radio)
+        .day(day)
+        .seed(1)
+        .duration(SimDuration::from_secs(20))
+        .warmup(SimDuration::from_secs(2))
+        .flow(0, 1, traffic)
+        .flow(2, 3, traffic)
+        .run();
+
+    let s1 = report.flow(FlowId(0)).throughput_kbps;
+    let s2 = report.flow(FlowId(1)).throughput_kbps;
+    println!(
+        "{label:24} | S1->S2 {s1:7.0} kb/s | S3->S4 {s2:7.0} kb/s | imbalance {:6.2}x",
+        if s1 > 0.0 { s2 / s1 } else { f64::INFINITY }
+    );
+}
+
+fn main() {
+    let tcp = std::env::args().any(|a| a == "tcp");
+    let base = Knobs {
+        eifs: true,
+        pcs: true,
+        capture: true,
+        still_channel: false,
+        control_at_data_rate: false,
+    };
+    println!(
+        "Ablations on the Figure 7 scenario ({})\n",
+        if tcp { "TCP" } else { "UDP" }
+    );
+    run("baseline", base, tcp);
+    run("D1: PCS = TX range", Knobs { pcs: false, ..base }, tcp);
+    run("D2: control at data rate", Knobs { control_at_data_rate: true, ..base }, tcp);
+    run("D3: EIFS off", Knobs { eifs: false, ..base }, tcp);
+    run("D4: still channel", Knobs { still_channel: true, ..base }, tcp);
+    run("D5: capture off", Knobs { capture: false, ..base }, tcp);
+}

@@ -1,0 +1,180 @@
+//! Regenerates every table and figure of the paper as text.
+//!
+//! Usage: `cargo run --release --bin repro [-- --quick]`
+//!
+//! `--quick` runs 4 s sessions instead of 20 s (same shapes, less
+//! confidence). Output sections are numbered after the paper's artifacts.
+
+use dot11_adhoc::analytic::{overhead_breakdown, table2, Dot11bParams, TransportKind};
+use dot11_adhoc::experiments::four_station::{figure11, figure12, figure7, figure9, FourStationCell};
+use dot11_adhoc::experiments::{figure2, figure3, figure4, table3, ExpConfig};
+use dot11_adhoc::range::estimate_crossing;
+use dot11_phy::{PhyRate, Preamble};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick { ExpConfig::quick() } else { ExpConfig::full() };
+    println!("Reproduction of: IEEE 802.11 Ad Hoc Networks: Performance Measurements");
+    println!("(Anastasi, Borgia, Conti, Gregori — ICDCS-W 2003)");
+    println!(
+        "Sessions: {} per measurement, seed {}\n",
+        cfg.duration, cfg.seed
+    );
+
+    table1();
+    figure1();
+    print_table2();
+    print_figure2(cfg);
+    print_figure3(cfg);
+    print_figure4(cfg);
+    print_table3(cfg);
+    print_four_station("FIGURE 7 — asymmetric scenario, 11 Mb/s (d = 25/82.5/25 m)", figure7(cfg));
+    print_four_station("FIGURE 9 — asymmetric scenario, 2 Mb/s (d = 25/92.5/25 m)", figure9(cfg));
+    print_four_station("FIGURE 11 — symmetric scenario, 11 Mb/s (d = 25/62.5/25 m)", figure11(cfg));
+    print_four_station("FIGURE 12 — symmetric scenario, 2 Mb/s (d = 25/62.5/25 m)", figure12(cfg));
+}
+
+fn table1() {
+    let p = Dot11bParams::table1();
+    println!("== TABLE 1 — IEEE 802.11b parameter values ==");
+    println!(
+        "Slot {} us | tau {} us | PHYhdr {} bits | MAChdr {} bits | SIFS {} us | DIFS {} us",
+        p.slot_us, p.tau_us, p.phy_hdr_bits, p.mac_hdr_bits, p.sifs_us, p.difs_us
+    );
+    println!(
+        "ACK {} bits + PHYhdr | CWmin {} slots | CWmax {} slots | rates 1, 2, 5.5, 11 Mb/s\n",
+        p.ack_bits, p.cw_min, p.cw_max
+    );
+}
+
+fn figure1() {
+    println!("== FIGURE 1 — encapsulation overheads (m = 512 B) ==");
+    println!("{:>9} | {:>9} | {:>6} | {:>6} | {:>8} | payload airtime", "transport", "data rate", "IP", "MPDU", "airtime");
+    for (t, label) in [(TransportKind::Udp, "UDP"), (TransportKind::Tcp, "TCP")] {
+        for rate in [PhyRate::R11, PhyRate::R1] {
+            let b = overhead_breakdown(512, t, rate, Preamble::Long);
+            println!(
+                "{label:>9} | {rate:>9} | {:>4} B | {:>4} B | {:>6.0} us | {:>5.1}%",
+                b.ip_bytes,
+                b.mpdu_bytes,
+                b.total_us(),
+                100.0 * b.payload_airtime_fraction()
+            );
+        }
+    }
+    println!();
+}
+
+fn print_table2() {
+    println!("== TABLE 2 — maximum throughput (Mb/s), analytic ==");
+    println!("            |     m = 512 B      |     m = 1024 B");
+    println!("  data rate | no RTS/CTS RTS/CTS | no RTS/CTS RTS/CTS");
+    for row in table2() {
+        println!(
+            "{:>11} |  {:>8.3} {:>8.3} |  {:>8.3} {:>8.3}",
+            row.rate.to_string(),
+            row.m512_basic,
+            row.m512_rts,
+            row.m1024_basic,
+            row.m1024_rts
+        );
+    }
+    println!("(paper prints 0.738 for 1 Mb/s / 512 B / RTS-CTS; that cell is");
+    println!(" inconsistent with the other 15 — see EXPERIMENTS.md)\n");
+}
+
+fn print_figure2(cfg: ExpConfig) {
+    println!("== FIGURE 2 — ideal vs measured throughput, 11 Mb/s, m = 512 B ==");
+    println!("{:>10} | {:>9} | {:>9} | {:>9}", "scheme", "ideal", "real UDP", "real TCP");
+    for row in figure2::figure2(cfg) {
+        println!(
+            "{:>10} | {:>7.3} M | {:>7.3} M | {:>7.3} M",
+            row.scheme.to_string(),
+            row.ideal_mbps,
+            row.udp_mbps,
+            row.tcp_mbps
+        );
+    }
+    println!("(ideal = Eq. (1)/(2) with every term included)\n");
+}
+
+fn print_figure3(cfg: ExpConfig) {
+    println!("== FIGURE 3 — packet loss vs distance per data rate ==");
+    let curves = figure3::figure3(cfg);
+    print!("{:>8} |", "d (m)");
+    for c in &curves {
+        print!(" {:>8}", c.rate.to_string());
+    }
+    println!();
+    for (i, &d) in figure3::DISTANCES_M.iter().enumerate() {
+        print!("{d:>8.0} |");
+        for c in &curves {
+            print!(" {:>8.2}", c.curve.points()[i].1);
+        }
+        println!();
+    }
+    println!();
+}
+
+fn print_figure4(cfg: ExpConfig) {
+    println!("== FIGURE 4 — 1 Mb/s transmission range on different days ==");
+    let curves = figure4::figure4(cfg);
+    print!("{:>8} |", "d (m)");
+    for c in &curves {
+        print!(" {:>20}", c.day);
+    }
+    println!();
+    for (i, &d) in figure4::DISTANCES_M.iter().enumerate() {
+        print!("{d:>8.0} |");
+        for c in &curves {
+            print!(" {:>20.2}", c.curve.points()[i].1);
+        }
+        println!();
+    }
+    for c in &curves {
+        match estimate_crossing(&c.curve, 0.5) {
+            Some(r) => println!("  {}: 50% loss at ~{r:.0} m", c.day),
+            None => println!("  {}: still connected at 160 m", c.day),
+        }
+    }
+    println!();
+}
+
+fn print_table3(cfg: ExpConfig) {
+    println!("== TABLE 3 — transmission-range estimates ==");
+    println!("{:>14} | {:>9} | {:>9} | {:>9} | {:>9}", "", "11 Mb/s", "5.5 Mb/s", "2 Mb/s", "1 Mb/s");
+    let entries = table3::table3(cfg);
+    let fmt = |r: Option<f64>| match r {
+        Some(m) => format!("{m:>6.0} m"),
+        None => ">150 m".to_owned(),
+    };
+    print!("{:>14} |", "data range");
+    for e in entries.iter().rev() {
+        print!(" {:>9} |", fmt(e.data_range_m));
+    }
+    println!();
+    print!("{:>14} |", "control range");
+    for e in entries.iter().rev() {
+        print!(" {:>9} |", fmt(e.control_range_m));
+    }
+    println!("\n(paper: data 30 / 70 / 90-100 / 110-130 m; control 90 m at 2 Mb/s, 120 m at 1 Mb/s)\n");
+}
+
+fn print_four_station(title: &str, cells: Vec<FourStationCell>) {
+    println!("== {title} ==");
+    println!(
+        "{:>9} | {:>10} | {:>12} | {:>12} | imbalance",
+        "transport", "scheme", "S1->S2", "S3->S4"
+    );
+    for c in &cells {
+        println!(
+            "{:>9} | {:>10} | {:>8.0} kb/s | {:>8.0} kb/s | {:>6.2}x",
+            c.transport.to_string(),
+            c.scheme.to_string(),
+            c.session1_kbps,
+            c.session2_kbps,
+            c.imbalance()
+        );
+    }
+    println!();
+}

@@ -1,0 +1,120 @@
+//! Property-based tests over randomized full-stack scenarios.
+//!
+//! Each case builds a small random topology and traffic mix, runs it to
+//! completion, and checks the invariants that must hold whatever the
+//! draw: conservation (nothing delivered that was not sent), bounded
+//! rates, loss within [0,1], and counter consistency.
+
+use desim::SimDuration;
+use dot11_testbed::adhoc::{ScenarioBuilder, Traffic};
+use dot11_testbed::phy::PhyRate;
+use proptest::prelude::*;
+
+fn rate_strategy() -> impl Strategy<Value = PhyRate> {
+    prop_oneof![
+        Just(PhyRate::R1),
+        Just(PhyRate::R2),
+        Just(PhyRate::R5_5),
+        Just(PhyRate::R11),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Random 2-4 station lines with 1-2 UDP flows: conservation and
+    /// bounds hold; reports are internally consistent.
+    #[test]
+    fn random_udp_scenarios_respect_invariants(
+        rate in rate_strategy(),
+        seed in 0u64..1000,
+        rts in any::<bool>(),
+        spacing in 5.0f64..120.0,
+        stations in 2usize..5,
+        two_flows in any::<bool>(),
+    ) {
+        let xs: Vec<f64> = (0..stations).map(|i| i as f64 * spacing).collect();
+        let mut b = ScenarioBuilder::new(rate)
+            .line(&xs)
+            .rts(rts)
+            .seed(seed)
+            .duration(SimDuration::from_secs(1))
+            .warmup(SimDuration::from_millis(100))
+            .flow(0, (stations - 1) as u32, Traffic::SaturatedUdp { payload_bytes: 512, backlog: 5 });
+        let flows = if two_flows && stations >= 3 {
+            b = b.flow(1, 0, Traffic::SaturatedUdp { payload_bytes: 256, backlog: 5 });
+            2
+        } else {
+            1
+        };
+        let report = b.run();
+        prop_assert_eq!(report.flows.len(), flows);
+        for f in &report.flows {
+            // Conservation: delivery never exceeds what the source emitted.
+            prop_assert!(f.delivered_packets <= f.offered_packets,
+                "flow {} delivered {} > offered {}", f.flow, f.delivered_packets, f.offered_packets);
+            prop_assert!(f.measured_bytes <= f.delivered_bytes);
+            prop_assert!((0.0..=1.0).contains(&f.loss_rate));
+            // Application throughput can never exceed the PHY rate.
+            prop_assert!(f.throughput_kbps <= rate.bits_per_sec() / 1000.0,
+                "flow {} at {:.0} kb/s exceeds {}", f.flow, f.throughput_kbps, rate);
+        }
+        // MAC counter consistency at every station. Every completion was
+        // preceded by at least one transmission — a data frame, or (when
+        // the exchange dies at the RTS stage) an RTS.
+        for n in &report.nodes {
+            prop_assert!(n.mac.tx_success <= n.mac.data_tx);
+            prop_assert!(n.mac.tx_success + n.mac.tx_dropped <= n.mac.data_tx + n.mac.rts_tx);
+            prop_assert!(n.phy.decoded + n.phy.body_errors + n.phy.header_errors <= n.phy.locks);
+        }
+        // Every delivered MSDU was delivered by some MAC.
+        let delivered_mac: u64 = report.nodes.iter().map(|n| n.mac.delivered).sum();
+        let delivered_flows: u64 = report.flows.iter().map(|f| f.delivered_packets).sum();
+        prop_assert!(delivered_flows <= delivered_mac);
+    }
+
+    /// TCP flows never deliver out of thin air and never exceed the line
+    /// rate; senders account for every segment.
+    #[test]
+    fn random_tcp_scenarios_respect_invariants(
+        rate in rate_strategy(),
+        seed in 0u64..1000,
+        distance in 5.0f64..100.0,
+    ) {
+        let report = ScenarioBuilder::new(rate)
+            .line(&[0.0, distance])
+            .seed(seed)
+            .duration(SimDuration::from_secs(1))
+            .warmup(SimDuration::from_millis(100))
+            .flow(0, 1, Traffic::BulkTcp { mss: 512 })
+            .run();
+        let f = &report.flows[0];
+        prop_assert!(f.delivered_bytes <= f.offered_packets * 512,
+            "delivered {} bytes from {} segments", f.delivered_bytes, f.offered_packets);
+        prop_assert!(f.throughput_kbps <= rate.bits_per_sec() / 1000.0);
+        prop_assert_eq!(f.loss_rate, 0.0, "TCP reports no datagram loss");
+    }
+
+    /// Determinism as a property: any scenario re-run with its own seed
+    /// reproduces its event count and deliveries exactly.
+    #[test]
+    fn any_scenario_is_deterministic(
+        rate in rate_strategy(),
+        seed in 0u64..200,
+        distance in 10.0f64..140.0,
+    ) {
+        let run = || ScenarioBuilder::new(rate)
+            .line(&[0.0, distance])
+            .seed(seed)
+            .duration(SimDuration::from_millis(700))
+            .warmup(SimDuration::from_millis(100))
+            .flow(0, 1, Traffic::SaturatedUdp { payload_bytes: 512, backlog: 5 })
+            .run();
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.events, b.events);
+        prop_assert_eq!(a.flows[0].delivered_bytes, b.flows[0].delivered_bytes);
+        prop_assert_eq!(a.nodes[0].mac, b.nodes[0].mac);
+        prop_assert_eq!(a.nodes[1].phy, b.nodes[1].phy);
+    }
+}
