@@ -6,11 +6,11 @@
 //! each mechanism changes the simulation cost (EIFS and PCS change the
 //! number of MAC events dramatically).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use desim::SimDuration;
 use std::hint::black_box;
 
+use desim::SimDuration;
 use dot11_adhoc::{ScenarioBuilder, Traffic};
+use dot11_bench::Harness;
 use dot11_mac::MacConfig;
 use dot11_phy::{DayProfile, PhyRate, RadioConfig};
 
@@ -35,11 +35,31 @@ const BASE: Variant = Variant {
 
 const VARIANTS: [Variant; 6] = [
     BASE,
-    Variant { name: "d1_no_pcs", pcs: false, ..BASE },
-    Variant { name: "d2_ctrl_at_data_rate", ctrl_at_data: true, ..BASE },
-    Variant { name: "d3_no_eifs", eifs: false, ..BASE },
-    Variant { name: "d4_still_channel", still: true, ..BASE },
-    Variant { name: "d5_no_capture", capture: false, ..BASE },
+    Variant {
+        name: "d1_no_pcs",
+        pcs: false,
+        ..BASE
+    },
+    Variant {
+        name: "d2_ctrl_at_data_rate",
+        ctrl_at_data: true,
+        ..BASE
+    },
+    Variant {
+        name: "d3_no_eifs",
+        eifs: false,
+        ..BASE
+    },
+    Variant {
+        name: "d4_still_channel",
+        still: true,
+        ..BASE
+    },
+    Variant {
+        name: "d5_no_capture",
+        capture: false,
+        ..BASE
+    },
 ];
 
 fn run_variant(v: Variant) -> f64 {
@@ -53,7 +73,11 @@ fn run_variant(v: Variant) -> f64 {
         radio = radio.without_pcs_advantage();
     }
     radio.capture_enabled = v.capture;
-    let day = if v.still { DayProfile::still() } else { DayProfile::clear() };
+    let day = if v.still {
+        DayProfile::still()
+    } else {
+        DayProfile::clear()
+    };
     let report = ScenarioBuilder::new(PhyRate::R11)
         .line(&[0.0, 25.0, 107.5, 132.5])
         .mac_config(mac)
@@ -62,20 +86,31 @@ fn run_variant(v: Variant) -> f64 {
         .seed(3)
         .duration(SimDuration::from_secs(1))
         .warmup(SimDuration::from_millis(200))
-        .flow(0, 1, Traffic::SaturatedUdp { payload_bytes: 512, backlog: 10 })
-        .flow(2, 3, Traffic::SaturatedUdp { payload_bytes: 512, backlog: 10 })
+        .flow(
+            0,
+            1,
+            Traffic::SaturatedUdp {
+                payload_bytes: 512,
+                backlog: 10,
+            },
+        )
+        .flow(
+            2,
+            3,
+            Traffic::SaturatedUdp {
+                payload_bytes: 512,
+                backlog: 10,
+            },
+        )
         .run();
     report.total_throughput_kbps()
 }
 
-fn bench_ablations(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablations_fig7");
-    g.sample_size(10);
+fn main() {
+    let h = Harness::from_args();
     for v in VARIANTS {
-        g.bench_function(v.name, |b| b.iter(|| black_box(run_variant(v))));
+        h.bench(&format!("ablations_fig7/{}", v.name), || {
+            black_box(run_variant(v))
+        });
     }
-    g.finish();
 }
-
-criterion_group!(ablation_benches, bench_ablations);
-criterion_main!(ablation_benches);

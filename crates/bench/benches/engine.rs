@@ -1,104 +1,102 @@
 //! Substrate microbenchmarks: the hot paths under every experiment.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use desim::{EventQueue, SimDuration, SimRng, SimTime, Simulator};
 use dot11_adhoc::{ScenarioBuilder, Traffic};
+use dot11_bench::Harness;
 use dot11_net::{TcpConfig, TcpSender};
 use dot11_phy::{ber, packet_success_prob, Modulation};
 use dot11_phy::{FrameAirtime, PhyRate, Preamble};
 
 /// Event-queue churn: the simulator's innermost loop.
-fn bench_event_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("desim");
-    g.bench_function("queue_push_pop_1k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1_000u64 {
-                q.push(SimTime::from_nanos((i * 7919) % 100_000), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, v)) = q.pop() {
-                sum = sum.wrapping_add(v);
-            }
-            black_box(sum)
-        })
+fn bench_event_queue(h: &Harness) {
+    h.bench("desim/queue_push_pop_1k", || {
+        let mut q = EventQueue::new();
+        for i in 0..1_000u64 {
+            q.push(SimTime::from_nanos((i * 7919) % 100_000), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, v)) = q.pop() {
+            sum = sum.wrapping_add(v);
+        }
+        sum
     });
-    g.bench_function("timer_churn_arm_cancel", |b| {
-        b.iter(|| {
-            let mut sim: Simulator<u32> = Simulator::new();
-            for i in 0..1_000u32 {
-                let h = sim.schedule_in(SimDuration::from_micros(50), i);
-                sim.cancel(h);
-                sim.schedule_in(SimDuration::from_micros(20), i);
-                sim.pop();
-            }
-            black_box(sim.events_dispatched())
-        })
+    h.bench("desim/timer_churn_arm_cancel", || {
+        let mut sim: Simulator<u32> = Simulator::new();
+        for i in 0..1_000u32 {
+            let handle = sim.schedule_in(SimDuration::from_micros(50), i);
+            sim.cancel(handle);
+            sim.schedule_in(SimDuration::from_micros(20), i);
+            sim.pop();
+        }
+        sim.events_dispatched()
     });
-    g.bench_function("rng_substream_derivation", |b| {
-        let master = SimRng::from_seed(1);
-        b.iter(|| black_box(master.substream(b"node-42/backoff")).gen_f64())
+    let master = SimRng::from_seed(1);
+    h.bench("desim/rng_substream_derivation", || {
+        black_box(master.substream(b"node-42/backoff")).gen_f64()
     });
-    g.finish();
 }
 
 /// PHY arithmetic: error model and airtime.
-fn bench_phy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("phy");
-    g.bench_function("ber_cck11", |b| b.iter(|| ber(Modulation::Cck11, black_box(20.0))));
-    g.bench_function("packet_success_12kbit", |b| {
-        b.iter(|| packet_success_prob(black_box(1e-5), 12_000))
+fn bench_phy(h: &Harness) {
+    h.bench("phy/ber_cck11", || ber(Modulation::Cck11, black_box(20.0)));
+    h.bench("phy/packet_success_12kbit", || {
+        packet_success_prob(black_box(1e-5), 12_000)
     });
-    g.bench_function("frame_airtime", |b| {
-        b.iter(|| FrameAirtime::new(black_box(1536), PhyRate::R11, Preamble::Long).total())
+    h.bench("phy/frame_airtime", || {
+        FrameAirtime::new(black_box(1536), PhyRate::R11, Preamble::Long).total()
     });
-    g.finish();
 }
 
 /// TCP sender state machine without the radio under it.
-fn bench_tcp(c: &mut Criterion) {
-    c.bench_function("tcp/ack_clock_1k_acks", |b| {
-        b.iter(|| {
-            let mut s = TcpSender::new(
-                dot11_net::FlowId(0),
-                dot11_phy::NodeId(0),
-                dot11_phy::NodeId(1),
-                TcpConfig::new(512),
-            );
-            let mut out = Vec::new();
-            s.start(SimTime::ZERO, &mut out);
-            let mut acked = 0u64;
-            for k in 1..1_000u64 {
-                out.clear();
-                acked = (acked + 512).min(s.acked_bytes() + s.flight_size());
-                s.on_ack(acked, SimTime::from_millis(k), &mut out);
-            }
-            black_box(s.stats().segments_sent)
-        })
+fn bench_tcp(h: &Harness) {
+    h.bench("tcp/ack_clock_1k_acks", || {
+        let mut s = TcpSender::new(
+            dot11_net::FlowId(0),
+            dot11_phy::NodeId(0),
+            dot11_phy::NodeId(1),
+            TcpConfig::new(512),
+        );
+        let mut out = Vec::new();
+        s.start(SimTime::ZERO, &mut out);
+        let mut acked = 0u64;
+        for k in 1..1_000u64 {
+            out.clear();
+            acked = (acked + 512).min(s.acked_bytes() + s.flight_size());
+            s.on_ack(acked, SimTime::from_millis(k), &mut out);
+        }
+        s.stats().segments_sent
     });
 }
 
 /// End-to-end: simulated seconds per wall second on the canonical
-/// two-node saturated link.
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut g = c.benchmark_group("end_to_end");
-    g.sample_size(10);
-    g.bench_function("two_node_udp_1s_sim", |b| {
-        b.iter(|| {
-            ScenarioBuilder::new(PhyRate::R11)
-                .line(&[0.0, 10.0])
-                .seed(1)
-                .duration(SimDuration::from_secs(1))
-                .warmup(SimDuration::from_millis(100))
-                .flow(0, 1, Traffic::SaturatedUdp { payload_bytes: 512, backlog: 10 })
-                .run()
-                .events
-        })
+/// two-node saturated link (the NullSink regression canary: tracing is
+/// compiled out here and must stay free).
+fn bench_end_to_end(h: &Harness) {
+    h.bench("end_to_end/two_node_udp_1s_sim", || {
+        ScenarioBuilder::new(PhyRate::R11)
+            .line(&[0.0, 10.0])
+            .seed(1)
+            .duration(SimDuration::from_secs(1))
+            .warmup(SimDuration::from_millis(100))
+            .flow(
+                0,
+                1,
+                Traffic::SaturatedUdp {
+                    payload_bytes: 512,
+                    backlog: 10,
+                },
+            )
+            .run()
+            .events
     });
-    g.finish();
 }
 
-criterion_group!(engine, bench_event_queue, bench_phy, bench_tcp, bench_end_to_end);
-criterion_main!(engine);
+fn main() {
+    let h = Harness::from_args();
+    bench_event_queue(&h);
+    bench_phy(&h);
+    bench_tcp(&h);
+    bench_end_to_end(&h);
+}

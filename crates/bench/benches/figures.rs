@@ -5,48 +5,35 @@
 //! * `figure3` — the loss-vs-distance sweep, per rate and full.
 //! * `figure4` — the two-day 1 Mb/s sweep.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use dot11_adhoc::analytic::{overhead_breakdown, TransportKind};
 use dot11_adhoc::experiments::figure2::figure2;
 use dot11_adhoc::experiments::figure3::{figure3, loss_curve, DISTANCES_M};
 use dot11_adhoc::experiments::figure4::figure4;
-use dot11_bench::bench_config;
+use dot11_bench::{bench_config, Harness};
 use dot11_phy::{DayProfile, PhyRate, Preamble};
 
-fn bench_figure1(c: &mut Criterion) {
-    c.bench_function("figure1/overhead_breakdown", |b| {
-        b.iter(|| overhead_breakdown(black_box(512), TransportKind::Udp, PhyRate::R11, Preamble::Long))
+fn main() {
+    let h = Harness::from_args();
+    let cfg = bench_config();
+    h.bench("figure1/overhead_breakdown", || {
+        overhead_breakdown(
+            black_box(512),
+            TransportKind::Udp,
+            PhyRate::R11,
+            Preamble::Long,
+        )
     });
-}
-
-fn bench_figure2(c: &mut Criterion) {
-    let cfg = bench_config();
-    let mut g = c.benchmark_group("figure2");
-    g.sample_size(10);
-    g.bench_function("ideal_vs_udp_vs_tcp", |b| b.iter(|| black_box(figure2(cfg))));
-    g.finish();
-}
-
-fn bench_figure3(c: &mut Criterion) {
-    let cfg = bench_config();
-    let mut g = c.benchmark_group("figure3");
-    g.sample_size(10);
-    g.bench_function("one_rate_11mbps", |b| {
-        b.iter(|| black_box(loss_curve(cfg, PhyRate::R11, DayProfile::clear(), &DISTANCES_M)))
+    h.bench("figure2/ideal_vs_udp_vs_tcp", || black_box(figure2(cfg)));
+    h.bench("figure3/one_rate_11mbps", || {
+        black_box(loss_curve(
+            cfg,
+            PhyRate::R11,
+            DayProfile::clear(),
+            &DISTANCES_M,
+        ))
     });
-    g.bench_function("all_rates", |b| b.iter(|| black_box(figure3(cfg))));
-    g.finish();
+    h.bench("figure3/all_rates", || black_box(figure3(cfg)));
+    h.bench("figure4/two_days_1mbps", || black_box(figure4(cfg)));
 }
-
-fn bench_figure4(c: &mut Criterion) {
-    let cfg = bench_config();
-    let mut g = c.benchmark_group("figure4");
-    g.sample_size(10);
-    g.bench_function("two_days_1mbps", |b| b.iter(|| black_box(figure4(cfg))));
-    g.finish();
-}
-
-criterion_group!(figures, bench_figure1, bench_figure2, bench_figure3, bench_figure4);
-criterion_main!(figures);

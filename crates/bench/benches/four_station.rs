@@ -1,38 +1,37 @@
 //! Regeneration benches for the four-station figures (7, 9, 11, 12).
 //!
-//! Each group runs the four cells (UDP/TCP × basic/RTS-CTS) of one
+//! Each entry runs the four cells (UDP/TCP × basic/RTS-CTS) of one
 //! figure; `single_cell` isolates one saturated-UDP run for profiling the
 //! hot path (PHY SINR integration + DCF state machine).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use dot11_adhoc::experiments::four_station::{
     figure11, figure12, figure7, figure9, four_station, FourStationLayout,
 };
-use dot11_bench::bench_config;
+use dot11_bench::{bench_config, Harness};
 use dot11_phy::PhyRate;
 
-fn bench_figures(c: &mut Criterion) {
+fn main() {
+    let h = Harness::from_args();
     let cfg = bench_config();
-    let mut g = c.benchmark_group("four_station");
-    g.sample_size(10);
-    g.bench_function("figure7_asym_11mbps", |b| b.iter(|| black_box(figure7(cfg))));
-    g.bench_function("figure9_asym_2mbps", |b| b.iter(|| black_box(figure9(cfg))));
-    g.bench_function("figure11_sym_11mbps", |b| b.iter(|| black_box(figure11(cfg))));
-    g.bench_function("figure12_sym_2mbps", |b| b.iter(|| black_box(figure12(cfg))));
-    g.finish();
-}
-
-fn bench_single_cell(c: &mut Criterion) {
-    let cfg = bench_config();
-    let mut g = c.benchmark_group("four_station_cell");
-    g.sample_size(10);
-    g.bench_function("udp_both_schemes_11mbps", |b| {
-        b.iter(|| black_box(four_station(cfg, PhyRate::R11, FourStationLayout::AsymmetricAt11)))
+    h.bench("four_station/figure7_asym_11mbps", || {
+        black_box(figure7(cfg))
     });
-    g.finish();
+    h.bench("four_station/figure9_asym_2mbps", || {
+        black_box(figure9(cfg))
+    });
+    h.bench("four_station/figure11_sym_11mbps", || {
+        black_box(figure11(cfg))
+    });
+    h.bench("four_station/figure12_sym_2mbps", || {
+        black_box(figure12(cfg))
+    });
+    h.bench("four_station_cell/udp_both_schemes_11mbps", || {
+        black_box(four_station(
+            cfg,
+            PhyRate::R11,
+            FourStationLayout::AsymmetricAt11,
+        ))
+    });
 }
-
-criterion_group!(four_station_benches, bench_figures, bench_single_cell);
-criterion_main!(four_station_benches);

@@ -7,41 +7,27 @@
 //! * `table3` — the transmission-range table distilled from simulated
 //!   loss-vs-distance sweeps (the heavy one).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use dot11_adhoc::analytic::{
     max_throughput_eq, max_throughput_paper, table2, AccessScheme, Dot11bParams,
 };
 use dot11_adhoc::experiments::table3::table3;
-use dot11_bench::bench_config;
+use dot11_bench::{bench_config, Harness};
 use dot11_phy::PhyRate;
 
-fn bench_table1(c: &mut Criterion) {
-    c.bench_function("table1/params", |b| {
-        b.iter(|| black_box(Dot11bParams::table1()).mean_backoff_us())
-    });
-}
-
-fn bench_table2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2");
-    g.bench_function("paper_variant_16_cells", |b| b.iter(|| black_box(table2())));
-    g.bench_function("single_cell_paper", |b| {
-        b.iter(|| max_throughput_paper(black_box(1024), PhyRate::R11, AccessScheme::Basic))
-    });
-    g.bench_function("single_cell_eq", |b| {
-        b.iter(|| max_throughput_eq(black_box(1024), PhyRate::R11, AccessScheme::RtsCts))
-    });
-    g.finish();
-}
-
-fn bench_table3(c: &mut Criterion) {
+fn main() {
+    let h = Harness::from_args();
     let cfg = bench_config();
-    let mut g = c.benchmark_group("table3");
-    g.sample_size(10);
-    g.bench_function("range_sweep_all_rates", |b| b.iter(|| black_box(table3(cfg))));
-    g.finish();
+    h.bench("table1/params", || {
+        black_box(Dot11bParams::table1()).mean_backoff_us()
+    });
+    h.bench("table2/paper_variant_16_cells", || black_box(table2()));
+    h.bench("table2/single_cell_paper", || {
+        max_throughput_paper(black_box(1024), PhyRate::R11, AccessScheme::Basic)
+    });
+    h.bench("table2/single_cell_eq", || {
+        max_throughput_eq(black_box(1024), PhyRate::R11, AccessScheme::RtsCts)
+    });
+    h.bench("table3/range_sweep_all_rates", || black_box(table3(cfg)));
 }
-
-criterion_group!(tables, bench_table1, bench_table2, bench_table3);
-criterion_main!(tables);

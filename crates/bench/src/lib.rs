@@ -1,21 +1,108 @@
 //! Shared helpers for the testbed benches.
 //!
-//! The benches live in `benches/`, one Criterion group per paper artifact
-//! (see `DESIGN.md` §3). Each group measures the cost of *regenerating*
-//! that artifact; the `repro` binary in the workspace root prints the
+//! The benches live in `benches/`, one group per paper artifact (see
+//! `DESIGN.md` §3). Each group measures the cost of *regenerating* that
+//! artifact; the `repro` binary in the workspace root prints the
 //! artifacts themselves.
+//!
+//! Timing is done by the self-contained [`Harness`] below (the container
+//! has no bench framework): each benchmark warms up briefly, then runs
+//! timed iterations until a wall-clock budget is spent, and reports the
+//! median/min per-iteration time. Pass a substring on the command line to
+//! run a subset: `cargo bench --bench engine -- queue`.
+
+use std::time::{Duration, Instant};
 
 use desim::SimDuration;
 use dot11_adhoc::experiments::ExpConfig;
 
 /// The reduced configuration benches run at: 1 s sessions are enough to
-/// exercise every code path while keeping Criterion's repeated sampling
-/// affordable.
+/// exercise every code path while keeping repeated sampling affordable.
 pub fn bench_config() -> ExpConfig {
     ExpConfig {
         seed: 3,
         duration: SimDuration::from_secs(1),
         warmup: SimDuration::from_millis(200),
+    }
+}
+
+/// A minimal benchmark runner: substring filtering, warm-up, a fixed
+/// wall-clock budget per benchmark, median-of-iterations reporting.
+pub struct Harness {
+    filter: Option<String>,
+    budget: Duration,
+    max_iters: usize,
+}
+
+impl Harness {
+    /// Builds a harness from `std::env::args`, ignoring flags (cargo
+    /// passes `--bench`); the first free argument is a substring filter
+    /// on benchmark names.
+    pub fn from_args() -> Harness {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Harness::with_filter(filter)
+    }
+
+    /// Builds a harness with an explicit (optional) name filter.
+    pub fn with_filter(filter: Option<String>) -> Harness {
+        Harness {
+            filter,
+            budget: Duration::from_secs(1),
+            max_iters: 1_000,
+        }
+    }
+
+    /// Whether `name` passes the filter.
+    pub fn selected(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Times `f`, printing one line: name, median and min per-iteration
+    /// time, and the iteration count. Always runs at least one timed
+    /// iteration, so even multi-second benchmarks report.
+    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) {
+        if !self.selected(name) {
+            return;
+        }
+        // Warm-up: up to two iterations or 200 ms, whichever first.
+        let warm_start = Instant::now();
+        for _ in 0..2 {
+            std::hint::black_box(f());
+            if warm_start.elapsed() > Duration::from_millis(200) {
+                break;
+            }
+        }
+        let mut samples = Vec::new();
+        let start = Instant::now();
+        while samples.len() < self.max_iters
+            && (samples.is_empty() || start.elapsed() < self.budget)
+        {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            samples.push(t0.elapsed());
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        println!(
+            "{name:<44} median {:>10}  min {:>10}  ({} iters)",
+            fmt_duration(median),
+            fmt_duration(min),
+            samples.len()
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
     }
 }
 
@@ -28,5 +115,22 @@ mod tests {
         let c = bench_config();
         assert!(c.warmup < c.duration);
         assert_eq!(c.seed, 3, "benches pin the reference channel state");
+    }
+
+    #[test]
+    fn filter_selects_by_substring() {
+        let h = Harness::with_filter(Some("queue".into()));
+        assert!(h.selected("desim/queue_push_pop_1k"));
+        assert!(!h.selected("phy/ber_cck11"));
+        let all = Harness::with_filter(None);
+        assert!(all.selected("anything"));
+    }
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert_eq!(fmt_duration(Duration::from_nanos(120)), "120 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(3)), "3.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(15)), "15.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
     }
 }

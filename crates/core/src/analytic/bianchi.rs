@@ -61,8 +61,7 @@ pub fn bianchi(n: u32, m_bytes: u32, data_rate: PhyRate) -> BianchiPoint {
         let tau_next = if p == 0.0 {
             2.0 / (w + 1.0)
         } else {
-            2.0 * (1.0 - two_p)
-                / ((1.0 - two_p) * (w + 1.0) + p * w * (1.0 - two_p.powf(stages)))
+            2.0 * (1.0 - two_p) / ((1.0 - two_p) * (w + 1.0) + p * w * (1.0 - two_p.powf(stages)))
         };
         let new = 0.5 * tau + 0.5 * tau_next;
         if (new - tau).abs() < 1e-12 {
@@ -89,12 +88,16 @@ pub fn bianchi(n: u32, m_bytes: u32, data_rate: PhyRate) -> BianchiPoint {
     } else {
         0.0
     };
-    let denom = (1.0 - p_tr) * p_tbl.slot_us
-        + p_tr * p_s * t_success
-        + p_tr * (1.0 - p_s) * t_collision;
+    let denom =
+        (1.0 - p_tr) * p_tbl.slot_us + p_tr * p_s * t_success + p_tr * (1.0 - p_s) * t_collision;
     let throughput_mbps = p_tr * p_s * payload_bits / denom;
 
-    BianchiPoint { stations: n, tau, collision_prob: p, throughput_mbps }
+    BianchiPoint {
+        stations: n,
+        tau,
+        collision_prob: p,
+        throughput_mbps,
+    }
 }
 
 #[cfg(test)]
@@ -110,7 +113,12 @@ mod tests {
         // CWmin/2 = 16: within a few percent.
         let eq1 = max_throughput_eq(512, PhyRate::R11, AccessScheme::Basic);
         let rel = (b.throughput_mbps - eq1).abs() / eq1;
-        assert!(rel < 0.03, "bianchi n=1 {:.3} vs Eq.(1) {:.3}", b.throughput_mbps, eq1);
+        assert!(
+            rel < 0.03,
+            "bianchi n=1 {:.3} vs Eq.(1) {:.3}",
+            b.throughput_mbps,
+            eq1
+        );
     }
 
     #[test]
@@ -124,10 +132,21 @@ mod tests {
         // idle backoff slots) to a peak around n≈5, then collision cost
         // takes over — the classic DCF hump.
         let peak = pts.iter().map(|p| p.throughput_mbps).fold(0.0, f64::max);
-        assert!(peak > pts[0].throughput_mbps, "peak {peak:.3} above n=1 {:.3}", pts[0].throughput_mbps);
+        assert!(
+            peak > pts[0].throughput_mbps,
+            "peak {peak:.3} above n=1 {:.3}",
+            pts[0].throughput_mbps
+        );
         let far = bianchi(50, 512, PhyRate::R11);
-        assert!(far.throughput_mbps < peak, "large n erodes: {:.3} < {peak:.3}", far.throughput_mbps);
-        assert!(far.throughput_mbps > pts[0].throughput_mbps * 0.7, "but does not collapse");
+        assert!(
+            far.throughput_mbps < peak,
+            "large n erodes: {:.3} < {peak:.3}",
+            far.throughput_mbps
+        );
+        assert!(
+            far.throughput_mbps > pts[0].throughput_mbps * 0.7,
+            "but does not collapse"
+        );
     }
 
     #[test]

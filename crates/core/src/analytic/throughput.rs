@@ -114,9 +114,7 @@ pub fn max_throughput_paper(m_bytes: u32, data_rate: PhyRate, scheme: AccessSche
         AccessScheme::Basic => denom_basic,
         // T_CTS at 2 Mb/s + 2 SIFS = 248 + 20 = 268 µs, independent of the
         // data rate.
-        AccessScheme::RtsCts => {
-            denom_basic + (p.phy_hdr_bits + p.cts_bits / 2.0) + 2.0 * p.sifs_us
-        }
+        AccessScheme::RtsCts => denom_basic + (p.phy_hdr_bits + p.cts_bits / 2.0) + 2.0 * p.sifs_us,
     };
     payload_bits / denom
 }
@@ -163,7 +161,13 @@ mod tests {
         (PhyRate::R11, 3.06, 2.549, 4.788, 4.139),
         (PhyRate::R5_5, 2.366, 2.049, 3.308, 2.985),
         (PhyRate::R2, 1.319, 1.214, 1.589, 1.511),
-        (PhyRate::R1, 0.758, f64::NAN /* printed 0.738, typo */, 0.862, 0.839),
+        (
+            PhyRate::R1,
+            0.758,
+            f64::NAN, /* printed 0.738, typo */
+            0.862,
+            0.839,
+        ),
     ];
 
     #[test]
@@ -206,7 +210,10 @@ mod tests {
                     let eq = max_throughput_eq(m, rate, s);
                     let paper = max_throughput_paper(m, rate, s);
                     let rel = (eq - paper).abs() / paper;
-                    assert!(rel < 0.12, "{rate} m={m} {s}: eq {eq:.3} vs paper {paper:.3}");
+                    assert!(
+                        rel < 0.12,
+                        "{rate} m={m} {s}: eq {eq:.3} vs paper {paper:.3}"
+                    );
                 }
             }
         }
@@ -237,7 +244,8 @@ mod tests {
         let short = max_throughput_eq_with(512, PhyRate::R11, AccessScheme::Basic, Preamble::Short);
         assert!(short > long * 1.12, "short {short:.3} vs long {long:.3}");
         // Four PLCPs under RTS/CTS: the gain is even larger there.
-        let long_rts = max_throughput_eq_with(512, PhyRate::R11, AccessScheme::RtsCts, Preamble::Long);
+        let long_rts =
+            max_throughput_eq_with(512, PhyRate::R11, AccessScheme::RtsCts, Preamble::Long);
         let short_rts =
             max_throughput_eq_with(512, PhyRate::R11, AccessScheme::RtsCts, Preamble::Short);
         assert!(short_rts / long_rts > short / long);
@@ -265,6 +273,9 @@ mod tests {
         assert_eq!(rows[0].rate, PhyRate::R11, "fastest rate first, as printed");
         let r2 = &rows[2];
         assert_eq!(r2.rate, PhyRate::R2);
-        assert_eq!(r2.m512_rts, max_throughput_paper(512, PhyRate::R2, AccessScheme::RtsCts));
+        assert_eq!(
+            r2.m512_rts,
+            max_throughput_paper(512, PhyRate::R2, AccessScheme::RtsCts)
+        );
     }
 }

@@ -29,7 +29,7 @@
 //! evidently had (their Figure 7 sessions move megabits).
 
 use desim::SimDuration;
-use dot11_phy::{Db, DayProfile, LogDistance, MediumConfig, Meters};
+use dot11_phy::{DayProfile, Db, LogDistance, MediumConfig, Meters};
 
 /// The calibrated path-loss model (see module docs).
 pub fn calibrated_path_loss() -> LogDistance {
@@ -89,10 +89,22 @@ mod tests {
         let r1 = median_range(PhyRate::R1, bits);
         // Bands: the paper's Table 3 values +10% (the deliberate anchor
         // shift documented in the module docs).
-        assert!((27.0..38.0).contains(&r11), "11 Mb/s range {r11:.0} m (paper: 30 m)");
-        assert!((60.0..85.0).contains(&r55), "5.5 Mb/s range {r55:.0} m (paper: 70 m)");
-        assert!((90.0..115.0).contains(&r2), "2 Mb/s range {r2:.0} m (paper: 90-100 m)");
-        assert!((115.0..140.0).contains(&r1), "1 Mb/s range {r1:.0} m (paper: 110-130 m)");
+        assert!(
+            (27.0..38.0).contains(&r11),
+            "11 Mb/s range {r11:.0} m (paper: 30 m)"
+        );
+        assert!(
+            (60.0..85.0).contains(&r55),
+            "5.5 Mb/s range {r55:.0} m (paper: 70 m)"
+        );
+        assert!(
+            (90.0..115.0).contains(&r2),
+            "2 Mb/s range {r2:.0} m (paper: 90-100 m)"
+        );
+        assert!(
+            (115.0..140.0).contains(&r1),
+            "1 Mb/s range {r1:.0} m (paper: 110-130 m)"
+        );
         assert!(r11 < r55 && r55 < r2 && r2 < r1);
     }
 

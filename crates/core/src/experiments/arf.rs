@@ -54,7 +54,13 @@ pub fn arf_sweep(cfg: ExpConfig, distances: &[f64]) -> Vec<ArfSweepRow> {
                 })
                 .max_by(|a, b| a.0.total_cmp(&b.0))
                 .expect("four rates probed");
-            ArfSweepRow { distance_m: d, arf_kbps, arf_final_rate, best_fixed_kbps, best_fixed_rate }
+            ArfSweepRow {
+                distance_m: d,
+                arf_kbps,
+                arf_final_rate,
+                best_fixed_kbps,
+                best_fixed_rate,
+            }
         })
         .collect()
 }
@@ -69,10 +75,21 @@ fn measure(cfg: ExpConfig, rate: PhyRate, distance: f64, arf: bool, salt: u64) -
         let report = ScenarioBuilder::new(rate)
             .line(&[0.0, distance])
             .arf(arf)
-            .seed(cfg.seed.wrapping_mul(7321).wrapping_add(salt * SESSIONS_PER_POINT + session))
+            .seed(
+                cfg.seed
+                    .wrapping_mul(7321)
+                    .wrapping_add(salt * SESSIONS_PER_POINT + session),
+            )
             .duration(cfg.duration)
             .warmup(cfg.warmup)
-            .flow(0, 1, Traffic::SaturatedUdp { payload_bytes: 512, backlog: 10 })
+            .flow(
+                0,
+                1,
+                Traffic::SaturatedUdp {
+                    payload_bytes: 512,
+                    backlog: 10,
+                },
+            )
             .run();
         sum += report.flow(FlowId(0)).throughput_kbps;
         final_rate = report.nodes[0].final_data_rate;
@@ -97,7 +114,11 @@ mod tests {
         // within a factor of the best fixed rate.
         let near = &rows[0];
         assert_eq!(near.best_fixed_rate, PhyRate::R11);
-        assert_eq!(near.arf_final_rate, PhyRate::R11, "ARF should climb at 10 m");
+        assert_eq!(
+            near.arf_final_rate,
+            PhyRate::R11,
+            "ARF should climb at 10 m"
+        );
         assert!(
             near.arf_kbps > near.best_fixed_kbps * 0.75,
             "ARF {:.0} vs best fixed {:.0} at 10 m",
@@ -106,13 +127,21 @@ mod tests {
         );
         // Mid: 11 Mb/s is dead at 60 m; ARF must avoid it.
         let mid = &rows[1];
-        assert!(mid.arf_final_rate <= PhyRate::R5_5, "ARF at 60 m picked {}", mid.arf_final_rate);
+        assert!(
+            mid.arf_final_rate <= PhyRate::R5_5,
+            "ARF at 60 m picked {}",
+            mid.arf_final_rate
+        );
         assert!(mid.arf_kbps > mid.best_fixed_kbps * 0.4);
         // Far: only the basic rates survive; ARF must be on one of them
         // and deliver a meaningful share of what the best fixed rate gets
         // (which may itself be small if the sessions drew bad channels).
         let far = &rows[2];
-        assert!(far.arf_final_rate <= PhyRate::R2, "ARF at 120 m picked {}", far.arf_final_rate);
+        assert!(
+            far.arf_final_rate <= PhyRate::R2,
+            "ARF at 120 m picked {}",
+            far.arf_final_rate
+        );
         assert!(
             far.arf_kbps > far.best_fixed_kbps * 0.25,
             "ARF {:.1} vs best fixed {:.1} at 120 m",

@@ -39,10 +39,15 @@ pub fn figure2_at(cfg: ExpConfig, rate: PhyRate, payload: u32) -> Vec<Figure2Row
         .into_iter()
         .map(|scheme| {
             let rts = scheme == AccessScheme::RtsCts;
-            let udp = measure(cfg, rate, rts, Traffic::SaturatedUdp {
-                payload_bytes: payload,
-                backlog: 10,
-            });
+            let udp = measure(
+                cfg,
+                rate,
+                rts,
+                Traffic::SaturatedUdp {
+                    payload_bytes: payload,
+                    backlog: 10,
+                },
+            );
             let tcp = measure(cfg, rate, rts, Traffic::BulkTcp { mss: payload });
             Figure2Row {
                 scheme,
@@ -77,7 +82,11 @@ mod tests {
         for row in &rows {
             // UDP within 10% of the analytic maximum.
             let udp_gap = (row.udp_mbps - row.ideal_mbps).abs() / row.ideal_mbps;
-            assert!(udp_gap < 0.10, "{:?}: UDP {udp_gap:.3} off ideal", row.scheme);
+            assert!(
+                udp_gap < 0.10,
+                "{:?}: UDP {udp_gap:.3} off ideal",
+                row.scheme
+            );
             // TCP at least 15% below UDP (TCP-ACK airtime cost).
             assert!(
                 row.tcp_mbps < row.udp_mbps * 0.85,

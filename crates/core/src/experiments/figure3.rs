@@ -15,8 +15,9 @@ use crate::scenario::{ScenarioBuilder, Traffic};
 use super::ExpConfig;
 
 /// The probed distances of the paper's Figure 3, meters.
-pub const DISTANCES_M: [f64; 14] =
-    [20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0, 110.0, 120.0, 130.0, 140.0, 150.0];
+pub const DISTANCES_M: [f64; 14] = [
+    20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0, 110.0, 120.0, 130.0, 140.0, 150.0,
+];
 
 /// One curve of Figure 3.
 #[derive(Debug, Clone)]
@@ -31,7 +32,10 @@ pub struct RateLossCurve {
 pub fn figure3(cfg: ExpConfig) -> Vec<RateLossCurve> {
     PhyRate::ALL
         .iter()
-        .map(|&rate| RateLossCurve { rate, curve: loss_curve(cfg, rate, DayProfile::clear(), &DISTANCES_M) })
+        .map(|&rate| RateLossCurve {
+            rate,
+            curve: loss_curve(cfg, rate, DayProfile::clear(), &DISTANCES_M),
+        })
         .collect()
 }
 
@@ -88,21 +92,34 @@ mod tests {
 
     #[test]
     fn curves_transition_in_rate_order() {
-        let cfg = ExpConfig { duration: SimDuration::from_secs(6), ..ExpConfig::quick() };
+        let cfg = ExpConfig {
+            duration: SimDuration::from_secs(6),
+            ..ExpConfig::quick()
+        };
         let curves = figure3(cfg);
         assert_eq!(curves.len(), 4);
         let crossing = |rate: PhyRate| {
-            let c = curves.iter().find(|c| c.rate == rate).expect("rate present");
+            let c = curves
+                .iter()
+                .find(|c| c.rate == rate)
+                .expect("rate present");
             estimate_crossing(&c.curve, 0.5)
         };
         let r11 = crossing(PhyRate::R11).expect("11 Mb/s dies within 150 m");
         let r55 = crossing(PhyRate::R5_5).expect("5.5 Mb/s dies within 150 m");
         let r2 = crossing(PhyRate::R2).expect("2 Mb/s dies within 150 m");
         let r1 = crossing(PhyRate::R1).expect("1 Mb/s dies within 150 m");
-        assert!(r11 < r55 && r55 < r2 && r2 < r1, "ranges {r11:.0} {r55:.0} {r2:.0} {r1:.0}");
+        assert!(
+            r11 < r55 && r55 < r2 && r2 < r1,
+            "ranges {r11:.0} {r55:.0} {r2:.0} {r1:.0}"
+        );
         // Near-field loss is small, far-field loss is near-total.
         for c in &curves {
-            assert!(c.curve.first_loss().expect("has points") < 0.35, "{}: lossy at 20 m", c.rate);
+            assert!(
+                c.curve.first_loss().expect("has points") < 0.35,
+                "{}: lossy at 20 m",
+                c.rate
+            );
         }
         let far = curves
             .iter()

@@ -14,8 +14,9 @@ use super::ExpConfig;
 
 /// The probed distances of Figure 4, meters (the paper sweeps 50–160 m
 /// for this figure).
-pub const DISTANCES_M: [f64; 12] =
-    [50.0, 60.0, 70.0, 80.0, 90.0, 100.0, 110.0, 120.0, 130.0, 140.0, 150.0, 160.0];
+pub const DISTANCES_M: [f64; 12] = [
+    50.0, 60.0, 70.0, 80.0, 90.0, 100.0, 110.0, 120.0, 130.0, 140.0, 150.0, 160.0,
+];
 
 /// One curve of Figure 4.
 #[derive(Debug, Clone)]
@@ -45,7 +46,10 @@ mod tests {
 
     #[test]
     fn damp_day_shortens_the_range() {
-        let cfg = ExpConfig { duration: SimDuration::from_secs(6), ..ExpConfig::quick() };
+        let cfg = ExpConfig {
+            duration: SimDuration::from_secs(6),
+            ..ExpConfig::quick()
+        };
         let curves = figure4(cfg);
         assert_eq!(curves.len(), 2);
         let clear = estimate_crossing(&curves[0].curve, 0.5).expect("clear day crosses");
@@ -55,7 +59,10 @@ mod tests {
             "damp-day range {damp:.0} m should sit visibly below clear-day {clear:.0} m"
         );
         // Both in the paper's 1 Mb/s band.
-        assert!((95.0..140.0).contains(&clear), "clear-day range {clear:.0} m");
+        assert!(
+            (95.0..140.0).contains(&clear),
+            "clear-day range {clear:.0} m"
+        );
         assert!((80.0..130.0).contains(&damp), "damp-day range {damp:.0} m");
     }
 }

@@ -113,15 +113,21 @@ pub fn four_station(
     cells
 }
 
-fn run_once(
+/// Builds the scenario for one four-station cell without running it —
+/// callers that want a trace or time-series attach a sink via
+/// [`crate::Scenario::run_with`].
+pub fn scenario(
     cfg: ExpConfig,
     rate: PhyRate,
     layout: FourStationLayout,
     transport: SessionTransport,
     scheme: AccessScheme,
-) -> RunReport {
+) -> crate::Scenario {
     let traffic = match transport {
-        SessionTransport::Udp => Traffic::SaturatedUdp { payload_bytes: 512, backlog: 10 },
+        SessionTransport::Udp => Traffic::SaturatedUdp {
+            payload_bytes: 512,
+            backlog: 10,
+        },
         SessionTransport::Tcp => Traffic::BulkTcp { mss: 512 },
     };
     ScenarioBuilder::new(rate)
@@ -132,7 +138,17 @@ fn run_once(
         .warmup(cfg.warmup)
         .flow(0, 1, traffic)
         .flow(2, 3, traffic)
-        .run()
+        .build()
+}
+
+fn run_once(
+    cfg: ExpConfig,
+    rate: PhyRate,
+    layout: FourStationLayout,
+    transport: SessionTransport,
+    scheme: AccessScheme,
+) -> RunReport {
+    scenario(cfg, rate, layout, transport, scheme).run()
 }
 
 /// Figure 7: asymmetric scenario at 11 Mb/s.
@@ -173,9 +189,18 @@ mod tests {
 
     #[test]
     fn layouts_match_the_papers_geometry() {
-        assert_eq!(FourStationLayout::AsymmetricAt11.positions(), [0.0, 25.0, 107.5, 132.5]);
-        assert_eq!(FourStationLayout::AsymmetricAt2.positions(), [0.0, 25.0, 117.5, 142.5]);
-        assert_eq!(FourStationLayout::Symmetric.positions(), [0.0, 25.0, 87.5, 112.5]);
+        assert_eq!(
+            FourStationLayout::AsymmetricAt11.positions(),
+            [0.0, 25.0, 107.5, 132.5]
+        );
+        assert_eq!(
+            FourStationLayout::AsymmetricAt2.positions(),
+            [0.0, 25.0, 117.5, 142.5]
+        );
+        assert_eq!(
+            FourStationLayout::Symmetric.positions(),
+            [0.0, 25.0, 87.5, 112.5]
+        );
     }
 
     #[test]

@@ -47,12 +47,12 @@ pub struct ExpConfig {
 impl ExpConfig {
     /// Full-fidelity settings used by the `repro` binary: 20 s sessions.
     ///
-    /// Seed 3 is the documented reference channel state: like the paper's
+    /// Seed 105 is the documented reference channel state: like the paper's
     /// own single measurement days, the four-station results depend on
     /// the session's channel draw (see EXPERIMENTS.md §sensitivity).
     pub fn full() -> ExpConfig {
         ExpConfig {
-            seed: 3,
+            seed: 105,
             duration: SimDuration::from_secs(20),
             warmup: SimDuration::from_secs(2),
         }
@@ -62,7 +62,7 @@ impl ExpConfig {
     /// qualitative shapes are stable well below this.
     pub fn quick() -> ExpConfig {
         ExpConfig {
-            seed: 3,
+            seed: 105,
             duration: SimDuration::from_secs(4),
             warmup: SimDuration::from_millis(500),
         }

@@ -47,9 +47,18 @@ pub fn chain_throughput(
                 rate,
                 hop_spacing_m,
                 hops,
-                Traffic::SaturatedUdp { payload_bytes: 512, backlog: 10 },
+                Traffic::SaturatedUdp {
+                    payload_bytes: 512,
+                    backlog: 10,
+                },
             ),
-            tcp_kbps: run_chain(cfg, rate, hop_spacing_m, hops, Traffic::BulkTcp { mss: 512 }),
+            tcp_kbps: run_chain(
+                cfg,
+                rate,
+                hop_spacing_m,
+                hops,
+                Traffic::BulkTcp { mss: 512 },
+            ),
         })
         .collect()
 }
@@ -91,7 +100,10 @@ mod tests {
         let one = rows[0].udp_kbps;
         let two = rows[1].udp_kbps;
         let three = rows[2].udp_kbps;
-        assert!(one > 1000.0, "single hop should approach the 2 Mb/s bound, got {one:.0}");
+        assert!(
+            one > 1000.0,
+            "single hop should approach the 2 Mb/s bound, got {one:.0}"
+        );
         // Classic chain collapse: ~1/2 at two hops, ~1/3 at three.
         assert!(
             (0.30..0.65).contains(&(two / one)),
@@ -102,10 +114,18 @@ mod tests {
             three < two,
             "3-hop {three:.0} should not beat 2-hop {two:.0}"
         );
-        assert!(three / one > 0.15, "3-hop should still flow: {three:.0} vs {one:.0}");
+        assert!(
+            three / one > 0.15,
+            "3-hop should still flow: {three:.0} vs {one:.0}"
+        );
         // TCP survives the chain end to end.
         for r in &rows {
-            assert!(r.tcp_kbps > 100.0, "{}-hop TCP too low: {:.0}", r.hops, r.tcp_kbps);
+            assert!(
+                r.tcp_kbps > 100.0,
+                "{}-hop TCP too low: {:.0}",
+                r.hops,
+                r.tcp_kbps
+            );
             assert!(r.tcp_kbps < r.udp_kbps, "{}-hop TCP above UDP?", r.hops);
         }
     }

@@ -52,7 +52,10 @@ mod tests {
 
     #[test]
     fn ranges_land_in_the_papers_bands() {
-        let cfg = ExpConfig { duration: SimDuration::from_secs(6), ..ExpConfig::quick() };
+        let cfg = ExpConfig {
+            duration: SimDuration::from_secs(6),
+            ..ExpConfig::quick()
+        };
         let entries = table3(cfg);
         let get = |rate: PhyRate| {
             entries
@@ -63,18 +66,40 @@ mod tests {
                 .expect("within sweep")
         };
         // Paper's Table 3 bands, slightly widened for simulation noise.
-        assert!((22.0..42.0).contains(&get(PhyRate::R11)), "11 Mb/s: {}", get(PhyRate::R11));
-        assert!((50.0..85.0).contains(&get(PhyRate::R5_5)), "5.5 Mb/s: {}", get(PhyRate::R5_5));
-        assert!((80.0..110.0).contains(&get(PhyRate::R2)), "2 Mb/s: {}", get(PhyRate::R2));
-        assert!((100.0..140.0).contains(&get(PhyRate::R1)), "1 Mb/s: {}", get(PhyRate::R1));
+        assert!(
+            (22.0..42.0).contains(&get(PhyRate::R11)),
+            "11 Mb/s: {}",
+            get(PhyRate::R11)
+        );
+        assert!(
+            (50.0..85.0).contains(&get(PhyRate::R5_5)),
+            "5.5 Mb/s: {}",
+            get(PhyRate::R5_5)
+        );
+        assert!(
+            (80.0..110.0).contains(&get(PhyRate::R2)),
+            "2 Mb/s: {}",
+            get(PhyRate::R2)
+        );
+        assert!(
+            (100.0..140.0).contains(&get(PhyRate::R1)),
+            "1 Mb/s: {}",
+            get(PhyRate::R1)
+        );
         // Control range at 11 Mb/s equals the 2 Mb/s data range: much
         // larger than the 11 Mb/s data range (the paper's key point).
-        let e11 = entries.iter().find(|e| e.rate == PhyRate::R11).expect("11 Mb/s entry");
+        let e11 = entries
+            .iter()
+            .find(|e| e.rate == PhyRate::R11)
+            .expect("11 Mb/s entry");
         let ctrl = e11.control_range_m.expect("control range in sweep");
         let data = e11.data_range_m.expect("data range in sweep");
         assert!(ctrl > 2.0 * data, "control {ctrl:.0} m vs data {data:.0} m");
         // At 1 Mb/s data and control travel identically.
-        let e1 = entries.iter().find(|e| e.rate == PhyRate::R1).expect("1 Mb/s entry");
+        let e1 = entries
+            .iter()
+            .find(|e| e.rate == PhyRate::R1)
+            .expect("1 Mb/s entry");
         assert_eq!(e1.data_range_m, e1.control_range_m);
     }
 }

@@ -40,5 +40,7 @@ pub mod world;
 pub use calib::{calibrated_medium_config, calibrated_path_loss};
 pub use range::{estimate_crossing, LossCurve};
 pub use scenario::{Scenario, ScenarioBuilder, Traffic};
-pub use stats::{FlowReport, NodeReport, RunReport};
+pub use stats::{EngineStats, FlowReport, NodeReport, RunReport};
 pub use world::World;
+
+pub use dot11_trace as trace;

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use dot11_mac::DcfMac;
 use dot11_net::{CbrSource, FlowId, Packet, SaturatedSource, TcpReceiver, TcpSender};
 use dot11_phy::{NodeId, PhyState};
+use dot11_trace::{NullSink, TraceSink};
 
 /// Receiver-side accounting for a UDP flow.
 #[derive(Debug, Clone, Copy, Default)]
@@ -37,21 +38,21 @@ impl UdpSink {
 /// Fields are crate-internal; the [`crate::world::World`] event loop is
 /// the only driver. Reports expose the interesting state.
 #[derive(Debug)]
-pub struct Node {
+pub struct Node<S: TraceSink = NullSink> {
     pub(crate) id: NodeId,
-    pub(crate) phy: PhyState,
-    pub(crate) mac: DcfMac<Packet>,
+    pub(crate) phy: PhyState<S>,
+    pub(crate) mac: DcfMac<Packet, S>,
     /// Last carrier-sense state reported to the MAC (edge detection).
     pub(crate) cs_reported: bool,
-    pub(crate) tcp_senders: HashMap<FlowId, TcpSender>,
+    pub(crate) tcp_senders: HashMap<FlowId, TcpSender<S>>,
     pub(crate) tcp_receivers: HashMap<FlowId, TcpReceiver>,
     pub(crate) cbr_sources: HashMap<FlowId, CbrSource>,
     pub(crate) saturated_sources: HashMap<FlowId, SaturatedSource>,
     pub(crate) udp_sinks: HashMap<FlowId, UdpSink>,
 }
 
-impl Node {
-    pub(crate) fn new(id: NodeId, phy: PhyState, mac: DcfMac<Packet>) -> Node {
+impl<S: TraceSink> Node<S> {
+    pub(crate) fn new(id: NodeId, phy: PhyState<S>, mac: DcfMac<Packet, S>) -> Node<S> {
         Node {
             id,
             phy,
@@ -91,7 +92,7 @@ impl Node {
     }
 
     /// The TCP sending endpoint for `flow`, if this node originates it.
-    pub fn tcp_sender(&self, flow: FlowId) -> Option<&TcpSender> {
+    pub fn tcp_sender(&self, flow: FlowId) -> Option<&TcpSender<S>> {
         self.tcp_senders.get(&flow)
     }
 }

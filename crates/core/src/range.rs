@@ -26,7 +26,10 @@ impl LossCurve {
     pub fn push(&mut self, distance: f64, loss: f64) {
         assert!((0.0..=1.0).contains(&loss), "loss {loss} outside [0,1]");
         if let Some(&(prev, _)) = self.points.last() {
-            assert!(distance > prev, "distances must increase: {prev} then {distance}");
+            assert!(
+                distance > prev,
+                "distances must increase: {prev} then {distance}"
+            );
         }
         self.points.push((distance, loss));
     }

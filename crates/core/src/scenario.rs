@@ -25,6 +25,7 @@ use desim::SimDuration;
 use dot11_mac::MacConfig;
 use dot11_net::{FlowId, StaticRoutes};
 use dot11_phy::{DayProfile, NodeId, PathLoss, PhyRate, Position, RadioConfig};
+use dot11_trace::TraceSink;
 
 use crate::calib::calibrated_path_loss;
 use crate::stats::RunReport;
@@ -108,6 +109,17 @@ impl Scenario {
     /// Builds and runs to completion.
     pub fn run(self) -> RunReport {
         self.into_world().run()
+    }
+
+    /// Builds the world with a trace sink attached (see
+    /// [`World::with_sink`]).
+    pub fn into_world_with<S: TraceSink + Clone>(self, sink: S) -> World<S> {
+        World::with_sink(self, sink)
+    }
+
+    /// Builds and runs to completion with a trace sink attached.
+    pub fn run_with<S: TraceSink + Clone>(self, sink: S) -> RunReport {
+        self.into_world_with(sink).run()
     }
 }
 
@@ -274,7 +286,12 @@ impl ScenarioBuilder {
     pub fn build(self) -> Scenario {
         let s = &self.scenario;
         assert!(!s.positions.is_empty(), "scenario has no stations");
-        assert!(s.warmup < s.duration, "warmup {} must be shorter than duration {}", s.warmup, s.duration);
+        assert!(
+            s.warmup < s.duration,
+            "warmup {} must be shorter than duration {}",
+            s.warmup,
+            s.duration
+        );
         for f in &s.flows {
             assert!(
                 f.src.index() < s.positions.len() && f.dst.index() < s.positions.len(),
@@ -300,7 +317,14 @@ mod tests {
     fn builder_assigns_dense_ids() {
         let s = ScenarioBuilder::new(PhyRate::R2)
             .line(&[0.0, 10.0, 20.0])
-            .flow(0, 1, Traffic::SaturatedUdp { payload_bytes: 512, backlog: 5 })
+            .flow(
+                0,
+                1,
+                Traffic::SaturatedUdp {
+                    payload_bytes: 512,
+                    backlog: 5,
+                },
+            )
             .flow(1, 2, Traffic::BulkTcp { mss: 512 })
             .build();
         assert_eq!(s.positions.len(), 3);

@@ -53,6 +53,44 @@ pub struct NodeReport {
     pub airtime: Airtime,
 }
 
+/// Engine self-instrumentation for one run: how hard the simulator worked
+/// and how fast it went relative to simulated time.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineStats {
+    /// Events dispatched by the simulator.
+    pub events: u64,
+    /// Largest number of pending events ever queued at once.
+    pub queue_high_water: usize,
+    /// Simulated time covered by the run.
+    pub sim_elapsed: SimDuration,
+    /// Wall-clock time the run took.
+    pub wall: std::time::Duration,
+}
+
+impl EngineStats {
+    /// Simulated-seconds per wall-second (0 when the wall clock did not
+    /// observably advance).
+    pub fn speedup(&self) -> f64 {
+        let w = self.wall.as_secs_f64();
+        if w > 0.0 {
+            self.sim_elapsed.as_secs_f64() / w
+        } else {
+            0.0
+        }
+    }
+
+    /// Events dispatched per wall-second (0 when the wall clock did not
+    /// observably advance).
+    pub fn events_per_sec(&self) -> f64 {
+        let w = self.wall.as_secs_f64();
+        if w > 0.0 {
+            self.events as f64 / w
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Jain's fairness index over per-flow throughputs:
 /// `(Σx)² / (n·Σx²)` — 1.0 is perfectly fair, 1/n is a single winner.
 ///
@@ -86,8 +124,11 @@ pub struct RunReport {
     pub flows: Vec<FlowReport>,
     /// Per-station counters, in station order.
     pub nodes: Vec<NodeReport>,
-    /// Events dispatched by the simulator (diagnostic).
+    /// Events dispatched by the simulator (diagnostic; mirrors
+    /// `engine.events`).
     pub events: u64,
+    /// Engine self-instrumentation.
+    pub engine: EngineStats,
 }
 
 impl RunReport {
@@ -153,6 +194,12 @@ mod tests {
             ],
             nodes: vec![],
             events: 1234,
+            engine: EngineStats {
+                events: 1234,
+                queue_high_water: 7,
+                sim_elapsed: SimDuration::from_secs(10),
+                wall: std::time::Duration::from_millis(20),
+            },
         }
     }
 
@@ -178,5 +225,25 @@ mod tests {
     fn missing_flow_panics() {
         let r = report();
         let _ = r.flow(FlowId(9));
+    }
+
+    #[test]
+    fn engine_rates() {
+        let e = report().engine;
+        // 10 simulated seconds in 20 ms of wall time.
+        assert!((e.speedup() - 500.0).abs() < 1e-9);
+        assert!((e.events_per_sec() - 61_700.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn engine_rates_guard_zero_wall() {
+        let e = EngineStats {
+            events: 10,
+            queue_high_water: 1,
+            sim_elapsed: SimDuration::from_secs(1),
+            wall: std::time::Duration::ZERO,
+        };
+        assert_eq!(e.speedup(), 0.0);
+        assert_eq!(e.events_per_sec(), 0.0);
     }
 }

@@ -13,14 +13,24 @@
 use std::collections::HashMap;
 
 use desim::{EventHandle, SimDuration, SimRng, SimTime, Simulator};
-use dot11_mac::{DcfMac, MacAction, MacFrame, MacSdu, TimerKind};
-use dot11_net::{FlowId, Packet, Segment, StaticRoutes, TcpOutput, TcpReceiver, TcpSender};
+use dot11_mac::{DcfMac, FrameKind, MacAction, MacFrame, MacSdu, TimerKind};
 use dot11_net::{CbrSource, SaturatedSource, TcpConfig};
+use dot11_net::{FlowId, Packet, Segment, StaticRoutes, TcpOutput, TcpReceiver, TcpSender};
 use dot11_phy::{Medium, MediumConfig, NodeId, PhyState, RxOutcomeKind, Shadowing, TxId, TxSignal};
+use dot11_trace::{FrameClass, NullSink, RxErrorCause, TraceRecord, TraceSink};
 
 use crate::node::{Node, UdpSink};
 use crate::scenario::{FlowSpec, Scenario, Traffic};
-use crate::stats::{FlowReport, NodeReport, RunReport};
+use crate::stats::{EngineStats, FlowReport, NodeReport, RunReport};
+
+fn frame_class(kind: FrameKind) -> FrameClass {
+    match kind {
+        FrameKind::Data => FrameClass::Data,
+        FrameKind::Rts => FrameClass::Rts,
+        FrameKind::Cts => FrameClass::Cts,
+        FrameKind::Ack => FrameClass::Ack,
+    }
+}
 
 /// Events flowing through the simulator.
 #[derive(Debug)]
@@ -89,10 +99,16 @@ struct InFlight {
 }
 
 /// The assembled simulation (see module docs).
-pub struct World {
+///
+/// Generic over a [`TraceSink`]; the default [`NullSink`] compiles every
+/// emission site away. Pass a real sink (usually a
+/// [`dot11_trace::SharedSink`], which is `Clone`) via
+/// [`World::with_sink`] to observe the run.
+pub struct World<S: TraceSink + Clone = NullSink> {
     sim: Simulator<Event>,
     medium: Medium,
-    nodes: Vec<Node>,
+    nodes: Vec<Node<S>>,
+    sink: S,
     flows: Vec<FlowSpec>,
     in_flight: HashMap<TxId, InFlight>,
     mac_timers: HashMap<(u32, TimerKind), EventHandle>,
@@ -106,8 +122,16 @@ pub struct World {
 }
 
 impl World {
-    /// Assembles a world from a scenario.
+    /// Assembles a world from a scenario with tracing disabled.
     pub fn new(scenario: Scenario) -> World {
+        World::with_sink(scenario, NullSink)
+    }
+}
+
+impl<S: TraceSink + Clone> World<S> {
+    /// Assembles a world from a scenario, wiring `sink` through every
+    /// layer (PHY, MAC, TCP, and the world's own frame/flow events).
+    pub fn with_sink(scenario: Scenario, sink: S) -> World<S> {
         let Scenario {
             positions,
             radio,
@@ -125,16 +149,29 @@ impl World {
         let medium = Medium::new(
             positions.clone(),
             shadowing,
-            MediumConfig { path_loss, day, propagation_delay: desim::SimDuration::from_micros(1) },
+            MediumConfig {
+                path_loss,
+                day,
+                propagation_delay: desim::SimDuration::from_micros(1),
+            },
         );
         let mut radio = radio;
         radio.preamble = mac.preamble;
         let mut nodes = Vec::with_capacity(positions.len());
         for i in 0..positions.len() {
             let id = NodeId(i as u32);
-            let phy = PhyState::new(radio, master.substream(format!("phy/{i}").as_bytes()));
-            let dcf: DcfMac<Packet> =
-                DcfMac::new(id, mac, master.substream(format!("mac/{i}").as_bytes()));
+            let phy = PhyState::with_sink(
+                radio,
+                master.substream(format!("phy/{i}").as_bytes()),
+                id,
+                sink.clone(),
+            );
+            let dcf: DcfMac<Packet, S> = DcfMac::with_sink(
+                id,
+                mac,
+                master.substream(format!("mac/{i}").as_bytes()),
+                sink.clone(),
+            );
             nodes.push(Node::new(id, phy, dcf));
         }
         let mut sim = Simulator::new();
@@ -146,6 +183,7 @@ impl World {
             sim,
             medium,
             nodes,
+            sink,
             flows,
             in_flight: HashMap::new(),
             mac_timers: HashMap::new(),
@@ -164,25 +202,37 @@ impl World {
     fn install_endpoints(&mut self) {
         for f in self.flows.clone() {
             match f.traffic {
-                Traffic::SaturatedUdp { payload_bytes, backlog } => {
+                Traffic::SaturatedUdp {
+                    payload_bytes,
+                    backlog,
+                } => {
                     self.nodes[f.src.index()].saturated_sources.insert(
                         f.id,
                         SaturatedSource::new(f.id, f.src, f.dst, payload_bytes, backlog),
                     );
-                    self.nodes[f.dst.index()].udp_sinks.insert(f.id, UdpSink::default());
+                    self.nodes[f.dst.index()]
+                        .udp_sinks
+                        .insert(f.id, UdpSink::default());
                 }
-                Traffic::CbrUdp { payload_bytes, interval, limit } => {
+                Traffic::CbrUdp {
+                    payload_bytes,
+                    interval,
+                    limit,
+                } => {
                     self.nodes[f.src.index()].cbr_sources.insert(
                         f.id,
                         CbrSource::new(f.id, f.src, f.dst, payload_bytes, interval, limit),
                     );
-                    self.nodes[f.dst.index()].udp_sinks.insert(f.id, UdpSink::default());
+                    self.nodes[f.dst.index()]
+                        .udp_sinks
+                        .insert(f.id, UdpSink::default());
                 }
                 Traffic::BulkTcp { mss } => {
                     let cfg = TcpConfig::new(mss);
-                    self.nodes[f.src.index()]
-                        .tcp_senders
-                        .insert(f.id, TcpSender::new(f.id, f.src, f.dst, cfg));
+                    self.nodes[f.src.index()].tcp_senders.insert(
+                        f.id,
+                        TcpSender::with_sink(f.id, f.src, f.dst, cfg, self.sink.clone()),
+                    );
                     self.nodes[f.dst.index()]
                         .tcp_receivers
                         .insert(f.id, TcpReceiver::new(f.id, f.dst, f.src, cfg));
@@ -193,6 +243,7 @@ impl World {
 
     /// Runs the scenario to its configured duration and reports.
     pub fn run(mut self) -> RunReport {
+        let wall_start = std::time::Instant::now();
         let end = SimTime::ZERO + self.duration;
         while let Some(t) = self.sim.peek_time() {
             if t > end {
@@ -201,7 +252,12 @@ impl World {
             let (now, ev) = self.sim.pop().expect("peeked event");
             self.handle(now, ev);
         }
-        self.report()
+        if S::ENABLED {
+            // Close at the configured end so the final metrics window
+            // spans to the run boundary, not the last event.
+            self.sink.finish(end);
+        }
+        self.report(wall_start.elapsed())
     }
 
     fn handle(&mut self, now: SimTime, ev: Event) {
@@ -216,7 +272,9 @@ impl World {
             Event::MacTimer { node, kind } => {
                 self.mac_timers.remove(&(node.0, kind));
                 let mut actions = Vec::new();
-                self.nodes[node.index()].mac.on_timer(kind, now, &mut actions);
+                self.nodes[node.index()]
+                    .mac
+                    .on_timer(kind, now, &mut actions);
                 self.apply_mac_actions(node.index(), actions, now);
             }
             Event::RtoTimer { node, flow } => {
@@ -248,7 +306,11 @@ impl World {
     // --- traffic ---------------------------------------------------------
 
     fn start_flow(&mut self, flow: FlowId, now: SimTime) {
-        let spec = *self.flows.iter().find(|f| f.id == flow).expect("known flow");
+        let spec = *self
+            .flows
+            .iter()
+            .find(|f| f.id == flow)
+            .expect("known flow");
         match spec.traffic {
             Traffic::SaturatedUdp { .. } => self.refill_saturated(spec.src.index(), now),
             Traffic::CbrUdp { .. } => self.on_cbr_tick(spec.src, flow, now),
@@ -306,7 +368,12 @@ impl World {
         // toward the packet's final destination (or the destination
         // itself when no route is installed).
         let hop = self.routes.next_hop(at, packet.dst).unwrap_or(packet.dst);
-        let sdu = MacSdu { dst: hop, bytes: packet.wire_bytes(), tag, payload: packet };
+        let sdu = MacSdu {
+            dst: hop,
+            bytes: packet.wire_bytes(),
+            tag,
+            payload: packet,
+        };
         let mut actions = Vec::new();
         self.nodes[idx].mac.enqueue(sdu, now, &mut actions);
         self.apply_mac_actions(idx, actions, now);
@@ -327,6 +394,16 @@ impl World {
                     let delay = now.saturating_duration_since(packet.sent_at).as_nanos();
                     sink.delay_sum_ns += delay;
                     sink.delay_max_ns = sink.delay_max_ns.max(delay);
+                    if S::ENABLED {
+                        self.sink.record(
+                            now,
+                            &TraceRecord::FlowDeliver {
+                                flow: packet.flow.0,
+                                dst: packet.dst.0,
+                                bytes: packet.payload_bytes,
+                            },
+                        );
+                    }
                 }
             }
             Segment::Tcp { seq, ack } => {
@@ -334,7 +411,22 @@ impl World {
                 let mut outs = Vec::new();
                 if packet.payload_bytes > 0 {
                     if let Some(r) = self.nodes[idx].tcp_receivers.get_mut(&flow) {
+                        let before = r.delivered_bytes();
                         r.on_segment(seq, packet.payload_bytes, now, &mut outs);
+                        // In-order delivery progress, not raw segment
+                        // arrival: out-of-order segments count only once
+                        // the hole closes.
+                        let delta = r.delivered_bytes() - before;
+                        if S::ENABLED && delta > 0 {
+                            self.sink.record(
+                                now,
+                                &TraceRecord::FlowDeliver {
+                                    flow: flow.0,
+                                    dst: packet.dst.0,
+                                    bytes: delta as u32,
+                                },
+                            );
+                        }
                     }
                 } else if let Some(s) = self.nodes[idx].tcp_senders.get_mut(&flow) {
                     s.on_ack(ack, now, &mut outs);
@@ -344,13 +436,7 @@ impl World {
         }
     }
 
-    fn apply_tcp_outputs(
-        &mut self,
-        idx: usize,
-        flow: FlowId,
-        outs: Vec<TcpOutput>,
-        now: SimTime,
-    ) {
+    fn apply_tcp_outputs(&mut self, idx: usize, flow: FlowId, outs: Vec<TcpOutput>, now: SimTime) {
         for out in outs {
             match out {
                 TcpOutput::Send(packet) => self.enqueue_packet(idx, packet, now),
@@ -369,7 +455,9 @@ impl World {
                 }
                 TcpOutput::ArmDelack(delay) => {
                     let node = self.nodes[idx].id;
-                    let h = self.sim.schedule_in(delay, Event::DelackTimer { node, flow });
+                    let h = self
+                        .sim
+                        .schedule_in(delay, Event::DelackTimer { node, flow });
                     if let Some(old) = self.delack_timers.insert((node.0, flow.0), h) {
                         self.sim.cancel(old);
                     }
@@ -389,7 +477,9 @@ impl World {
     fn apply_mac_actions(&mut self, idx: usize, actions: Vec<MacAction<Packet>>, now: SimTime) {
         for action in actions {
             match action {
-                MacAction::Transmit { frame, rate } => self.start_transmission(idx, frame, rate, now),
+                MacAction::Transmit { frame, rate } => {
+                    self.start_transmission(idx, frame, rate, now)
+                }
                 MacAction::StartTimer { kind, delay } => {
                     let node = self.nodes[idx].id;
                     let h = self.sim.schedule_in(delay, Event::MacTimer { node, kind });
@@ -427,13 +517,40 @@ impl World {
             now,
         );
         let until = now + airtime.total();
+        if S::ENABLED {
+            self.sink.record(
+                now,
+                &TraceRecord::FrameTxStart {
+                    node: source.0,
+                    kind: frame_class(frame.kind),
+                    dst: frame.dst.0,
+                    bytes: frame.mpdu_bytes,
+                    rate_kbps: (rate.bits_per_sec() / 1000.0) as u32,
+                    air_ns: airtime.total().as_nanos(),
+                },
+            );
+        }
         self.nodes[idx].phy.begin_tx(until, now);
         self.sync_cs(idx, now);
-        self.in_flight.insert(tx_id, InFlight { frame, remaining: deliveries.len() });
-        self.sim.schedule_at(until, Event::TxAirEnd { node: source, tx_id });
+        self.in_flight.insert(
+            tx_id,
+            InFlight {
+                frame,
+                remaining: deliveries.len(),
+            },
+        );
+        self.sim.schedule_at(
+            until,
+            Event::TxAirEnd {
+                node: source,
+                tx_id,
+            },
+        );
         for (rx, sig) in deliveries {
-            self.sim.schedule_at(sig.starts_at, Event::SignalStart { rx, sig });
-            self.sim.schedule_at(sig.ends_at, Event::SignalEnd { rx, tx_id });
+            self.sim
+                .schedule_at(sig.starts_at, Event::SignalStart { rx, sig });
+            self.sim
+                .schedule_at(sig.ends_at, Event::SignalEnd { rx, tx_id });
         }
         if self.in_flight[&tx_id].remaining == 0 {
             self.in_flight.remove(&tx_id);
@@ -453,9 +570,29 @@ impl World {
                         .expect("frame still in flight at its own end")
                         .frame
                         .clone();
+                    if S::ENABLED {
+                        self.sink.record(
+                            now,
+                            &TraceRecord::FrameRxOk {
+                                node: rx.0,
+                                src: frame.src.0,
+                                kind: frame_class(frame.kind),
+                                bytes: frame.mpdu_bytes,
+                            },
+                        );
+                    }
                     self.nodes[idx].mac.on_rx_frame(frame, now, &mut actions);
                 }
                 RxOutcomeKind::BodyError | RxOutcomeKind::HeaderError => {
+                    if S::ENABLED {
+                        let cause = if matches!(out.kind, RxOutcomeKind::BodyError) {
+                            RxErrorCause::Body
+                        } else {
+                            RxErrorCause::Header
+                        };
+                        self.sink
+                            .record(now, &TraceRecord::FrameRxErr { node: rx.0, cause });
+                    }
                     self.nodes[idx].mac.on_rx_error(now, &mut actions);
                 }
             }
@@ -473,6 +610,10 @@ impl World {
     fn on_tx_air_end(&mut self, node: NodeId, tx_id: TxId, now: SimTime) {
         let _ = tx_id;
         let idx = node.index();
+        if S::ENABLED {
+            self.sink
+                .record(now, &TraceRecord::FrameTxEnd { node: node.0 });
+        }
         self.nodes[idx].phy.end_tx(now);
         let mut actions = Vec::new();
         self.nodes[idx].mac.on_tx_end(now, &mut actions);
@@ -499,12 +640,11 @@ impl World {
 
     fn delivered_bytes(&self, spec: &FlowSpec) -> u64 {
         match spec.traffic {
-            Traffic::SaturatedUdp { .. } | Traffic::CbrUdp { .. } => self.nodes
-                [spec.dst.index()]
-            .udp_sinks
-            .get(&spec.id)
-            .map(|s| s.payload_bytes)
-            .unwrap_or(0),
+            Traffic::SaturatedUdp { .. } | Traffic::CbrUdp { .. } => self.nodes[spec.dst.index()]
+                .udp_sinks
+                .get(&spec.id)
+                .map(|s| s.payload_bytes)
+                .unwrap_or(0),
             Traffic::BulkTcp { .. } => self.nodes[spec.dst.index()]
                 .tcp_receivers
                 .get(&spec.id)
@@ -513,7 +653,7 @@ impl World {
         }
     }
 
-    fn report(&mut self) -> RunReport {
+    fn report(&mut self, wall: std::time::Duration) -> RunReport {
         // Fold the tail span into each station's airtime ledger.
         let end = (SimTime::ZERO + self.duration).max(self.sim.now());
         for n in &mut self.nodes {
@@ -599,11 +739,17 @@ impl World {
             flows,
             nodes,
             events: self.sim.events_dispatched(),
+            engine: EngineStats {
+                events: self.sim.events_dispatched(),
+                queue_high_water: self.sim.queue_high_water(),
+                sim_elapsed: self.sim.now().saturating_duration_since(SimTime::ZERO),
+                wall,
+            },
         }
     }
 }
 
-impl std::fmt::Debug for World {
+impl<S: TraceSink + Clone> std::fmt::Debug for World<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("World")
             .field("stations", &self.nodes.len())

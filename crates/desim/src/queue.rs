@@ -76,6 +76,8 @@ pub struct EventQueue<E> {
     /// are skipped (and the mark dropped) when they surface in `pop`.
     cancelled: HashSet<u64>,
     next_seq: u64,
+    /// Largest live population ever reached (see [`EventQueue::high_water`]).
+    high_water: usize,
 }
 
 impl<E> EventQueue<E> {
@@ -86,6 +88,7 @@ impl<E> EventQueue<E> {
             pending: HashSet::new(),
             cancelled: HashSet::new(),
             next_seq: 0,
+            high_water: 0,
         }
     }
 
@@ -95,6 +98,7 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
         self.heap.push(Entry { time, seq, event });
         self.pending.insert(seq);
+        self.high_water = self.high_water.max(self.pending.len());
         EventHandle { seq }
     }
 
@@ -145,6 +149,13 @@ impl<E> EventQueue<E> {
     /// True if no live events are pending.
     pub fn is_empty(&self) -> bool {
         self.pending.is_empty()
+    }
+
+    /// The largest number of live events ever pending at once — the
+    /// queue-depth high-water mark, a capacity-planning signal for the
+    /// engine's self-instrumentation.
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 }
 

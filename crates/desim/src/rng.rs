@@ -5,9 +5,10 @@
 //! from the master seed plus a stable label. Two runs with the same master
 //! seed are bit-identical, and adding a new component never perturbs the
 //! draws of existing ones — the key property for A/B experiments.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (Blackman & Vigna), so the
+//! crate carries no external dependency and the byte-for-byte output is
+//! pinned by this file alone.
 
 /// SplitMix64 step: the standard seed-expansion permutation. Used both to
 /// expand the master seed and to mix in sub-stream labels.
@@ -37,17 +38,15 @@ fn splitmix64(state: &mut u64) -> u64 {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
     seed: u64,
 }
 
 impl SimRng {
     /// Creates the master stream for a run from a 64-bit seed.
     pub fn from_seed(seed: u64) -> Self {
-        let mut s = seed;
-        let expanded = splitmix64(&mut s);
         SimRng {
-            inner: SmallRng::seed_from_u64(expanded),
+            state: expand_state(seed),
             seed,
         }
     }
@@ -64,12 +63,25 @@ impl SimRng {
             h ^= b as u64;
             h = h.wrapping_mul(0x100_0000_01b3);
         }
-        let mut s = self.seed ^ h;
-        let expanded = splitmix64(&mut s);
+        let s = self.seed ^ h;
         SimRng {
-            inner: SmallRng::seed_from_u64(expanded),
+            state: expand_state(s),
             seed: s,
         }
+    }
+
+    /// xoshiro256++ step: the raw 64-bit output.
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Uniform integer in `[lo, hi)`.
@@ -79,18 +91,36 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn gen_range_u32(&mut self, lo: u32, hi: u32) -> u32 {
         assert!(lo < hi, "empty range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        let span = hi - lo;
+        // Masked rejection sampling: unbiased, and for power-of-two spans
+        // (every DCF contention window) it never rejects, so the hot path
+        // consumes exactly one raw draw.
+        let mask = span.next_power_of_two().wrapping_sub(1);
+        loop {
+            let v = (self.next_u64() as u32) & mask;
+            if v < span {
+                return lo + v;
+            }
+        }
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn gen_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits → the standard dyadic uniform on [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform float in `(0, 1]` — safe to pass to `ln`.
+    fn gen_f64_open_zero(&mut self) -> f64 {
+        ((self.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
     pub fn gen_bool(&mut self, p: f64) -> bool {
         let p = p.clamp(0.0, 1.0);
-        self.inner.gen_bool(p)
+        // gen_f64 < 1.0 always holds, so p = 1.0 is certainly true and
+        // p = 0.0 certainly false.
+        self.gen_f64() < p
     }
 
     /// Standard-normal draw (Box–Muller; one value per call, the pair's
@@ -99,8 +129,8 @@ impl SimRng {
         // Rejection-free polar-form Box–Muller would consume a variable
         // number of uniforms; the trigonometric form consumes exactly two,
         // keeping draw counts predictable for reproducibility reasoning.
-        let u1: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = self.inner.gen::<f64>();
+        let u1 = self.gen_f64_open_zero();
+        let u2 = self.gen_f64();
         (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
 
@@ -116,9 +146,21 @@ impl SimRng {
     /// Panics if `mean` is not positive.
     pub fn gen_exp(&mut self, mean: f64) -> f64 {
         assert!(mean > 0.0, "exponential mean must be positive, got {mean}");
-        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
-        -mean * u.ln()
+        -mean * self.gen_f64_open_zero().ln()
     }
+}
+
+/// Expands a 64-bit seed into a full xoshiro256++ state via SplitMix64, the
+/// initialization the generator's authors recommend. A zero state is
+/// unreachable this way.
+fn expand_state(seed: u64) -> [u64; 4] {
+    let mut s = seed;
+    [
+        splitmix64(&mut s),
+        splitmix64(&mut s),
+        splitmix64(&mut s),
+        splitmix64(&mut s),
+    ]
 }
 
 #[cfg(test)]
@@ -175,6 +217,16 @@ mod tests {
             let f = r.gen_f64();
             assert!((0.0..1.0).contains(&f));
         }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut r = SimRng::from_seed(21);
+        let mut seen = [false; 32];
+        for _ in 0..2000 {
+            seen[r.gen_range_u32(0, 32) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 32 backoff slots reachable");
     }
 
     #[test]

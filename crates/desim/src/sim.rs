@@ -63,7 +63,11 @@ impl<E> Simulator<E> {
     /// the past is always a model bug and silently reordering it would
     /// corrupt causality.
     pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventHandle {
-        assert!(at >= self.now, "scheduling into the past: {at} < now {}", self.now);
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < now {}",
+            self.now
+        );
         self.queue.push(at, event)
     }
 
@@ -114,6 +118,12 @@ impl<E> Simulator<E> {
     /// diagnostic for callers).
     pub fn events_dispatched(&self) -> u64 {
         self.popped
+    }
+
+    /// The queue-depth high-water mark: the largest number of live events
+    /// ever pending at once over the simulator's lifetime.
+    pub fn queue_high_water(&self) -> usize {
+        self.queue.high_water()
     }
 }
 

@@ -180,7 +180,11 @@ impl SimDuration {
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0.checked_add(rhs.0).expect("simulation clock overflow"))
+        SimTime(
+            self.0
+                .checked_add(rhs.0)
+                .expect("simulation clock overflow"),
+        )
     }
 }
 
@@ -193,14 +197,22 @@ impl AddAssign<SimDuration> for SimTime {
 impl Sub<SimDuration> for SimTime {
     type Output = SimTime;
     fn sub(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0.checked_sub(rhs.0).expect("simulation clock underflow"))
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("simulation clock underflow"),
+        )
     }
 }
 
 impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
     fn sub(self, rhs: SimTime) -> SimDuration {
-        SimDuration(self.0.checked_sub(rhs.0).expect("negative duration between instants"))
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("negative duration between instants"),
+        )
     }
 }
 
@@ -266,7 +278,12 @@ impl fmt::Debug for SimDuration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let ns = self.0;
         if ns >= 1_000_000_000 && ns.is_multiple_of(1_000_000) {
-            write!(f, "{}.{:03}s", ns / 1_000_000_000, ns % 1_000_000_000 / 1_000_000)
+            write!(
+                f,
+                "{}.{:03}s",
+                ns / 1_000_000_000,
+                ns % 1_000_000_000 / 1_000_000
+            )
         } else if ns >= 1_000 && ns.is_multiple_of(1_000) {
             write!(f, "{}us", ns / 1_000)
         } else {
@@ -290,7 +307,10 @@ mod tests {
         assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1_000));
         assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1_000));
         assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1_000));
-        assert_eq!(SimDuration::from_secs(2), SimDuration::from_nanos(2_000_000_000));
+        assert_eq!(
+            SimDuration::from_secs(2),
+            SimDuration::from_nanos(2_000_000_000)
+        );
     }
 
     #[test]
@@ -306,7 +326,10 @@ mod tests {
     fn saturating_duration_since_clamps() {
         let early = SimTime::from_micros(10);
         let late = SimTime::from_micros(30);
-        assert_eq!(late.saturating_duration_since(early), SimDuration::from_micros(20));
+        assert_eq!(
+            late.saturating_duration_since(early),
+            SimDuration::from_micros(20)
+        );
         assert_eq!(early.saturating_duration_since(late), SimDuration::ZERO);
         assert_eq!(early.checked_duration_since(late), None);
     }

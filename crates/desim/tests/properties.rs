@@ -1,34 +1,49 @@
-//! Property-based tests for the event-queue and time invariants.
+//! Randomized-input tests for the event-queue and time invariants.
+//!
+//! Formerly proptest-based; the container build has no network access to
+//! fetch crates, so cases are now generated from the crate's own `SimRng`.
+//! The inputs are a fixed pseudo-random sample per test binary run —
+//! deterministic, so failures reproduce exactly.
 
-use desim::{EventQueue, SimDuration, SimTime, Simulator};
-use proptest::prelude::*;
+use desim::{EventQueue, SimDuration, SimRng, SimTime, Simulator};
 
-proptest! {
-    /// Popping always yields events in non-decreasing time order, with FIFO
-    /// order among equal times, regardless of the push order.
-    #[test]
-    fn queue_pops_sorted_stable(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+/// Popping always yields events in non-decreasing time order, with FIFO
+/// order among equal times, regardless of the push order.
+#[test]
+fn queue_pops_sorted_stable() {
+    let mut rng = SimRng::from_seed(0xDE51_0001);
+    for case in 0..64u32 {
+        let len = rng.gen_range_u32(1, 200) as usize;
+        let times: Vec<u64> = (0..len)
+            .map(|_| rng.gen_range_u32(0, 1_000) as u64)
+            .collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(SimTime::from_micros(t), (t, i));
         }
         let mut last: Option<(u64, usize)> = None;
         while let Some((at, (t, i))) = q.pop() {
-            prop_assert_eq!(at, SimTime::from_micros(t));
+            assert_eq!(at, SimTime::from_micros(t));
             if let Some((lt, li)) = last {
-                prop_assert!(t > lt || (t == lt && i > li), "order violated: ({lt},{li}) then ({t},{i})");
+                assert!(
+                    t > lt || (t == lt && i > li),
+                    "case {case}: order violated: ({lt},{li}) then ({t},{i})"
+                );
             }
             last = Some((t, i));
         }
-        prop_assert!(q.is_empty());
+        assert!(q.is_empty());
     }
+}
 
-    /// Cancelling an arbitrary subset removes exactly that subset.
-    #[test]
-    fn queue_cancellation_exact(
-        times in proptest::collection::vec(0u64..100, 1..100),
-        mask in proptest::collection::vec(any::<bool>(), 100),
-    ) {
+/// Cancelling an arbitrary subset removes exactly that subset.
+#[test]
+fn queue_cancellation_exact() {
+    let mut rng = SimRng::from_seed(0xDE51_0002);
+    for case in 0..64u32 {
+        let len = rng.gen_range_u32(1, 100) as usize;
+        let times: Vec<u64> = (0..len).map(|_| rng.gen_range_u32(0, 100) as u64).collect();
+        let mask: Vec<bool> = (0..len).map(|_| rng.gen_bool(0.5)).collect();
         let mut q = EventQueue::new();
         let handles: Vec<_> = times
             .iter()
@@ -37,26 +52,33 @@ proptest! {
             .collect();
         let mut kept = Vec::new();
         for (i, h) in &handles {
-            if mask[*i % mask.len()] {
-                prop_assert!(q.cancel(*h));
-                prop_assert!(!q.cancel(*h));
+            if mask[*i] {
+                assert!(q.cancel(*h), "case {case}: first cancel succeeds");
+                assert!(!q.cancel(*h), "case {case}: double cancel reports false");
             } else {
                 kept.push(*i);
             }
         }
-        prop_assert_eq!(q.len(), kept.len());
+        assert_eq!(q.len(), kept.len(), "case {case}");
         let mut popped: Vec<usize> = Vec::new();
         while let Some((_, i)) = q.pop() {
             popped.push(i);
         }
         popped.sort_unstable();
         kept.sort_unstable();
-        prop_assert_eq!(popped, kept);
+        assert_eq!(popped, kept, "case {case}");
     }
+}
 
-    /// The simulator clock is monotone over any schedule of relative delays.
-    #[test]
-    fn simulator_clock_monotone(delays in proptest::collection::vec(0u64..10_000, 1..100)) {
+/// The simulator clock is monotone over any schedule of relative delays.
+#[test]
+fn simulator_clock_monotone() {
+    let mut rng = SimRng::from_seed(0xDE51_0003);
+    for case in 0..64u32 {
+        let len = rng.gen_range_u32(1, 100) as usize;
+        let delays: Vec<u64> = (0..len)
+            .map(|_| rng.gen_range_u32(0, 10_000) as u64)
+            .collect();
         let mut sim = Simulator::new();
         for &d in &delays {
             sim.schedule_in(SimDuration::from_nanos(d), d);
@@ -64,32 +86,60 @@ proptest! {
         let mut prev = SimTime::ZERO;
         let mut count = 0;
         while let Some((t, _)) = sim.pop() {
-            prop_assert!(t >= prev);
+            assert!(t >= prev, "case {case}: clock went backwards");
             prev = t;
             count += 1;
         }
-        prop_assert_eq!(count, delays.len());
-        prop_assert_eq!(sim.events_dispatched(), delays.len() as u64);
+        assert_eq!(count, delays.len());
+        assert_eq!(sim.events_dispatched(), delays.len() as u64);
     }
+}
 
-    /// Time arithmetic: (t + d) - t == d and ordering is consistent.
-    #[test]
-    fn time_arithmetic_roundtrip(base in 0u64..1_000_000_000, delta in 0u64..1_000_000_000) {
+/// Time arithmetic: (t + d) - t == d and ordering is consistent.
+#[test]
+fn time_arithmetic_roundtrip() {
+    let mut rng = SimRng::from_seed(0xDE51_0004);
+    for _ in 0..1000 {
+        let base = (rng.gen_f64() * 1e9) as u64;
+        let delta = (rng.gen_f64() * 1e9) as u64;
         let t = SimTime::from_nanos(base);
         let d = SimDuration::from_nanos(delta);
-        prop_assert_eq!((t + d) - t, d);
-        prop_assert_eq!((t + d) - d, t);
-        prop_assert!(t + d >= t);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d) - d, t);
+        assert!(t + d >= t);
     }
+}
 
-    /// Duration float conversions round-trip within one nanosecond.
-    #[test]
-    fn duration_float_roundtrip(ns in 0u64..1_000_000_000_000) {
+/// Duration float conversions round-trip within one nanosecond.
+#[test]
+fn duration_float_roundtrip() {
+    let mut rng = SimRng::from_seed(0xDE51_0005);
+    for _ in 0..1000 {
+        let ns = (rng.gen_f64() * 1e12) as u64;
         let d = SimDuration::from_nanos(ns);
         let via_f64 = SimDuration::from_secs_f64(d.as_secs_f64());
         let err = via_f64.as_nanos().abs_diff(d.as_nanos());
         // f64 has 53 bits of mantissa; below ~2^53 ns the round trip is
         // exact, and our range stays well below that.
-        prop_assert!(err <= 1, "round trip error {err} ns");
+        assert!(err <= 1, "round trip error {err} ns");
     }
+}
+
+/// Queue depth high-water mark tracks the maximum live population.
+#[test]
+fn queue_high_water_tracks_peak() {
+    let mut sim = Simulator::new();
+    assert_eq!(sim.queue_high_water(), 0);
+    for i in 0..10u64 {
+        sim.schedule_in(SimDuration::from_micros(i), i);
+    }
+    assert_eq!(sim.queue_high_water(), 10);
+    while sim.pop().is_some() {}
+    // Draining does not lower the mark...
+    assert_eq!(sim.queue_high_water(), 10);
+    // ...and a smaller refill does not raise it.
+    for i in 0..3u64 {
+        sim.schedule_in(SimDuration::from_micros(i), i);
+    }
+    assert_eq!(sim.queue_high_water(), 10);
 }

@@ -33,12 +33,20 @@ pub struct ArfConfig {
 impl ArfConfig {
     /// Classic WaveLAN-II parameters: up after 10, down after 2.
     pub fn classic() -> ArfConfig {
-        ArfConfig { enabled: true, up_after: 10, down_after: 2 }
+        ArfConfig {
+            enabled: true,
+            up_after: 10,
+            down_after: 2,
+        }
     }
 
     /// ARF disabled (fixed-rate operation).
     pub fn disabled() -> ArfConfig {
-        ArfConfig { enabled: false, up_after: 10, down_after: 2 }
+        ArfConfig {
+            enabled: false,
+            up_after: 10,
+            down_after: 2,
+        }
     }
 }
 
@@ -226,6 +234,10 @@ mod tests {
         a.on_failure();
         a.on_success();
         a.on_failure();
-        assert_eq!(a.rate(), PhyRate::R11, "non-consecutive failures don't step down");
+        assert_eq!(
+            a.rate(),
+            PhyRate::R11,
+            "non-consecutive failures don't step down"
+        );
     }
 }

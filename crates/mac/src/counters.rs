@@ -44,7 +44,13 @@ mod tests {
 
     #[test]
     fn total_tx_sums_frame_classes() {
-        let c = MacCounters { data_tx: 3, rts_tx: 2, cts_tx: 1, ack_tx: 4, ..Default::default() };
+        let c = MacCounters {
+            data_tx: 3,
+            rts_tx: 2,
+            cts_tx: 1,
+            ack_tx: 4,
+            ..Default::default()
+        };
         assert_eq!(c.total_tx(), 10);
         assert_eq!(MacCounters::default().total_tx(), 0);
     }

@@ -16,11 +16,14 @@ use std::collections::{HashMap, VecDeque};
 
 use desim::{SimDuration, SimRng, SimTime};
 use dot11_phy::{FrameAirtime, NodeId, PhyRate};
+use dot11_trace::{NullSink, TraceRecord, TraceSink};
 
 use crate::arf::{ArfCounters, ArfState};
 use crate::config::MacConfig;
 use crate::counters::MacCounters;
-use crate::frame::{FrameKind, MacFrame, MacSdu, ACK_BYTES, CTS_BYTES, DATA_HEADER_BYTES, RTS_BYTES};
+use crate::frame::{
+    FrameKind, MacFrame, MacSdu, ACK_BYTES, CTS_BYTES, DATA_HEADER_BYTES, RTS_BYTES,
+};
 
 /// Timers the MAC asks the driver to run on its behalf.
 ///
@@ -113,11 +116,15 @@ struct Pending<P> {
 
 /// One station's DCF MAC. See the [crate docs](crate) for the driving
 /// protocol.
+///
+/// Generic over a [`TraceSink`]; with the default [`NullSink`] every
+/// emission site compiles away.
 #[derive(Debug)]
-pub struct DcfMac<P> {
+pub struct DcfMac<P, S: TraceSink = NullSink> {
     id: NodeId,
     cfg: MacConfig,
     rng: SimRng,
+    sink: S,
     queue: VecDeque<MacSdu<P>>,
     current: Option<Pending<P>>,
     contention: Contention,
@@ -137,12 +144,21 @@ impl<P: Clone> DcfMac<P> {
     /// Creates the MAC for station `id`. `rng` should be a per-station
     /// substream of the run seed (backoff draws consume it).
     pub fn new(id: NodeId, cfg: MacConfig, rng: SimRng) -> DcfMac<P> {
+        DcfMac::with_sink(id, cfg, rng, NullSink)
+    }
+}
+
+impl<P: Clone, S: TraceSink> DcfMac<P, S> {
+    /// Like [`DcfMac::new`], but every MAC-layer event is also emitted
+    /// into `sink`.
+    pub fn with_sink(id: NodeId, cfg: MacConfig, rng: SimRng, sink: S) -> DcfMac<P, S> {
         DcfMac {
             id,
             cw: cfg.timing.cw_min,
             arf: ArfState::new(cfg.arf, cfg.data_rate),
             cfg,
             rng,
+            sink,
             queue: VecDeque::new(),
             current: None,
             contention: Contention::Idle,
@@ -216,11 +232,37 @@ impl<P: Clone> DcfMac<P> {
         self.arf.counters()
     }
 
+    // --- tracing -----------------------------------------------------------
+
+    /// Runs an ARF-touching closure and emits a [`TraceRecord::RateSwitch`]
+    /// if the data rate moved.
+    fn with_rate_watch(&mut self, now: SimTime, f: impl FnOnce(&mut ArfState)) {
+        let before = self.arf.rate();
+        f(&mut self.arf);
+        if S::ENABLED && self.cfg.arf.enabled {
+            let after = self.arf.rate();
+            if after != before {
+                self.sink.record(
+                    now,
+                    &TraceRecord::RateSwitch {
+                        node: self.id.0,
+                        from_kbps: rate_kbps(before),
+                        to_kbps: rate_kbps(after),
+                    },
+                );
+            }
+        }
+    }
+
     // --- airtime helpers -------------------------------------------------
 
     fn data_air(&self, msdu_bytes: u32) -> SimDuration {
-        FrameAirtime::new(DATA_HEADER_BYTES + msdu_bytes, self.current_data_rate(), self.cfg.preamble)
-            .total()
+        FrameAirtime::new(
+            DATA_HEADER_BYTES + msdu_bytes,
+            self.current_data_rate(),
+            self.cfg.preamble,
+        )
+        .total()
     }
 
     fn control_air(&self, bytes: u32) -> SimDuration {
@@ -243,6 +285,10 @@ impl<P: Clone> DcfMac<P> {
             true
         } else {
             self.counters.queue_drops += 1;
+            if S::ENABLED {
+                self.sink
+                    .record(now, &TraceRecord::QueueDrop { node: self.id.0 });
+            }
             false
         }
     }
@@ -254,11 +300,15 @@ impl<P: Clone> DcfMac<P> {
         self.phys_busy = true;
         match self.contention {
             Contention::Defer => {
-                out.push(MacAction::CancelTimer { kind: TimerKind::Difs });
+                out.push(MacAction::CancelTimer {
+                    kind: TimerKind::Difs,
+                });
                 self.contention = Contention::WaitIdle;
             }
             Contention::Counting => {
-                out.push(MacAction::CancelTimer { kind: TimerKind::BackoffSlot });
+                out.push(MacAction::CancelTimer {
+                    kind: TimerKind::BackoffSlot,
+                });
                 self.contention = Contention::WaitIdle;
             }
             _ => {}
@@ -287,20 +337,27 @@ impl<P: Clone> DcfMac<P> {
             return;
         }
         if self.contention == Contention::WaitIdle {
-            self.arm_defer(out);
+            self.arm_defer(now, out);
         }
     }
 
-    fn arm_defer(&mut self, out: &mut Vec<MacAction<P>>) {
+    fn arm_defer(&mut self, now: SimTime, out: &mut Vec<MacAction<P>>) {
         let delay = if self.eifs_pending && self.cfg.eifs_enabled {
             self.counters.eifs_defers += 1;
+            if S::ENABLED {
+                self.sink
+                    .record(now, &TraceRecord::EifsDefer { node: self.id.0 });
+            }
             self.cfg.timing.eifs(self.cfg.preamble)
         } else {
             self.cfg.timing.difs
         };
         self.eifs_pending = false;
         self.contention = Contention::Defer;
-        out.push(MacAction::StartTimer { kind: TimerKind::Difs, delay });
+        out.push(MacAction::StartTimer {
+            kind: TimerKind::Difs,
+            delay,
+        });
     }
 
     fn try_start(&mut self, now: SimTime, out: &mut Vec<MacAction<P>>) {
@@ -315,7 +372,7 @@ impl<P: Clone> DcfMac<P> {
                 });
             }
         } else {
-            self.arm_defer(out);
+            self.arm_defer(now, out);
         }
     }
 
@@ -386,19 +443,40 @@ impl<P: Clone> DcfMac<P> {
         // ARF observes every failed attempt — including RTS/collision
         // failures, which is the scheme's documented weakness (collisions
         // drag the rate down although slowing down cannot help them).
-        self.arf.on_failure();
+        self.with_rate_watch(now, |arf| arf.on_failure());
         let cur = self.current.as_mut().expect("timeout without a frame");
         cur.failures += 1;
+        let failures = cur.failures;
+        if S::ENABLED {
+            self.sink.record(
+                now,
+                &TraceRecord::FrameRetry {
+                    node: self.id.0,
+                    retry: failures,
+                },
+            );
+        }
         let limit = if self.cfg.rts_enabled && expected == Contention::WaitAck {
             self.cfg.long_retry_limit
         } else {
             self.cfg.short_retry_limit
         };
-        if cur.failures >= limit {
+        if failures >= limit {
             self.complete_current(false, now, out);
         } else {
             self.cw = (self.cw * 2).min(self.cfg.timing.cw_max);
-            self.backoff_slots = Some(self.rng.gen_range_u32(0, self.cw));
+            let slots = self.rng.gen_range_u32(0, self.cw);
+            self.backoff_slots = Some(slots);
+            if S::ENABLED {
+                self.sink.record(
+                    now,
+                    &TraceRecord::BackoffChosen {
+                        node: self.id.0,
+                        slots,
+                        cw: self.cw,
+                    },
+                );
+            }
             self.contention = Contention::Idle;
             self.try_start(now, out);
         }
@@ -483,7 +561,10 @@ impl<P: Clone> DcfMac<P> {
                 self.contention = Contention::WaitCts;
                 out.push(MacAction::StartTimer {
                     kind: TimerKind::CtsTimeout,
-                    delay: self.cfg.timing.response_timeout(self.control_air(CTS_BYTES)),
+                    delay: self
+                        .cfg
+                        .timing
+                        .response_timeout(self.control_air(CTS_BYTES)),
                 });
             }
             Contention::TxData => {
@@ -498,7 +579,10 @@ impl<P: Clone> DcfMac<P> {
                     self.contention = Contention::WaitAck;
                     out.push(MacAction::StartTimer {
                         kind: TimerKind::AckTimeout,
-                        delay: self.cfg.timing.response_timeout(self.control_air(ACK_BYTES)),
+                        delay: self
+                            .cfg
+                            .timing
+                            .response_timeout(self.control_air(ACK_BYTES)),
                     });
                 }
             }
@@ -513,15 +597,33 @@ impl<P: Clone> DcfMac<P> {
         } else {
             self.counters.tx_dropped += 1;
         }
-        out.push(MacAction::TxStatus { tag: cur.sdu.tag, dst: cur.sdu.dst, success });
+        out.push(MacAction::TxStatus {
+            tag: cur.sdu.tag,
+            dst: cur.sdu.dst,
+            success,
+        });
         // Post-transmission backoff: the CW resets and a fresh backoff is
         // drawn whether the frame succeeded or was dropped. This is what
         // charges the paper's Eq. (1) its CWmin/2 slots per packet even
         // with a single saturated sender.
         self.cw = self.cfg.timing.cw_min;
-        self.backoff_slots = Some(self.rng.gen_range_u32(0, self.cw));
+        let slots = self.rng.gen_range_u32(0, self.cw);
+        self.backoff_slots = Some(slots);
+        if S::ENABLED {
+            self.sink.record(
+                now,
+                &TraceRecord::BackoffChosen {
+                    node: self.id.0,
+                    slots,
+                    cw: self.cw,
+                },
+            );
+        }
         self.contention = Contention::Idle;
-        self.current = self.queue.pop_front().map(|sdu| Pending { sdu, failures: 0 });
+        self.current = self
+            .queue
+            .pop_front()
+            .map(|sdu| Pending { sdu, failures: 0 });
         if self.current.is_some() {
             self.try_start(now, out);
         }
@@ -539,6 +641,15 @@ impl<P: Clone> DcfMac<P> {
             if until > self.nav_until {
                 self.nav_until = until;
                 self.counters.nav_updates += 1;
+                if S::ENABLED {
+                    self.sink.record(
+                        now,
+                        &TraceRecord::NavUpdate {
+                            node: self.id.0,
+                            until_ns: until.as_nanos(),
+                        },
+                    );
+                }
                 out.push(MacAction::StartTimer {
                     kind: TimerKind::NavEnd,
                     delay: frame.duration,
@@ -562,7 +673,10 @@ impl<P: Clone> DcfMac<P> {
                     };
                     let rate = self.current_control_rate();
                     self.response = Some((ack, rate));
-                    out.push(MacAction::StartTimer { kind: TimerKind::SifsResponse, delay: t.sifs });
+                    out.push(MacAction::StartTimer {
+                        kind: TimerKind::SifsResponse,
+                        delay: t.sifs,
+                    });
                 }
                 if self.last_tag.get(&frame.src) == Some(&frame.tag) {
                     self.counters.duplicates += 1;
@@ -570,7 +684,10 @@ impl<P: Clone> DcfMac<P> {
                     self.last_tag.insert(frame.src, frame.tag);
                     self.counters.delivered += 1;
                     if let Some(payload) = frame.payload {
-                        out.push(MacAction::Deliver { src: frame.src, payload });
+                        out.push(MacAction::Deliver {
+                            src: frame.src,
+                            payload,
+                        });
                     } else {
                         debug_assert!(false, "data frame without payload");
                     }
@@ -612,7 +729,9 @@ impl<P: Clone> DcfMac<P> {
             }
             FrameKind::Cts => {
                 if self.contention == Contention::WaitCts {
-                    out.push(MacAction::CancelTimer { kind: TimerKind::CtsTimeout });
+                    out.push(MacAction::CancelTimer {
+                        kind: TimerKind::CtsTimeout,
+                    });
                     self.contention = Contention::SifsData;
                     out.push(MacAction::StartTimer {
                         kind: TimerKind::SifsData,
@@ -622,8 +741,10 @@ impl<P: Clone> DcfMac<P> {
             }
             FrameKind::Ack => {
                 if self.contention == Contention::WaitAck {
-                    out.push(MacAction::CancelTimer { kind: TimerKind::AckTimeout });
-                    self.arf.on_success();
+                    out.push(MacAction::CancelTimer {
+                        kind: TimerKind::AckTimeout,
+                    });
+                    self.with_rate_watch(now, |arf| arf.on_success());
                     self.complete_current(true, now, out);
                 }
             }
@@ -640,6 +761,11 @@ impl<P: Clone> DcfMac<P> {
     }
 }
 
+/// PHY rate in kb/s, the unit trace records use.
+fn rate_kbps(rate: PhyRate) -> u32 {
+    (rate.bits_per_sec() / 1000.0) as u32
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -654,7 +780,12 @@ mod tests {
     }
 
     fn sdu(tag: u64) -> MacSdu<u32> {
-        MacSdu { dst: NodeId(1), bytes: 512, tag, payload: tag as u32 }
+        MacSdu {
+            dst: NodeId(1),
+            bytes: 512,
+            tag,
+            payload: tag as u32,
+        }
     }
 
     fn at(us: u64) -> SimTime {
@@ -680,7 +811,10 @@ mod tests {
         let mut m = mac(false);
         let mut out = Vec::new();
         m.enqueue(sdu(1), T0, &mut out);
-        assert_eq!(timer_delay(&out, TimerKind::Difs), Some(SimDuration::from_micros(50)));
+        assert_eq!(
+            timer_delay(&out, TimerKind::Difs),
+            Some(SimDuration::from_micros(50))
+        );
         out.clear();
         m.on_timer(TimerKind::Difs, at(50), &mut out);
         let f = transmitted(&out).expect("data frame");
@@ -713,7 +847,14 @@ mod tests {
             payload: None,
         };
         m.on_rx_frame(ack, at(960), &mut out);
-        assert!(out.iter().any(|a| matches!(a, MacAction::TxStatus { tag: 1, success: true, .. })));
+        assert!(out.iter().any(|a| matches!(
+            a,
+            MacAction::TxStatus {
+                tag: 1,
+                success: true,
+                ..
+            }
+        )));
         assert_eq!(m.counters().tx_success, 1);
         // Frame 2 starts its own deferral; after DIFS it must count
         // post-backoff slots rather than firing immediately.
@@ -772,14 +913,25 @@ mod tests {
         out.clear();
         // Channel goes busy during DIFS: defer cancelled.
         m.on_channel_busy(at(20), &mut out);
-        assert!(out.iter().any(|a| matches!(a, MacAction::CancelTimer { kind: TimerKind::Difs })));
+        assert!(out.iter().any(|a| matches!(
+            a,
+            MacAction::CancelTimer {
+                kind: TimerKind::Difs
+            }
+        )));
         out.clear();
         // Idle again: fresh DIFS.
         m.on_channel_idle(at(500), &mut out);
-        assert_eq!(timer_delay(&out, TimerKind::Difs), Some(SimDuration::from_micros(50)));
+        assert_eq!(
+            timer_delay(&out, TimerKind::Difs),
+            Some(SimDuration::from_micros(50))
+        );
         out.clear();
         m.on_timer(TimerKind::Difs, at(550), &mut out);
-        assert!(transmitted(&out).is_some(), "no backoff pending: immediate access");
+        assert!(
+            transmitted(&out).is_some(),
+            "no backoff pending: immediate access"
+        );
     }
 
     #[test]
@@ -805,7 +957,10 @@ mod tests {
             now += 300;
             out.clear();
             m.on_timer(TimerKind::AckTimeout, at(now), &mut out);
-            if out.iter().any(|a| matches!(a, MacAction::TxStatus { success: false, .. })) {
+            if out
+                .iter()
+                .any(|a| matches!(a, MacAction::TxStatus { success: false, .. }))
+            {
                 break;
             }
             // CW doubles, capped at 1024.
@@ -847,8 +1002,16 @@ mod tests {
             payload: None,
         };
         m.on_rx_frame(cts, at(590), &mut out);
-        assert!(out.iter().any(|a| matches!(a, MacAction::CancelTimer { kind: TimerKind::CtsTimeout })));
-        assert_eq!(timer_delay(&out, TimerKind::SifsData), Some(SimDuration::from_micros(10)));
+        assert!(out.iter().any(|a| matches!(
+            a,
+            MacAction::CancelTimer {
+                kind: TimerKind::CtsTimeout
+            }
+        )));
+        assert_eq!(
+            timer_delay(&out, TimerKind::SifsData),
+            Some(SimDuration::from_micros(10))
+        );
         out.clear();
         m.on_timer(TimerKind::SifsData, at(600), &mut out);
         assert_eq!(transmitted(&out).expect("data").kind, FrameKind::Data);
@@ -868,8 +1031,17 @@ mod tests {
             payload: Some(123),
         };
         m.on_rx_frame(data.clone(), at(1000), &mut out);
-        assert!(out.iter().any(|a| matches!(a, MacAction::Deliver { src: NodeId(2), payload: 123 })));
-        assert_eq!(timer_delay(&out, TimerKind::SifsResponse), Some(SimDuration::from_micros(10)));
+        assert!(out.iter().any(|a| matches!(
+            a,
+            MacAction::Deliver {
+                src: NodeId(2),
+                payload: 123
+            }
+        )));
+        assert_eq!(
+            timer_delay(&out, TimerKind::SifsResponse),
+            Some(SimDuration::from_micros(10))
+        );
         out.clear();
         m.on_timer(TimerKind::SifsResponse, at(1010), &mut out);
         let ack = transmitted(&out).expect("ack");
@@ -903,7 +1075,10 @@ mod tests {
         };
         m.on_rx_frame(rts, at(1000), &mut out);
         assert_eq!(m.counters().nav_updates, 1);
-        assert_eq!(timer_delay(&out, TimerKind::NavEnd), Some(SimDuration::from_micros(1500)));
+        assert_eq!(
+            timer_delay(&out, TimerKind::NavEnd),
+            Some(SimDuration::from_micros(1500))
+        );
         // Now an RTS addressed to us arrives while NAV is set: no CTS.
         out.clear();
         let rts_to_me: MacFrame<u32> = MacFrame {
@@ -916,7 +1091,10 @@ mod tests {
             payload: None,
         };
         m.on_rx_frame(rts_to_me.clone(), at(1200), &mut out);
-        assert!(out.is_empty(), "CTS must be suppressed under NAV, got {out:?}");
+        assert!(
+            out.is_empty(),
+            "CTS must be suppressed under NAV, got {out:?}"
+        );
         assert_eq!(m.counters().cts_suppressed, 1);
         // After the NAV expires the same RTS gets its CTS.
         out.clear();
@@ -951,7 +1129,10 @@ mod tests {
         assert!(timer_delay(&out, TimerKind::NavEnd).is_some());
         out.clear();
         m.on_timer(TimerKind::NavEnd, at(2100), &mut out);
-        assert!(timer_delay(&out, TimerKind::Difs).is_some(), "deferral resumes after NAV");
+        assert!(
+            timer_delay(&out, TimerKind::Difs).is_some(),
+            "deferral resumes after NAV"
+        );
     }
 
     #[test]
@@ -961,7 +1142,10 @@ mod tests {
         m.on_rx_error(at(100), &mut out);
         m.enqueue(sdu(1), at(100), &mut out);
         // EIFS = 10 + 50 + 304 = 364 µs replaces DIFS.
-        assert_eq!(timer_delay(&out, TimerKind::Difs), Some(SimDuration::from_micros(364)));
+        assert_eq!(
+            timer_delay(&out, TimerKind::Difs),
+            Some(SimDuration::from_micros(364))
+        );
         assert_eq!(m.counters().eifs_defers, 1);
         out.clear();
         m.on_timer(TimerKind::Difs, at(464), &mut out);
@@ -970,12 +1154,18 @@ mod tests {
 
     #[test]
     fn eifs_can_be_disabled() {
-        let cfg = MacConfig { eifs_enabled: false, ..MacConfig::new(PhyRate::R11) };
+        let cfg = MacConfig {
+            eifs_enabled: false,
+            ..MacConfig::new(PhyRate::R11)
+        };
         let mut m: DcfMac<u32> = DcfMac::new(NodeId(0), cfg, SimRng::from_seed(3));
         let mut out = Vec::new();
         m.on_rx_error(at(100), &mut out);
         m.enqueue(sdu(1), at(100), &mut out);
-        assert_eq!(timer_delay(&out, TimerKind::Difs), Some(SimDuration::from_micros(50)));
+        assert_eq!(
+            timer_delay(&out, TimerKind::Difs),
+            Some(SimDuration::from_micros(50))
+        );
     }
 
     #[test]
@@ -995,12 +1185,18 @@ mod tests {
         m.on_rx_frame(ack, at(200), &mut out);
         out.clear();
         m.enqueue(sdu(1), at(300), &mut out);
-        assert_eq!(timer_delay(&out, TimerKind::Difs), Some(SimDuration::from_micros(50)));
+        assert_eq!(
+            timer_delay(&out, TimerKind::Difs),
+            Some(SimDuration::from_micros(50))
+        );
     }
 
     #[test]
     fn queue_overflow_drops_and_counts() {
-        let cfg = MacConfig { queue_capacity: 2, ..MacConfig::new(PhyRate::R11) };
+        let cfg = MacConfig {
+            queue_capacity: 2,
+            ..MacConfig::new(PhyRate::R11)
+        };
         let mut m: DcfMac<u32> = DcfMac::new(NodeId(0), cfg, SimRng::from_seed(3));
         let mut out = Vec::new();
         assert!(m.enqueue(sdu(1), T0, &mut out)); // head of line
@@ -1018,7 +1214,12 @@ mod tests {
         let mut m = mac(false);
         let mut out = Vec::new();
         m.enqueue(
-            MacSdu { dst: crate::frame::BROADCAST, bytes: 100, tag: 9, payload: 9 },
+            MacSdu {
+                dst: crate::frame::BROADCAST,
+                bytes: 100,
+                tag: 9,
+                payload: 9,
+            },
             T0,
             &mut out,
         );
@@ -1028,7 +1229,14 @@ mod tests {
         assert_eq!(f.duration, SimDuration::ZERO);
         out.clear();
         m.on_tx_end(at(400), &mut out);
-        assert!(out.iter().any(|a| matches!(a, MacAction::TxStatus { tag: 9, success: true, .. })));
+        assert!(out.iter().any(|a| matches!(
+            a,
+            MacAction::TxStatus {
+                tag: 9,
+                success: true,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -1036,7 +1244,12 @@ mod tests {
         let mut m = mac(true);
         let mut out = Vec::new();
         m.enqueue(
-            MacSdu { dst: crate::frame::BROADCAST, bytes: 100, tag: 9, payload: 9 },
+            MacSdu {
+                dst: crate::frame::BROADCAST,
+                bytes: 100,
+                tag: 9,
+                payload: 9,
+            },
             T0,
             &mut out,
         );

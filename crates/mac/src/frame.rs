@@ -106,7 +106,10 @@ mod tests {
         assert!(f.addressed_to(NodeId(2)));
         assert!(!f.addressed_to(NodeId(1)));
         assert!(!f.is_broadcast());
-        let b = MacFrame { dst: BROADCAST, ..f };
+        let b = MacFrame {
+            dst: BROADCAST,
+            ..f
+        };
         assert!(b.is_broadcast());
     }
 }

@@ -44,5 +44,7 @@ pub use arf::{ArfConfig, ArfCounters, ArfState};
 pub use config::MacConfig;
 pub use counters::MacCounters;
 pub use dcf::{DcfMac, MacAction, TimerKind};
-pub use frame::{FrameKind, MacFrame, MacSdu, BROADCAST, ACK_BYTES, CTS_BYTES, DATA_HEADER_BYTES, RTS_BYTES};
+pub use frame::{
+    FrameKind, MacFrame, MacSdu, ACK_BYTES, BROADCAST, CTS_BYTES, DATA_HEADER_BYTES, RTS_BYTES,
+};
 pub use timing::MacTiming;

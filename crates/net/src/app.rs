@@ -49,7 +49,15 @@ impl CbrSource {
         interval: SimDuration,
         limit: Option<u64>,
     ) -> CbrSource {
-        CbrSource { flow, src, dst, payload_bytes, interval, limit, next_seq: 0 }
+        CbrSource {
+            flow,
+            src,
+            dst,
+            payload_bytes,
+            interval,
+            limit,
+            next_seq: 0,
+        }
     }
 
     /// Datagrams emitted so far.
@@ -76,7 +84,11 @@ impl CbrSource {
             payload_bytes: self.payload_bytes,
             sent_at: now,
         };
-        let next = if done { None } else { Some(now + self.interval) };
+        let next = if done {
+            None
+        } else {
+            Some(now + self.interval)
+        };
         Some((packet, next))
     }
 }
@@ -103,7 +115,14 @@ impl SaturatedSource {
         payload_bytes: u32,
         backlog: usize,
     ) -> SaturatedSource {
-        SaturatedSource { flow, src, dst, payload_bytes, backlog, next_seq: 0 }
+        SaturatedSource {
+            flow,
+            src,
+            dst,
+            payload_bytes,
+            backlog,
+            next_seq: 0,
+        }
     }
 
     /// Datagrams emitted so far.

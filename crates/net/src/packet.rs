@@ -114,10 +114,18 @@ mod tests {
 
     #[test]
     fn tcp_wire_size_and_pure_ack() {
-        let data = Packet { seg: Segment::Tcp { seq: 0, ack: 0 }, payload_bytes: 512, ..udp(0) };
+        let data = Packet {
+            seg: Segment::Tcp { seq: 0, ack: 0 },
+            payload_bytes: 512,
+            ..udp(0)
+        };
         assert_eq!(data.wire_bytes(), 512 + 20 + 20);
         assert!(!data.is_pure_ack());
-        let ack = Packet { seg: Segment::Tcp { seq: 0, ack: 512 }, payload_bytes: 0, ..udp(0) };
+        let ack = Packet {
+            seg: Segment::Tcp { seq: 0, ack: 512 },
+            payload_bytes: 0,
+            ..udp(0)
+        };
         assert_eq!(ack.wire_bytes(), 40);
         assert!(ack.is_pure_ack());
         assert!(!udp(0).is_pure_ack(), "UDP is never a TCP ACK");

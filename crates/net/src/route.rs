@@ -35,7 +35,9 @@ pub struct StaticRoutes {
 impl StaticRoutes {
     /// An empty table (every destination is assumed directly reachable).
     pub fn new() -> StaticRoutes {
-        StaticRoutes { hops: HashMap::new() }
+        StaticRoutes {
+            hops: HashMap::new(),
+        }
     }
 
     /// Routes for a linear chain of `n` stations (ids `0..n`): packets

@@ -154,7 +154,10 @@ impl TcpReceiver {
             flow: self.flow,
             src: self.node,
             dst: self.peer,
-            seg: Segment::Tcp { seq: 0, ack: self.rcv_nxt },
+            seg: Segment::Tcp {
+                seq: 0,
+                ack: self.rcv_nxt,
+            },
             payload_bytes: 0,
             sent_at: now,
         }));

@@ -53,7 +53,11 @@ impl RtoEstimator {
                 self.rttvar = sample / 2;
             }
             Some(srtt) => {
-                let err = if sample > srtt { sample - srtt } else { srtt - sample };
+                let err = if sample > srtt {
+                    sample - srtt
+                } else {
+                    srtt - sample
+                };
                 // RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - sample|
                 self.rttvar = (self.rttvar * 3 + err) / 4;
                 // SRTT = 7/8 SRTT + 1/8 sample
@@ -133,7 +137,10 @@ mod tests {
         e.on_timeout();
         assert_eq!(e.rto(), SimDuration::from_millis(1_200));
         e.on_sample(SimDuration::from_millis(100));
-        assert!(e.rto() < SimDuration::from_millis(600), "backoff cleared by sample");
+        assert!(
+            e.rto() < SimDuration::from_millis(600),
+            "backoff cleared by sample"
+        );
     }
 
     #[test]

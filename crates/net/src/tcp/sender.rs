@@ -2,6 +2,7 @@
 
 use desim::SimTime;
 use dot11_phy::NodeId;
+use dot11_trace::{NullSink, TraceRecord, TraceSink};
 
 use crate::packet::{FlowId, Packet, Segment};
 use crate::tcp::rto::RtoEstimator;
@@ -28,15 +29,18 @@ pub struct TcpSenderStats {
 /// cumulative acknowledgement, [`TcpSender::on_rto`] handles a timeout.
 /// All three append [`TcpOutput`]s for the host to execute.
 #[derive(Debug)]
-pub struct TcpSender {
+pub struct TcpSender<S: TraceSink = NullSink> {
     flow: FlowId,
     src: NodeId,
     dst: NodeId,
     cfg: TcpConfig,
+    sink: S,
     snd_una: u64,
     snd_nxt: u64,
     cwnd: f64,
     ssthresh: f64,
+    /// Last (cwnd, ssthresh) emitted as a trace record, for deduplication.
+    traced_window: (u64, u64),
     dup_acks: u32,
     in_recovery: bool,
     recover: u64,
@@ -49,14 +53,30 @@ pub struct TcpSender {
 impl TcpSender {
     /// Creates an established connection ready to send `src → dst`.
     pub fn new(flow: FlowId, src: NodeId, dst: NodeId, cfg: TcpConfig) -> TcpSender {
+        TcpSender::with_sink(flow, src, dst, cfg, NullSink)
+    }
+}
+
+impl<S: TraceSink> TcpSender<S> {
+    /// Like [`TcpSender::new`], but transport-layer events are also
+    /// emitted into `sink`.
+    pub fn with_sink(
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        cfg: TcpConfig,
+        sink: S,
+    ) -> TcpSender<S> {
         TcpSender {
             flow,
             src,
             dst,
+            sink,
             snd_una: 0,
             snd_nxt: 0,
             cwnd: cfg.initial_cwnd as f64,
             ssthresh: cfg.initial_ssthresh as f64,
+            traced_window: (cfg.initial_cwnd as u64, cfg.initial_ssthresh as u64),
             dup_acks: 0,
             in_recovery: false,
             recover: 0,
@@ -64,6 +84,26 @@ impl TcpSender {
             timed: None,
             stats: TcpSenderStats::default(),
             cfg,
+        }
+    }
+
+    /// Emits a [`TraceRecord::TcpCwndChange`] if the window moved since
+    /// the last emission.
+    fn trace_window(&mut self, now: SimTime) {
+        if S::ENABLED {
+            let window = (self.cwnd as u64, self.ssthresh as u64);
+            if window != self.traced_window {
+                self.traced_window = window;
+                self.sink.record(
+                    now,
+                    &TraceRecord::TcpCwndChange {
+                        node: self.src.0,
+                        flow: self.flow.0,
+                        cwnd: window.0,
+                        ssthresh: window.1,
+                    },
+                );
+            }
         }
     }
 
@@ -145,6 +185,7 @@ impl TcpSender {
             } else {
                 out.push(TcpOutput::ArmRto(self.rto.rto()));
             }
+            self.trace_window(now);
             self.pump(now, out);
         } else if ack == self.snd_una && self.flight_size() > 0 {
             self.dup_acks += 1;
@@ -162,6 +203,7 @@ impl TcpSender {
                 self.retransmit_head(now, out);
                 out.push(TcpOutput::ArmRto(self.rto.rto()));
             }
+            self.trace_window(now);
         }
     }
 
@@ -171,12 +213,22 @@ impl TcpSender {
             return; // stale timer
         }
         self.stats.timeouts += 1;
+        if S::ENABLED {
+            self.sink.record(
+                now,
+                &TraceRecord::TcpRto {
+                    node: self.src.0,
+                    flow: self.flow.0,
+                },
+            );
+        }
         let mss = self.cfg.mss as f64;
         self.ssthresh = (self.flight_size() as f64 / 2.0).max(2.0 * mss);
         self.cwnd = mss;
         self.in_recovery = false;
         self.dup_acks = 0;
         self.rto.on_timeout();
+        self.trace_window(now);
         self.retransmit_head(now, out);
         out.push(TcpOutput::ArmRto(self.rto.rto()));
     }
@@ -185,7 +237,7 @@ impl TcpSender {
         self.stats.retransmits += 1;
         // Karn: a retransmitted range can no longer time the RTT.
         self.timed = None;
-        let seg = self.make_segment(self.snd_una, now);
+        let seg = self.make_segment(self.snd_una, now, true);
         out.push(TcpOutput::Send(seg));
     }
 
@@ -198,13 +250,25 @@ impl TcpSender {
             if self.timed.is_none() {
                 self.timed = Some((self.snd_nxt, now));
             }
-            let seg = self.make_segment(seq, now);
+            let seg = self.make_segment(seq, now, false);
             out.push(TcpOutput::Send(seg));
         }
     }
 
-    fn make_segment(&mut self, seq: u64, now: SimTime) -> Packet {
+    fn make_segment(&mut self, seq: u64, now: SimTime, retransmit: bool) -> Packet {
         self.stats.segments_sent += 1;
+        if S::ENABLED {
+            self.sink.record(
+                now,
+                &TraceRecord::TcpSend {
+                    node: self.src.0,
+                    flow: self.flow.0,
+                    seq,
+                    bytes: self.cfg.mss,
+                    retransmit,
+                },
+            );
+        }
         Packet {
             flow: self.flow,
             src: self.src,
@@ -346,7 +410,10 @@ mod tests {
             _ => None,
         });
         let d = armed.expect("rto armed");
-        assert!(d >= SimDuration::from_millis(400), "backoff expected, got {d}");
+        assert!(
+            d >= SimDuration::from_millis(400),
+            "backoff expected, got {d}"
+        );
     }
 
     #[test]
@@ -380,7 +447,7 @@ mod tests {
         let mut out = Vec::new();
         s.start(at(0), &mut out);
         s.on_ack(512, at(50), &mut out); // 50 ms sample
-        // RTO = srtt + 4*rttvar = 50 + 100 = 150 → clamped to 200 ms.
+                                         // RTO = srtt + 4*rttvar = 50 + 100 = 150 → clamped to 200 ms.
         let armed = out.iter().rev().find_map(|o| match o {
             TcpOutput::ArmRto(d) => Some(*d),
             _ => None,

@@ -50,7 +50,8 @@ impl Harness {
         let id = self.events.len() as u64;
         self.events.push(Some(ev));
         self.seq += 1;
-        self.queue.push((std::cmp::Reverse((t.as_nanos(), self.seq)), id));
+        self.queue
+            .push((std::cmp::Reverse((t.as_nanos(), self.seq)), id));
         id
     }
 
@@ -92,7 +93,11 @@ fn run_transfer(
         // Apply sender/receiver outputs.
         for out in outs.drain(..) {
             match out {
-                TcpOutput::Send(Packet { seg: Segment::Tcp { seq, ack }, payload_bytes, .. }) => {
+                TcpOutput::Send(Packet {
+                    seg: Segment::Tcp { seq, ack },
+                    payload_bytes,
+                    ..
+                }) => {
                     let t = h.now + latency;
                     if payload_bytes > 0 {
                         let k = tx_count.entry(seq).and_modify(|k| *k += 1).or_insert(1);
@@ -196,9 +201,16 @@ fn burst_loss_falls_back_to_rto_and_survives() {
         (seq / 512 == 50 && k < 3) || ((51..53).contains(&(seq / 512)) && k < 2)
     });
     assert!(delivered > 2_000_000, "delivered {delivered}");
-    assert!(stats.timeouts >= 2, "RTO-paced hole clearing: {} timeouts", stats.timeouts);
+    assert!(
+        stats.timeouts >= 2,
+        "RTO-paced hole clearing: {} timeouts",
+        stats.timeouts
+    );
     assert!(stats.retransmits >= 4);
-    assert!(stats.fast_retransmits >= 1, "the first loss still triggers dupack recovery");
+    assert!(
+        stats.fast_retransmits >= 1,
+        "the first loss still triggers dupack recovery"
+    );
 }
 
 #[test]
@@ -206,6 +218,13 @@ fn total_blackout_makes_no_progress_but_does_not_panic() {
     // 4 s of dead air: RTOs at ~1 s and ~3 s (1 s initial, then doubled).
     let (delivered, stats, _) = run_transfer(4_000, |_, _| true);
     assert_eq!(delivered, 0);
-    assert!(stats.timeouts >= 2, "RTO backoff keeps retrying: {}", stats.timeouts);
-    assert!(stats.segments_sent < 100, "exponential backoff bounds the retries");
+    assert!(
+        stats.timeouts >= 2,
+        "RTO backoff keeps retrying: {}",
+        stats.timeouts
+    );
+    assert!(
+        stats.segments_sent < 100,
+        "exponential backoff bounds the retries"
+    );
 }

@@ -135,7 +135,12 @@ mod tests {
 
     #[test]
     fn ber_is_monotone_decreasing_in_sinr() {
-        for m in [Modulation::Dbpsk, Modulation::Dqpsk, Modulation::Cck5_5, Modulation::Cck11] {
+        for m in [
+            Modulation::Dbpsk,
+            Modulation::Dqpsk,
+            Modulation::Cck5_5,
+            Modulation::Cck11,
+        ] {
             let mut prev = 0.5;
             for i in 0..200 {
                 let sinr = 10f64.powf(-3.0 + i as f64 * 0.02); // -30..+10 dB
@@ -161,11 +166,17 @@ mod tests {
         let t2 = threshold(Modulation::Dqpsk);
         let t55 = threshold(Modulation::Cck5_5);
         let t11 = threshold(Modulation::Cck11);
-        assert!(t1 < t2 && t2 < t55 && t55 < t11, "thresholds {t1} {t2} {t55} {t11}");
+        assert!(
+            t1 < t2 && t2 < t55 && t55 < t11,
+            "thresholds {t1} {t2} {t55} {t11}"
+        );
         // The spread between 1 and 11 Mb/s should be roughly 10–16 dB —
         // that is what produces the ~4x range ratio of the paper's Table 3.
         let spread = t11 - t1;
-        assert!((8.0..20.0).contains(&spread), "1→11 Mb/s SINR spread {spread} dB");
+        assert!(
+            (8.0..20.0).contains(&spread),
+            "1→11 Mb/s SINR spread {spread} dB"
+        );
     }
 
     #[test]

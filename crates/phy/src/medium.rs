@@ -164,7 +164,11 @@ mod tests {
     use desim::SimRng;
 
     fn medium(positions: Vec<Position>, sigma_zero: bool) -> Medium {
-        let day = if sigma_zero { DayProfile::still() } else { DayProfile::clear() };
+        let day = if sigma_zero {
+            DayProfile::still()
+        } else {
+            DayProfile::clear()
+        };
         Medium::new(
             positions,
             Shadowing::new(day.clone(), SimRng::from_seed(5)),
@@ -187,7 +191,11 @@ mod tests {
     #[test]
     fn rx_power_decreases_with_distance() {
         let mut m = medium(
-            vec![Position::on_line(0.0), Position::on_line(10.0), Position::on_line(100.0)],
+            vec![
+                Position::on_line(0.0),
+                Position::on_line(10.0),
+                Position::on_line(100.0),
+            ],
             true,
         );
         let now = SimTime::ZERO;
@@ -199,12 +207,22 @@ mod tests {
     #[test]
     fn transmit_delivers_to_all_but_source() {
         let mut m = medium(
-            vec![Position::on_line(0.0), Position::on_line(10.0), Position::on_line(20.0)],
+            vec![
+                Position::on_line(0.0),
+                Position::on_line(10.0),
+                Position::on_line(20.0),
+            ],
             true,
         );
         let now = SimTime::from_millis(1);
-        let (tx_id, airtime, deliveries) =
-            m.transmit(NodeId(1), Dbm(15.0), PhyRate::R2, 112 / 8, Preamble::Long, now);
+        let (tx_id, airtime, deliveries) = m.transmit(
+            NodeId(1),
+            Dbm(15.0),
+            PhyRate::R2,
+            112 / 8,
+            Preamble::Long,
+            now,
+        );
         assert_eq!(deliveries.len(), 2);
         assert!(deliveries.iter().all(|(rx, _)| *rx != NodeId(1)));
         for (_, sig) in &deliveries {

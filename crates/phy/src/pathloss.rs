@@ -71,7 +71,9 @@ pub struct FreeSpace {
 impl FreeSpace {
     /// Free space at the 2.4 GHz ISM band used by 802.11b.
     pub fn at_2_4_ghz() -> FreeSpace {
-        FreeSpace { frequency_hz: 2.412e9 }
+        FreeSpace {
+            frequency_hz: 2.412e9,
+        }
     }
 }
 
@@ -155,7 +157,10 @@ impl PathLoss for TwoRayGround {
         let d = clamp_distance(distance);
         let dc = self.crossover_distance().0;
         if d <= dc {
-            FreeSpace { frequency_hz: self.frequency_hz }.path_loss(Meters(d))
+            FreeSpace {
+                frequency_hz: self.frequency_hz,
+            }
+            .path_loss(Meters(d))
         } else {
             let h2 = (self.tx_height * self.rx_height).powi(2);
             Db(40.0 * d.log10() - 10.0 * h2.log10())
@@ -203,13 +208,22 @@ mod tests {
     fn two_ray_continuous_at_crossover_and_steeper_beyond() {
         let tr = TwoRayGround::ns2_default();
         let dc = tr.crossover_distance().0;
-        assert!(dc > 100.0 && dc < 300.0, "crossover {dc} m out of expected band");
+        assert!(
+            dc > 100.0 && dc < 300.0,
+            "crossover {dc} m out of expected band"
+        );
         let just_below = tr.path_loss(Meters(dc * 0.999)).0;
         let just_above = tr.path_loss(Meters(dc * 1.001)).0;
-        assert!((just_above - just_below).abs() < 0.5, "discontinuity at crossover");
+        assert!(
+            (just_above - just_below).abs() < 0.5,
+            "discontinuity at crossover"
+        );
         let d1 = tr.path_loss(Meters(dc * 2.0)).0;
         let d2 = tr.path_loss(Meters(dc * 20.0)).0;
-        assert!((d2 - d1 - 40.0).abs() < 1e-6, "beyond crossover slope should be 40 dB/decade");
+        assert!(
+            (d2 - d1 - 40.0).abs() < 1e-6,
+            "beyond crossover slope should be 40 dB/decade"
+        );
     }
 
     #[test]
@@ -218,7 +232,11 @@ mod tests {
         for d in [5.0, 30.0, 120.0, 400.0] {
             let loss = ld.path_loss(Meters(d));
             let back = ld.distance_for_loss(loss).expect("in range");
-            assert!((back.0 - d).abs() / d < 1e-3, "inverse failed: {d} -> {}", back.0);
+            assert!(
+                (back.0 - d).abs() / d < 1e-3,
+                "inverse failed: {d} -> {}",
+                back.0
+            );
         }
         assert!(ld.distance_for_loss(Db(1e6)).is_none());
         // Losses already reached at 1 m clamp to 1 m.

@@ -85,7 +85,10 @@ mod tests {
     #[test]
     fn paper_table1_phy_header_in_slots() {
         // Table 1 expresses PHYhdr as 9.6 slot times (slot = 20 µs).
-        assert_eq!(Preamble::Long.duration().as_nanos(), (9.6 * 20_000.0) as u64);
+        assert_eq!(
+            Preamble::Long.duration().as_nanos(),
+            (9.6 * 20_000.0) as u64
+        );
     }
 
     #[test]

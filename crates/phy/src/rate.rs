@@ -124,7 +124,11 @@ mod tests {
     fn rates_are_ordered_slowest_first() {
         let speeds: Vec<f64> = PhyRate::ALL.iter().map(|r| r.bits_per_micro()).collect();
         assert_eq!(speeds, vec![1.0, 2.0, 5.5, 11.0]);
-        assert!(PhyRate::R1 < PhyRate::R2 && PhyRate::R2 < PhyRate::R5_5 && PhyRate::R5_5 < PhyRate::R11);
+        assert!(
+            PhyRate::R1 < PhyRate::R2
+                && PhyRate::R2 < PhyRate::R5_5
+                && PhyRate::R5_5 < PhyRate::R11
+        );
     }
 
     #[test]
@@ -132,8 +136,14 @@ mod tests {
         // 28 bytes at 11 Mb/s: 224/11 = 20.3636... µs → 20364 ns.
         assert_eq!(PhyRate::R11.duration_of_bytes(28).as_nanos(), 20_364);
         // 512 bytes at 1 Mb/s: exactly 4096 µs.
-        assert_eq!(PhyRate::R1.duration_of_bytes(512), SimDuration::from_micros(4096));
-        assert_eq!(PhyRate::R2.duration_of_bits(112), SimDuration::from_micros(56));
+        assert_eq!(
+            PhyRate::R1.duration_of_bytes(512),
+            SimDuration::from_micros(4096)
+        );
+        assert_eq!(
+            PhyRate::R2.duration_of_bits(112),
+            SimDuration::from_micros(56)
+        );
     }
 
     #[test]

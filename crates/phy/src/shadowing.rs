@@ -161,7 +161,14 @@ impl Shadowing {
             let mut rng = self.master.substream(&label);
             let slow_db = rng.gen_normal(0.0, slow);
             let fast_db = rng.gen_normal(0.0, fast);
-            (LinkState { at: now, slow_db, fast_db }, rng)
+            (
+                LinkState {
+                    at: now,
+                    slow_db,
+                    fast_db,
+                },
+                rng,
+            )
         });
         let dt = now.saturating_duration_since(state.at).as_secs_f64();
         if dt > 0.0 && fast > 0.0 {
@@ -186,7 +193,12 @@ mod tests {
     fn still_profile_is_deterministic_offset() {
         let mut s = process(DayProfile::still(), 1);
         for k in 0..10 {
-            let v = s.sample(NodeId(0), NodeId(1), Meters(100.0), SimTime::from_millis(k * 10));
+            let v = s.sample(
+                NodeId(0),
+                NodeId(1),
+                Meters(100.0),
+                SimTime::from_millis(k * 10),
+            );
             assert_eq!(v.0, 0.0);
         }
     }
@@ -223,7 +235,14 @@ mod tests {
         for i in 0..300u32 {
             let (a, b) = (NodeId(i), NodeId(i + 1000));
             let x0 = s.sample(a, b, Meters(100.0), SimTime::from_secs(1)).0;
-            let x1 = s.sample(a, b, Meters(100.0), SimTime::from_secs(1) + SimDuration::from_millis(1)).0;
+            let x1 = s
+                .sample(
+                    a,
+                    b,
+                    Meters(100.0),
+                    SimTime::from_secs(1) + SimDuration::from_millis(1),
+                )
+                .0;
             let x2 = s.sample(a, b, Meters(100.0), SimTime::from_secs(20)).0;
             short_pairs.push((x0, x1));
             long_pairs.push((x0, x2));
@@ -239,26 +258,49 @@ mod tests {
         };
         let short = corr(&short_pairs);
         let long = corr(&long_pairs);
-        assert!(short > 0.95, "1 ms lag should be near-perfectly correlated, got {short}");
+        assert!(
+            short > 0.95,
+            "1 ms lag should be near-perfectly correlated, got {short}"
+        );
         // The fast component decorrelates over 10 s; the slow per-session
         // component persists, so the long-lag correlation settles near
         // slow² / (slow² + fast²) ≈ 0.81 for the clear profile.
-        assert!(long < short - 0.02, "fast component should decay: {long} vs {short}");
-        assert!((0.55..0.95).contains(&long), "slow component should persist, got {long}");
+        assert!(
+            long < short - 0.02,
+            "fast component should decay: {long} vs {short}"
+        );
+        assert!(
+            (0.55..0.95).contains(&long),
+            "slow component should persist, got {long}"
+        );
     }
 
     #[test]
     fn marginal_std_matches_combined_sigma() {
         let mut s = process(DayProfile::clear(), 9);
         let vals: Vec<f64> = (0..2000u32)
-            .map(|i| s.sample(NodeId(i), NodeId(i + 10_000), Meters(100.0), SimTime::from_secs(5)).0)
+            .map(|i| {
+                s.sample(
+                    NodeId(i),
+                    NodeId(i + 10_000),
+                    Meters(100.0),
+                    SimTime::from_secs(5),
+                )
+                .0
+            })
             .collect();
         let n = vals.len() as f64;
         let mean = vals.iter().sum::<f64>() / n;
         let std = (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n).sqrt();
         let expect = (2.0f64.powi(2) + 1.0f64.powi(2)).sqrt();
-        assert!((std - expect).abs() < 0.3, "marginal std {std} should approach {expect:.2}");
-        assert!(mean.abs() < 0.3, "mean {mean} should be near the 0 dB offset");
+        assert!(
+            (std - expect).abs() < 0.3,
+            "marginal std {std} should approach {expect:.2}"
+        );
+        assert!(
+            mean.abs() < 0.3,
+            "mean {mean} should be near the 0 dB offset"
+        );
     }
 
     #[test]
@@ -266,7 +308,15 @@ mod tests {
         let mut s = process(DayProfile::clear(), 21);
         let spread = |d: f64, s: &mut Shadowing| {
             let vals: Vec<f64> = (0..500u32)
-                .map(|i| s.sample(NodeId(i), NodeId(i + 5000), Meters(d), SimTime::from_secs(1)).0)
+                .map(|i| {
+                    s.sample(
+                        NodeId(i),
+                        NodeId(i + 5000),
+                        Meters(d),
+                        SimTime::from_secs(1),
+                    )
+                    .0
+                })
                 .collect();
             let n = vals.len() as f64;
             let mean = vals.iter().sum::<f64>() / n;
@@ -275,11 +325,17 @@ mod tests {
         let near = spread(20.0, &mut s);
         let mut s2 = process(DayProfile::clear(), 21);
         let far = spread(120.0, &mut s2);
-        assert!(near < far * 0.5, "20 m spread {near:.2} dB should be well below 120 m {far:.2} dB");
+        assert!(
+            near < far * 0.5,
+            "20 m spread {near:.2} dB should be well below 120 m {far:.2} dB"
+        );
         // Beyond sigma_full_distance the variance saturates.
         let mut s3 = process(DayProfile::clear(), 21);
         let very_far = spread(300.0, &mut s3);
-        assert!((very_far - far).abs() < 0.4, "variance saturates: {far:.2} vs {very_far:.2}");
+        assert!(
+            (very_far - far).abs() < 0.4,
+            "variance saturates: {far:.2} vs {very_far:.2}"
+        );
     }
 
     #[test]
@@ -288,11 +344,22 @@ mod tests {
         let mut rainy = process(DayProfile::rainy(), 3);
         let avg = |s: &mut Shadowing| {
             (0..500u32)
-                .map(|i| s.sample(NodeId(i), NodeId(i + 1000), Meters(100.0), SimTime::from_secs(2)).0)
+                .map(|i| {
+                    s.sample(
+                        NodeId(i),
+                        NodeId(i + 1000),
+                        Meters(100.0),
+                        SimTime::from_secs(2),
+                    )
+                    .0
+                })
                 .sum::<f64>()
                 / 500.0
         };
         let diff = avg(&mut rainy) - avg(&mut clear);
-        assert!(diff > 2.0, "rainy day should average ≥2 dB extra loss, got {diff}");
+        assert!(
+            diff > 2.0,
+            "rainy day should average ≥2 dB extra loss, got {diff}"
+        );
     }
 }

@@ -15,6 +15,7 @@
 use std::collections::HashMap;
 
 use desim::{SimRng, SimTime};
+use dot11_trace::{NullSink, TraceRecord, TraceSink};
 
 use crate::ber::{ber, Modulation};
 use crate::medium::{TxId, TxSignal};
@@ -144,10 +145,16 @@ pub struct PhyCounters {
 }
 
 /// The receiver/transmitter state of one station.
+///
+/// Generic over a [`TraceSink`]; with the default [`NullSink`] every
+/// emission site compiles away.
 #[derive(Debug)]
-pub struct PhyState {
+pub struct PhyState<S: TraceSink = NullSink> {
     cfg: RadioConfig,
     rng: SimRng,
+    /// Station identity, used only to stamp trace records.
+    node: NodeId,
+    sink: S,
     mode: Mode,
     arriving: HashMap<TxId, Arrival>,
     noise: MilliWatts,
@@ -161,11 +168,21 @@ impl PhyState {
     /// Creates the PHY for one station. `rng` should be a per-station
     /// substream of the run seed (reception draws consume it).
     pub fn new(cfg: RadioConfig, rng: SimRng) -> PhyState {
+        PhyState::with_sink(cfg, rng, NodeId(0), NullSink)
+    }
+}
+
+impl<S: TraceSink> PhyState<S> {
+    /// Like [`PhyState::new`], but PHY-layer events (collisions) are also
+    /// emitted into `sink`, stamped with `node`.
+    pub fn with_sink(cfg: RadioConfig, rng: SimRng, node: NodeId, sink: S) -> PhyState<S> {
         PhyState {
             noise: cfg.noise_floor.to_milliwatts(),
             cs_threshold: cfg.cs_threshold.to_milliwatts(),
             cfg,
             rng,
+            node,
+            sink,
             mode: Mode::Idle,
             arriving: HashMap::new(),
             counters: PhyCounters::default(),
@@ -261,6 +278,10 @@ impl PhyState {
             _ => {
                 if detectable && !matches!(self.mode, Mode::Idle) {
                     self.counters.missed_preambles += 1;
+                    if S::ENABLED {
+                        self.sink
+                            .record(now, &TraceRecord::Collision { node: self.node.0 });
+                    }
                 }
                 PhyIndication { locked: false }
             }
@@ -411,7 +432,9 @@ mod tests {
         let sig = signal(0, -60.0, 0, 546, PhyRate::R11);
         assert!(p.signal_start(&sig, sig.starts_at).locked);
         assert!(p.carrier_busy());
-        let out = p.signal_end(sig.tx_id, sig.ends_at).expect("locked frame yields outcome");
+        let out = p
+            .signal_end(sig.tx_id, sig.ends_at)
+            .expect("locked frame yields outcome");
         assert_eq!(out.kind, RxOutcomeKind::Decoded);
         assert_eq!(out.source, NodeId(99));
         assert!(!p.carrier_busy());
@@ -445,7 +468,10 @@ mod tests {
     fn preamble_time_interference_gives_header_error() {
         // A weak lock whose preamble is drowned by a 25 dB stronger frame
         // (capture disabled) loses the PLCP itself.
-        let cfg = RadioConfig { capture_enabled: false, ..RadioConfig::default() };
+        let cfg = RadioConfig {
+            capture_enabled: false,
+            ..RadioConfig::default()
+        };
         let mut p = PhyState::new(cfg, SimRng::from_seed(9));
         let weak = signal(0, -85.0, 0, 546, PhyRate::R11);
         let strong = signal(1, -60.0, 20, 1024, PhyRate::R11);
@@ -481,8 +507,15 @@ mod tests {
         // interference at SINR 0 dB.
         assert!(!p.signal_start(&b, b.starts_at).locked);
         let out = p.signal_end(a.tx_id, a.ends_at).expect("outcome");
-        assert_ne!(out.kind, RxOutcomeKind::Decoded, "0 dB SINR body must corrupt");
-        assert!(p.signal_end(b.tx_id, b.ends_at).is_none(), "b was never locked");
+        assert_ne!(
+            out.kind,
+            RxOutcomeKind::Decoded,
+            "0 dB SINR body must corrupt"
+        );
+        assert!(
+            p.signal_end(b.tx_id, b.ends_at).is_none(),
+            "b was never locked"
+        );
         assert_eq!(p.counters().missed_preambles, 1);
     }
 
@@ -492,7 +525,10 @@ mod tests {
         let weak = signal(0, -85.0, 0, 1024, PhyRate::R11);
         let strong = signal(1, -60.0, 50, 546, PhyRate::R11); // +25 dB, within 192 µs preamble
         assert!(p.signal_start(&weak, weak.starts_at).locked);
-        assert!(p.signal_start(&strong, strong.starts_at).locked, "capture expected");
+        assert!(
+            p.signal_start(&strong, strong.starts_at).locked,
+            "capture expected"
+        );
         assert_eq!(p.locked_on(), Some(TxId(1)));
         assert_eq!(p.counters().captures, 1);
         // The strong frame decodes despite the weak one underneath.
@@ -514,7 +550,10 @@ mod tests {
 
     #[test]
     fn capture_can_be_disabled() {
-        let cfg = RadioConfig { capture_enabled: false, ..RadioConfig::default() };
+        let cfg = RadioConfig {
+            capture_enabled: false,
+            ..RadioConfig::default()
+        };
         let mut p = PhyState::new(cfg, SimRng::from_seed(9));
         let weak = signal(0, -85.0, 0, 1024, PhyRate::R11);
         let strong = signal(1, -60.0, 50, 546, PhyRate::R11);
@@ -546,7 +585,10 @@ mod tests {
         assert!(p.signal_start(&sig, sig.starts_at).locked);
         p.begin_tx(SimTime::from_micros(400), SimTime::from_micros(100));
         assert_eq!(p.locked_on(), None);
-        assert!(p.signal_end(sig.tx_id, sig.ends_at).is_none(), "aborted rx yields nothing");
+        assert!(
+            p.signal_end(sig.tx_id, sig.ends_at).is_none(),
+            "aborted rx yields nothing"
+        );
     }
 
     #[test]
@@ -590,7 +632,11 @@ mod tests {
         p.end_tx(t0 + desim::SimDuration::from_micros(100));
         let busy_before = p.airtime().busy_ns;
         p.account_airtime(t0 + desim::SimDuration::from_micros(400));
-        assert_eq!(p.airtime().busy_ns - busy_before, 300_000, "energy holds CS busy");
+        assert_eq!(
+            p.airtime().busy_ns - busy_before,
+            300_000,
+            "energy holds CS busy"
+        );
     }
 
     #[test]
@@ -607,6 +653,9 @@ mod tests {
         assert_eq!(out.kind, RxOutcomeKind::Decoded);
         let b = signal(1, -60.0, 1_000, 546, PhyRate::R11);
         let _ = p.signal_start(&b, b.starts_at);
-        assert!(p.signal_end(b.tx_id, b.ends_at).is_some(), "b locked after a ended");
+        assert!(
+            p.signal_end(b.tx_id, b.ends_at).is_some(),
+            "b locked after a ended"
+        );
     }
 }

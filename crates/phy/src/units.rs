@@ -67,7 +67,10 @@ impl Db {
     ///
     /// Panics if `factor` is not strictly positive.
     pub fn from_linear(factor: f64) -> Db {
-        assert!(factor > 0.0, "dB ratio requires positive factor, got {factor}");
+        assert!(
+            factor > 0.0,
+            "dB ratio requires positive factor, got {factor}"
+        );
         Db(10.0 * factor.log10())
     }
 }
@@ -245,7 +248,10 @@ mod tests {
     fn dbm_milliwatt_round_trip() {
         for dbm in [-90.0, -30.0, 0.0, 15.0, 20.0] {
             let p = Dbm(dbm).to_milliwatts();
-            assert!((p.to_dbm().0 - dbm).abs() < 1e-9, "round trip failed at {dbm}");
+            assert!(
+                (p.to_dbm().0 - dbm).abs() < 1e-9,
+                "round trip failed at {dbm}"
+            );
         }
         assert!((Dbm(0.0).to_milliwatts().0 - 1.0).abs() < 1e-12);
         assert!((Dbm(30.0).to_milliwatts().0 - 1000.0).abs() < 1e-9);

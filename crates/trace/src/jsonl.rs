@@ -1,0 +1,132 @@
+//! JSON-lines export.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use desim::SimTime;
+
+use crate::record::TraceRecord;
+use crate::sink::TraceSink;
+
+/// Streams every record as one JSON object per line.
+///
+/// Serialization is hand-rolled (see [`TraceRecord::write_jsonl`]) with a
+/// fixed key order, so two same-seed runs produce **byte-identical** files —
+/// the trace-layer extension of the engine's bit-identical-runs guarantee.
+///
+/// The writer is generic: `BufWriter<File>` for real traces (see
+/// [`JsonlSink::create`]), `Vec<u8>` for in-memory comparison in tests.
+///
+/// I/O errors are sticky: the first failure stops further writing and is
+/// reported by [`JsonlSink::into_inner`] / [`JsonlSink::error`], since the
+/// sink trait itself has no error channel.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    lines: u64,
+    error: Option<io::Error>,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Opens (truncating) `path` for buffered JSONL output.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Ok(JsonlSink::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps any writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer,
+            lines: 0,
+            error: None,
+        }
+    }
+
+    /// Lines successfully written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// The first I/O error hit, if any.
+    pub fn error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Flushes and returns the writer, or the first error encountered.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, at: SimTime, rec: &TraceRecord) {
+        if self.error.is_some() {
+            return;
+        }
+        match rec.write_jsonl(at, &mut self.writer) {
+            Ok(()) => self.lines += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    fn finish(&mut self, _now: SimTime) {
+        if self.error.is_none() {
+            if let Err(e) = self.writer.flush() {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::FrameClass;
+
+    #[test]
+    fn writes_one_line_per_record() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(SimTime::ZERO, &TraceRecord::QueueDrop { node: 1 });
+        sink.record(
+            SimTime::from_micros(3),
+            &TraceRecord::FrameRxOk {
+                node: 2,
+                src: 1,
+                kind: FrameClass::Data,
+                bytes: 512,
+            },
+        );
+        assert_eq!(sink.lines(), 2);
+        let bytes = sink.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn io_error_is_sticky() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk gone"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlSink::new(Failing);
+        sink.record(SimTime::ZERO, &TraceRecord::QueueDrop { node: 0 });
+        sink.record(SimTime::ZERO, &TraceRecord::QueueDrop { node: 0 });
+        assert_eq!(sink.lines(), 0);
+        assert!(sink.error().is_some());
+        assert!(sink.into_inner().is_err());
+    }
+}

@@ -1,0 +1,361 @@
+//! Interval-windowed metrics: paper-style throughput-vs-time series.
+
+use std::collections::BTreeMap;
+
+use desim::{SimDuration, SimTime};
+
+use crate::record::TraceRecord;
+use crate::sink::TraceSink;
+
+/// One flow's delivery inside one window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowWindow {
+    /// Flow identity.
+    pub flow: u32,
+    /// Application payload bytes delivered in the window.
+    pub bytes: u64,
+    /// Delivered throughput over the window span, kb/s.
+    pub kbps: f64,
+}
+
+/// One station's MAC/PHY activity inside one window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeWindow {
+    /// Station.
+    pub node: u32,
+    /// Frames the station started transmitting (data + control).
+    pub tx_frames: u64,
+    /// Failed attempts that went back to retry.
+    pub retries: u64,
+    /// Airtime spent transmitting, ns.
+    pub tx_air_ns: u64,
+}
+
+/// One closed window of the series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalRow {
+    /// Zero-based window index (window k spans `[k·interval, (k+1)·interval)`).
+    pub index: u64,
+    /// Inclusive window start.
+    pub start: SimTime,
+    /// Exclusive window end (clamped to the final clock for a partial
+    /// last window).
+    pub end: SimTime,
+    /// Per-flow delivery, ordered by flow id. Every flow ever seen gets a
+    /// row in every subsequent window, zeros included, so series stay
+    /// rectangular for plotting.
+    pub flows: Vec<FlowWindow>,
+    /// Per-station activity, ordered by node id, same carry-forward rule.
+    pub nodes: Vec<NodeWindow>,
+}
+
+impl IntervalRow {
+    /// Hand-rolled JSON rendering of the row (used by `repro --json`).
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"index\":{},\"start_ns\":{},\"end_ns\":{},\"flows\":[",
+            self.index,
+            self.start.as_nanos(),
+            self.end.as_nanos()
+        );
+        for (i, f) in self.flows.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"flow\":{},\"bytes\":{},\"kbps\":{:.3}}}",
+                f.flow, f.bytes, f.kbps
+            ));
+        }
+        s.push_str("],\"nodes\":[");
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"node\":{},\"tx_frames\":{},\"retries\":{},\"tx_air_ns\":{}}}",
+                n.node, n.tx_frames, n.retries, n.tx_air_ns
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct NodeAcc {
+    tx_frames: u64,
+    retries: u64,
+    tx_air_ns: u64,
+}
+
+/// Aggregates records into fixed windows aligned to `t = 0`.
+///
+/// Window `k` covers the half-open span `[k·interval, (k+1)·interval)`; a
+/// record stamped exactly on a boundary opens the next window. Windows with
+/// no activity between two active ones are still emitted (as zeros) so the
+/// series has no gaps, and [`TraceSink::finish`] closes the trailing
+/// partial window using the real elapsed span for its rate.
+#[derive(Debug, Clone)]
+pub struct IntervalMetricsSink {
+    interval: SimDuration,
+    cur: u64,
+    any: bool,
+    flow_bytes: BTreeMap<u32, u64>,
+    node_acc: BTreeMap<u32, NodeAcc>,
+    rows: Vec<IntervalRow>,
+}
+
+impl IntervalMetricsSink {
+    /// Creates a sink with the given window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(interval: SimDuration) -> Self {
+        assert!(interval.as_nanos() > 0, "metrics interval must be positive");
+        IntervalMetricsSink {
+            interval,
+            cur: 0,
+            any: false,
+            flow_bytes: BTreeMap::new(),
+            node_acc: BTreeMap::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The configured window length.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// Closed windows so far (the current window is still accumulating
+    /// until [`TraceSink::finish`]).
+    pub fn rows(&self) -> &[IntervalRow] {
+        &self.rows
+    }
+
+    /// Consumes the sink, returning all closed windows.
+    pub fn into_rows(self) -> Vec<IntervalRow> {
+        self.rows
+    }
+
+    fn window_start(&self, index: u64) -> SimTime {
+        SimTime::from_nanos(index * self.interval.as_nanos())
+    }
+
+    /// Closes window `self.cur` with the given end time and resets the
+    /// accumulators (keeping the key sets, so quiet flows show as zeros).
+    fn flush(&mut self, end: SimTime) {
+        let start = self.window_start(self.cur);
+        let span_s = (end.as_nanos().saturating_sub(start.as_nanos())) as f64 / 1e9;
+        let flows = self
+            .flow_bytes
+            .iter_mut()
+            .map(|(&flow, bytes)| {
+                let b = std::mem::take(bytes);
+                let kbps = if span_s > 0.0 {
+                    b as f64 * 8.0 / span_s / 1e3
+                } else {
+                    0.0
+                };
+                FlowWindow {
+                    flow,
+                    bytes: b,
+                    kbps,
+                }
+            })
+            .collect();
+        let nodes = self
+            .node_acc
+            .iter_mut()
+            .map(|(&node, acc)| {
+                let a = std::mem::take(acc);
+                NodeWindow {
+                    node,
+                    tx_frames: a.tx_frames,
+                    retries: a.retries,
+                    tx_air_ns: a.tx_air_ns,
+                }
+            })
+            .collect();
+        self.rows.push(IntervalRow {
+            index: self.cur,
+            start,
+            end,
+            flows,
+            nodes,
+        });
+    }
+
+    /// Closes every full window strictly before the one containing `at`.
+    fn roll_to(&mut self, at: SimTime) {
+        let idx = at.as_nanos() / self.interval.as_nanos();
+        while self.cur < idx {
+            let end = self.window_start(self.cur + 1);
+            self.flush(end);
+            self.cur += 1;
+        }
+    }
+}
+
+impl TraceSink for IntervalMetricsSink {
+    fn record(&mut self, at: SimTime, rec: &TraceRecord) {
+        self.roll_to(at);
+        self.any = true;
+        match *rec {
+            TraceRecord::FlowDeliver { flow, bytes, .. } => {
+                *self.flow_bytes.entry(flow).or_insert(0) += bytes as u64;
+            }
+            TraceRecord::FrameTxStart { node, air_ns, .. } => {
+                let acc = self.node_acc.entry(node).or_default();
+                acc.tx_frames += 1;
+                acc.tx_air_ns += air_ns;
+            }
+            TraceRecord::FrameRetry { node, .. } => {
+                self.node_acc.entry(node).or_default().retries += 1;
+            }
+            _ => {}
+        }
+    }
+
+    fn finish(&mut self, now: SimTime) {
+        if !self.any {
+            return;
+        }
+        self.roll_to(now);
+        // Close the trailing partial window over its real span; skip it
+        // entirely if the run ended exactly on a boundary.
+        let start = self.window_start(self.cur);
+        if now > start {
+            self.flush(now);
+            self.cur += 1;
+        }
+        self.any = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deliver(flow: u32, bytes: u32) -> TraceRecord {
+        TraceRecord::FlowDeliver {
+            flow,
+            dst: 1,
+            bytes,
+        }
+    }
+
+    fn sec(s: f64) -> SimTime {
+        SimTime::from_nanos((s * 1e9).round() as u64)
+    }
+
+    #[test]
+    fn boundary_record_opens_next_window() {
+        // A delivery stamped exactly at t = interval belongs to window 1 —
+        // the warm-up boundary case: measurement windows aligned to the
+        // warm-up edge never double-count the edge event.
+        let mut m = IntervalMetricsSink::new(SimDuration::from_secs(1));
+        m.record(sec(0.5), &deliver(0, 100));
+        m.record(sec(1.0), &deliver(0, 200));
+        m.finish(sec(2.0));
+        let rows = m.into_rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].flows[0].bytes, 100);
+        assert_eq!(rows[1].flows[0].bytes, 200);
+        assert_eq!(rows[1].start, sec(1.0));
+    }
+
+    #[test]
+    fn partial_final_window_uses_real_span() {
+        let mut m = IntervalMetricsSink::new(SimDuration::from_secs(1));
+        m.record(sec(0.1), &deliver(0, 1000));
+        m.record(sec(1.2), &deliver(0, 1000));
+        m.finish(sec(1.5)); // final window spans only 0.5 s
+        let rows = m.into_rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].end, sec(1.5));
+        // 1000 bytes over 0.5 s = 16 kb/s (not 8 kb/s over a full window).
+        assert!((rows[1].flows[0].kbps - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn finish_on_exact_boundary_emits_no_empty_window() {
+        let mut m = IntervalMetricsSink::new(SimDuration::from_secs(1));
+        m.record(sec(0.3), &deliver(0, 100));
+        m.finish(sec(1.0));
+        let rows = m.into_rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].end, sec(1.0));
+    }
+
+    #[test]
+    fn quiet_windows_are_emitted_as_zeros() {
+        let mut m = IntervalMetricsSink::new(SimDuration::from_secs(1));
+        m.record(sec(0.2), &deliver(7, 100));
+        m.record(sec(3.5), &deliver(7, 50));
+        m.finish(sec(4.0));
+        let rows = m.into_rows();
+        assert_eq!(rows.len(), 4, "windows 1 and 2 present despite no traffic");
+        assert_eq!(
+            rows[1].flows,
+            vec![FlowWindow {
+                flow: 7,
+                bytes: 0,
+                kbps: 0.0
+            }]
+        );
+        assert_eq!(rows[2].flows[0].bytes, 0);
+        assert_eq!(rows[3].flows[0].bytes, 50);
+    }
+
+    #[test]
+    fn node_activity_is_windowed() {
+        let mut m = IntervalMetricsSink::new(SimDuration::from_millis(100));
+        m.record(
+            sec(0.01),
+            &TraceRecord::FrameTxStart {
+                node: 2,
+                kind: crate::FrameClass::Data,
+                dst: 3,
+                bytes: 512,
+                rate_kbps: 11_000,
+                air_ns: 500_000,
+            },
+        );
+        m.record(sec(0.02), &TraceRecord::FrameRetry { node: 2, retry: 1 });
+        m.finish(sec(0.1));
+        let rows = m.into_rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(
+            rows[0].nodes,
+            vec![NodeWindow {
+                node: 2,
+                tx_frames: 1,
+                retries: 1,
+                tx_air_ns: 500_000
+            }]
+        );
+    }
+
+    #[test]
+    fn empty_sink_emits_nothing() {
+        let mut m = IntervalMetricsSink::new(SimDuration::from_secs(1));
+        m.finish(sec(10.0));
+        assert!(m.rows().is_empty());
+    }
+
+    #[test]
+    fn row_json_shape() {
+        let mut m = IntervalMetricsSink::new(SimDuration::from_secs(1));
+        m.record(sec(0.5), &deliver(0, 125));
+        m.finish(sec(1.0));
+        let json = m.rows()[0].to_json();
+        assert_eq!(
+            json,
+            "{\"index\":0,\"start_ns\":0,\"end_ns\":1000000000,\
+             \"flows\":[{\"flow\":0,\"bytes\":125,\"kbps\":1.000}],\"nodes\":[]}"
+        );
+    }
+}

@@ -1,0 +1,325 @@
+//! The typed event vocabulary shared by all layers.
+
+use std::io::{self, Write};
+
+use desim::SimTime;
+
+/// Over-the-air frame class, as seen by the MAC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameClass {
+    /// A data MPDU.
+    Data,
+    /// Request-to-send control frame.
+    Rts,
+    /// Clear-to-send control frame.
+    Cts,
+    /// MAC-level acknowledgement.
+    Ack,
+}
+
+impl FrameClass {
+    /// Stable lowercase name used in JSONL output.
+    pub fn name(self) -> &'static str {
+        match self {
+            FrameClass::Data => "data",
+            FrameClass::Rts => "rts",
+            FrameClass::Cts => "cts",
+            FrameClass::Ack => "ack",
+        }
+    }
+}
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RxErrorCause {
+    /// The PLCP preamble/header was corrupted: the radio never locked a
+    /// valid length/rate, so only EIFS-style deferral is possible.
+    Header,
+    /// The PLCP decoded but the MPDU body failed its check (FCS error).
+    Body,
+}
+
+impl RxErrorCause {
+    /// Stable lowercase name used in JSONL output.
+    pub fn name(self) -> &'static str {
+        match self {
+            RxErrorCause::Header => "header",
+            RxErrorCause::Body => "body",
+        }
+    }
+}
+
+/// One traced simulation event.
+///
+/// Node and flow identities are plain `u32`s (the inner values of
+/// `dot11_phy::NodeId` / `dot11_net::FlowId`) so this crate stays below
+/// every protocol layer in the dependency graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceRecord {
+    /// A station started radiating a frame.
+    FrameTxStart {
+        /// Transmitting station.
+        node: u32,
+        /// Frame class.
+        kind: FrameClass,
+        /// Destination station.
+        dst: u32,
+        /// MPDU size on air, bytes.
+        bytes: u32,
+        /// PHY data rate used for the MPDU body, kb/s.
+        rate_kbps: u32,
+        /// Total airtime (preamble + body), ns.
+        air_ns: u64,
+    },
+    /// The frame's airtime elapsed at the transmitter.
+    FrameTxEnd {
+        /// Transmitting station.
+        node: u32,
+    },
+    /// A frame decoded successfully at a receiver.
+    FrameRxOk {
+        /// Receiving station.
+        node: u32,
+        /// Originating station.
+        src: u32,
+        /// Frame class.
+        kind: FrameClass,
+        /// MPDU size, bytes.
+        bytes: u32,
+    },
+    /// A locked-onto frame failed to decode.
+    FrameRxErr {
+        /// Receiving station.
+        node: u32,
+        /// Which decoding stage failed.
+        cause: RxErrorCause,
+    },
+    /// A detectable preamble arrived while the radio was already locked or
+    /// transmitting — the classic collision/missed-preamble event.
+    Collision {
+        /// Station that missed the preamble.
+        node: u32,
+    },
+    /// The MAC drew a fresh backoff.
+    BackoffChosen {
+        /// Station.
+        node: u32,
+        /// Slots drawn, uniform in `[0, cw)`.
+        slots: u32,
+        /// Contention window the draw came from.
+        cw: u32,
+    },
+    /// A transmission attempt failed (no CTS/ACK) and will be retried.
+    FrameRetry {
+        /// Station.
+        node: u32,
+        /// Retry count after this failure (1 = first retry pending).
+        retry: u32,
+    },
+    /// The NAV (virtual carrier sense) was extended.
+    NavUpdate {
+        /// Station.
+        node: u32,
+        /// New NAV expiry, absolute sim time in ns.
+        until_ns: u64,
+    },
+    /// An undecodable frame forced an EIFS deferral instead of DIFS.
+    EifsDefer {
+        /// Station.
+        node: u32,
+    },
+    /// ARF switched the station's data rate.
+    RateSwitch {
+        /// Station.
+        node: u32,
+        /// Previous data rate, kb/s.
+        from_kbps: u32,
+        /// New data rate, kb/s.
+        to_kbps: u32,
+    },
+    /// The MAC interface queue overflowed and dropped a packet.
+    QueueDrop {
+        /// Station.
+        node: u32,
+    },
+    /// The TCP sender emitted a segment.
+    TcpSend {
+        /// Sending station.
+        node: u32,
+        /// Flow identity.
+        flow: u32,
+        /// First sequence byte of the segment.
+        seq: u64,
+        /// Payload bytes.
+        bytes: u32,
+        /// True if this is a retransmission.
+        retransmit: bool,
+    },
+    /// The TCP retransmission timer fired.
+    TcpRto {
+        /// Sending station.
+        node: u32,
+        /// Flow identity.
+        flow: u32,
+    },
+    /// The TCP congestion window changed.
+    TcpCwndChange {
+        /// Sending station.
+        node: u32,
+        /// Flow identity.
+        flow: u32,
+        /// New congestion window, bytes.
+        cwnd: u64,
+        /// New slow-start threshold, bytes.
+        ssthresh: u64,
+    },
+    /// Application payload reached the flow's final destination.
+    FlowDeliver {
+        /// Flow identity.
+        flow: u32,
+        /// Destination station.
+        dst: u32,
+        /// Application payload bytes delivered.
+        bytes: u32,
+    },
+}
+
+impl TraceRecord {
+    /// Stable snake_case event name used in JSONL output.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            TraceRecord::FrameTxStart { .. } => "frame_tx_start",
+            TraceRecord::FrameTxEnd { .. } => "frame_tx_end",
+            TraceRecord::FrameRxOk { .. } => "frame_rx_ok",
+            TraceRecord::FrameRxErr { .. } => "frame_rx_err",
+            TraceRecord::Collision { .. } => "collision",
+            TraceRecord::BackoffChosen { .. } => "backoff_chosen",
+            TraceRecord::FrameRetry { .. } => "frame_retry",
+            TraceRecord::NavUpdate { .. } => "nav_update",
+            TraceRecord::EifsDefer { .. } => "eifs_defer",
+            TraceRecord::RateSwitch { .. } => "rate_switch",
+            TraceRecord::QueueDrop { .. } => "queue_drop",
+            TraceRecord::TcpSend { .. } => "tcp_send",
+            TraceRecord::TcpRto { .. } => "tcp_rto",
+            TraceRecord::TcpCwndChange { .. } => "tcp_cwnd",
+            TraceRecord::FlowDeliver { .. } => "flow_deliver",
+        }
+    }
+
+    /// Writes the record as one JSON object terminated by `\n`.
+    ///
+    /// Every field is numeric or a fixed enum name, so no string escaping is
+    /// needed; the serialization is hand-rolled and deterministic (fixed key
+    /// order), which is what makes byte-identical trace comparison possible.
+    pub fn write_jsonl<W: Write>(&self, at: SimTime, w: &mut W) -> io::Result<()> {
+        let t = at.as_nanos();
+        let ev = self.kind_name();
+        match *self {
+            TraceRecord::FrameTxStart { node, kind, dst, bytes, rate_kbps, air_ns } => writeln!(
+                w,
+                "{{\"t\":{t},\"ev\":\"{ev}\",\"node\":{node},\"kind\":\"{}\",\"dst\":{dst},\"bytes\":{bytes},\"rate_kbps\":{rate_kbps},\"air_ns\":{air_ns}}}",
+                kind.name()
+            ),
+            TraceRecord::FrameTxEnd { node } => {
+                writeln!(w, "{{\"t\":{t},\"ev\":\"{ev}\",\"node\":{node}}}")
+            }
+            TraceRecord::FrameRxOk { node, src, kind, bytes } => writeln!(
+                w,
+                "{{\"t\":{t},\"ev\":\"{ev}\",\"node\":{node},\"src\":{src},\"kind\":\"{}\",\"bytes\":{bytes}}}",
+                kind.name()
+            ),
+            TraceRecord::FrameRxErr { node, cause } => writeln!(
+                w,
+                "{{\"t\":{t},\"ev\":\"{ev}\",\"node\":{node},\"cause\":\"{}\"}}",
+                cause.name()
+            ),
+            TraceRecord::Collision { node } => {
+                writeln!(w, "{{\"t\":{t},\"ev\":\"{ev}\",\"node\":{node}}}")
+            }
+            TraceRecord::BackoffChosen { node, slots, cw } => writeln!(
+                w,
+                "{{\"t\":{t},\"ev\":\"{ev}\",\"node\":{node},\"slots\":{slots},\"cw\":{cw}}}"
+            ),
+            TraceRecord::FrameRetry { node, retry } => writeln!(
+                w,
+                "{{\"t\":{t},\"ev\":\"{ev}\",\"node\":{node},\"retry\":{retry}}}"
+            ),
+            TraceRecord::NavUpdate { node, until_ns } => writeln!(
+                w,
+                "{{\"t\":{t},\"ev\":\"{ev}\",\"node\":{node},\"until_ns\":{until_ns}}}"
+            ),
+            TraceRecord::EifsDefer { node } => {
+                writeln!(w, "{{\"t\":{t},\"ev\":\"{ev}\",\"node\":{node}}}")
+            }
+            TraceRecord::RateSwitch { node, from_kbps, to_kbps } => writeln!(
+                w,
+                "{{\"t\":{t},\"ev\":\"{ev}\",\"node\":{node},\"from_kbps\":{from_kbps},\"to_kbps\":{to_kbps}}}"
+            ),
+            TraceRecord::QueueDrop { node } => {
+                writeln!(w, "{{\"t\":{t},\"ev\":\"{ev}\",\"node\":{node}}}")
+            }
+            TraceRecord::TcpSend { node, flow, seq, bytes, retransmit } => writeln!(
+                w,
+                "{{\"t\":{t},\"ev\":\"{ev}\",\"node\":{node},\"flow\":{flow},\"seq\":{seq},\"bytes\":{bytes},\"retx\":{retransmit}}}"
+            ),
+            TraceRecord::TcpRto { node, flow } => writeln!(
+                w,
+                "{{\"t\":{t},\"ev\":\"{ev}\",\"node\":{node},\"flow\":{flow}}}"
+            ),
+            TraceRecord::TcpCwndChange { node, flow, cwnd, ssthresh } => writeln!(
+                w,
+                "{{\"t\":{t},\"ev\":\"{ev}\",\"node\":{node},\"flow\":{flow},\"cwnd\":{cwnd},\"ssthresh\":{ssthresh}}}"
+            ),
+            TraceRecord::FlowDeliver { flow, dst, bytes } => writeln!(
+                w,
+                "{{\"t\":{t},\"ev\":\"{ev}\",\"flow\":{flow},\"dst\":{dst},\"bytes\":{bytes}}}"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_lines_are_single_objects() {
+        let recs = [
+            TraceRecord::FrameTxStart {
+                node: 0,
+                kind: FrameClass::Rts,
+                dst: 1,
+                bytes: 20,
+                rate_kbps: 2000,
+                air_ns: 272_000,
+            },
+            TraceRecord::FrameRxErr {
+                node: 1,
+                cause: RxErrorCause::Body,
+            },
+            TraceRecord::TcpSend {
+                node: 2,
+                flow: 0,
+                seq: 512,
+                bytes: 512,
+                retransmit: true,
+            },
+        ];
+        for r in recs {
+            let mut buf = Vec::new();
+            r.write_jsonl(SimTime::from_micros(5), &mut buf).unwrap();
+            let line = String::from_utf8(buf).unwrap();
+            assert!(line.ends_with('}') || line.ends_with('\n'));
+            assert_eq!(line.matches('\n').count(), 1);
+            assert!(line.starts_with("{\"t\":5000,\"ev\":\""));
+            assert!(line.contains(r.kind_name()));
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(FrameClass::Data.name(), "data");
+        assert_eq!(RxErrorCause::Header.name(), "header");
+        assert_eq!(TraceRecord::Collision { node: 3 }.kind_name(), "collision");
+    }
+}

@@ -34,7 +34,10 @@ fn run(label: &str, knobs: Knobs, tcp: bool) {
     let traffic = if tcp {
         Traffic::BulkTcp { mss: 512 }
     } else {
-        Traffic::SaturatedUdp { payload_bytes: 512, backlog: 10 }
+        Traffic::SaturatedUdp {
+            payload_bytes: 512,
+            backlog: 10,
+        }
     };
     let mut mac = MacConfig::new(PhyRate::R11);
     mac.eifs_enabled = knobs.eifs;
@@ -46,7 +49,11 @@ fn run(label: &str, knobs: Knobs, tcp: bool) {
         radio = radio.without_pcs_advantage();
     }
     radio.capture_enabled = knobs.capture;
-    let day = if knobs.still_channel { DayProfile::still() } else { DayProfile::clear() };
+    let day = if knobs.still_channel {
+        DayProfile::still()
+    } else {
+        DayProfile::clear()
+    };
 
     let report = ScenarioBuilder::new(PhyRate::R11)
         .line(&[0.0, 25.0, 107.5, 132.5])
@@ -83,8 +90,36 @@ fn main() {
     );
     run("baseline", base, tcp);
     run("D1: PCS = TX range", Knobs { pcs: false, ..base }, tcp);
-    run("D2: control at data rate", Knobs { control_at_data_rate: true, ..base }, tcp);
-    run("D3: EIFS off", Knobs { eifs: false, ..base }, tcp);
-    run("D4: still channel", Knobs { still_channel: true, ..base }, tcp);
-    run("D5: capture off", Knobs { capture: false, ..base }, tcp);
+    run(
+        "D2: control at data rate",
+        Knobs {
+            control_at_data_rate: true,
+            ..base
+        },
+        tcp,
+    );
+    run(
+        "D3: EIFS off",
+        Knobs {
+            eifs: false,
+            ..base
+        },
+        tcp,
+    );
+    run(
+        "D4: still channel",
+        Knobs {
+            still_channel: true,
+            ..base
+        },
+        tcp,
+    );
+    run(
+        "D5: capture off",
+        Knobs {
+            capture: false,
+            ..base
+        },
+        tcp,
+    );
 }

@@ -6,8 +6,13 @@
 //! deferrals (frames sensed but not decoded), retries, and drops.
 //!
 //! Run with `cargo run --release --example four_station [-- tcp] [-- rts]`.
+//!
+//! The run is traced through an [`IntervalMetricsSink`], so alongside the
+//! window averages it prints the paper's actual deliverable: the per-second
+//! throughput-vs-time series of both sessions (Figure 7's curves).
 
 use desim::SimDuration;
+use dot11_adhoc::trace::{IntervalMetricsSink, SharedSink};
 use dot11_adhoc::{ScenarioBuilder, Traffic};
 use dot11_phy::PhyRate;
 
@@ -18,9 +23,13 @@ fn main() {
     let traffic = if tcp {
         Traffic::BulkTcp { mss: 512 }
     } else {
-        Traffic::SaturatedUdp { payload_bytes: 512, backlog: 10 }
+        Traffic::SaturatedUdp {
+            payload_bytes: 512,
+            backlog: 10,
+        }
     };
 
+    let sink = SharedSink::new(IntervalMetricsSink::new(SimDuration::from_secs(1)));
     let report = ScenarioBuilder::new(PhyRate::R11)
         .line(&[0.0, 25.0, 107.5, 132.5]) // Figure 6 geometry
         .rts(rts)
@@ -29,7 +38,8 @@ fn main() {
         .warmup(SimDuration::from_secs(2))
         .flow(0, 1, traffic)
         .flow(2, 3, traffic)
-        .run();
+        .build()
+        .run_with(sink.clone());
 
     println!(
         "four stations, 11 Mb/s, {} / {}",
@@ -39,7 +49,12 @@ fn main() {
     for f in &report.flows {
         println!(
             "  session {} ({} -> {}): {:7.0} kb/s  ({} packets delivered, loss {:4.1}%)",
-            f.flow, f.src, f.dst, f.throughput_kbps, f.delivered_packets, f.loss_rate * 100.0
+            f.flow,
+            f.src,
+            f.dst,
+            f.throughput_kbps,
+            f.delivered_packets,
+            f.loss_rate * 100.0
         );
     }
     println!("\n  station | data_tx |   acks |  eifs | retries | drops | hdr/body err | tx/rx/busy/idle %");
@@ -62,6 +77,29 @@ fn main() {
             pct(a.idle_ns),
         );
     }
+    // The paper plots throughput versus *time*, not just window averages:
+    // the traced interval series reproduces those curves. A bar is ~250 kb/s.
+    let rows = sink.take().into_rows();
+    println!("\n  throughput vs time (1 s windows; #: session 1, =: session 2)");
+    for row in &rows {
+        let kbps = |flow: u32| {
+            row.flows
+                .iter()
+                .find(|f| f.flow == flow)
+                .map_or(0.0, |f| f.kbps)
+        };
+        let (s1, s2) = (kbps(0), kbps(1));
+        let bar = |k: f64, c: char| c.to_string().repeat((k / 250.0).round() as usize);
+        println!(
+            "  {:>4} s | {:6.0} {:<14} | {:6.0} {:<14}",
+            row.index + 1,
+            s1,
+            bar(s1, '#'),
+            s2,
+            bar(s2, '='),
+        );
+    }
+
     // The paper's exposed-station story in one number: the share of time
     // S2 (the session-1 receiver) spends locked on frames it cannot use.
     let s2 = &report.nodes[1];

@@ -23,7 +23,10 @@ fn main() {
     };
     for (rate, spacing) in [(PhyRate::R2, 80.0), (PhyRate::R11, 25.0)] {
         println!("\nChain at {rate}, {spacing:.0} m per hop (still channel):");
-        println!("{:>5} | {:>10} | {:>10} | {:>14}", "hops", "UDP kb/s", "TCP kb/s", "UDP vs 1 hop");
+        println!(
+            "{:>5} | {:>10} | {:>10} | {:>14}",
+            "hops", "UDP kb/s", "TCP kb/s", "UDP vs 1 hop"
+        );
         let rows = chain_throughput(cfg, rate, spacing, 4);
         let one_hop = rows[0].udp_kbps;
         for r in &rows {

@@ -23,11 +23,22 @@ fn main() {
             .duration(SimDuration::from_secs(10))
             .warmup(SimDuration::from_secs(1))
             .seed(7)
-            .flow(0, 1, Traffic::SaturatedUdp { payload_bytes: payload, backlog: 10 })
+            .flow(
+                0,
+                1,
+                Traffic::SaturatedUdp {
+                    payload_bytes: payload,
+                    backlog: 10,
+                },
+            )
             .run();
 
         let flow = report.flow(FlowId(0));
-        let scheme = if rts { AccessScheme::RtsCts } else { AccessScheme::Basic };
+        let scheme = if rts {
+            AccessScheme::RtsCts
+        } else {
+            AccessScheme::Basic
+        };
         let ideal = max_throughput_paper(payload, rate, scheme);
         println!(
             "{rate}, {label:13}: measured {:7.3} Mb/s | analytic max {:5.3} Mb/s | \

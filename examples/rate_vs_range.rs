@@ -13,7 +13,7 @@ use desim::SimDuration;
 use dot11_adhoc::experiments::figure3::{loss_curve, DISTANCES_M};
 use dot11_adhoc::experiments::ExpConfig;
 use dot11_adhoc::{calibrated_path_loss, estimate_crossing};
-use dot11_phy::{Db, DayProfile, Dbm, PathLoss, PhyRate, RadioConfig, TwoRayGround};
+use dot11_phy::{DayProfile, Db, Dbm, PathLoss, PhyRate, RadioConfig, TwoRayGround};
 
 fn main() {
     let cfg = ExpConfig {
@@ -57,7 +57,10 @@ fn main() {
     let ours = calibrated_path_loss()
         .distance_for_loss(Db(budget.0))
         .expect("within sweep");
-    println!("\n2 Mb/s range, calibrated outdoor model:   ~{:.0} m", ours.0);
+    println!(
+        "\n2 Mb/s range, calibrated outdoor model:   ~{:.0} m",
+        ours.0
+    );
     println!("2 Mb/s range assumed by ns-2 / GloMoSim:   250 m");
     println!(
         "ratio: {:.1}x — the paper: \"2-3 times higher than the values measured in practice\"",

@@ -1,19 +1,103 @@
 //! Regenerates every table and figure of the paper as text.
 //!
-//! Usage: `cargo run --release --bin repro [-- --quick]`
+//! Usage: `cargo run --release --bin repro [-- FLAGS]`
 //!
-//! `--quick` runs 4 s sessions instead of 20 s (same shapes, less
-//! confidence). Output sections are numbered after the paper's artifacts.
+//! * `--quick` — 4 s sessions instead of 20 s (same shapes, less
+//!   confidence).
+//! * `--json <path>` — additionally write a machine-readable report of
+//!   the four-station figures (7/9/11/12): per-cell throughputs, engine
+//!   self-instrumentation, and a per-interval throughput time series.
+//! * `--metrics <interval>` — window length for that time series
+//!   (`1s`, `500ms`, `250us`; default `1s`).
+//! * `--trace <path>` — write a JSONL event trace of the Figure 7
+//!   UDP/basic-access cell (one JSON object per MAC/PHY/TCP event).
+//!
+//! Output sections are numbered after the paper's artifacts.
 
-use dot11_adhoc::analytic::{overhead_breakdown, table2, Dot11bParams, TransportKind};
-use dot11_adhoc::experiments::four_station::{figure11, figure12, figure7, figure9, FourStationCell};
+use desim::SimDuration;
+use dot11_adhoc::analytic::{
+    overhead_breakdown, table2, AccessScheme, Dot11bParams, TransportKind,
+};
+use dot11_adhoc::experiments::four_station::{
+    self, figure11, figure12, figure7, figure9, FourStationCell, FourStationLayout,
+    SessionTransport,
+};
 use dot11_adhoc::experiments::{figure2, figure3, figure4, table3, ExpConfig};
 use dot11_adhoc::range::estimate_crossing;
+use dot11_adhoc::EngineStats;
 use dot11_phy::{PhyRate, Preamble};
+use dot11_trace::{IntervalMetricsSink, IntervalRow, JsonlSink, SharedSink};
+
+struct Opts {
+    quick: bool,
+    trace: Option<String>,
+    json: Option<String>,
+    metrics: SimDuration,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        quick: false,
+        trace: None,
+        json: None,
+        metrics: SimDuration::from_secs(1),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--trace" => {
+                opts.trace = Some(args.next().unwrap_or_else(|| usage("--trace needs a path")))
+            }
+            "--json" => {
+                opts.json = Some(args.next().unwrap_or_else(|| usage("--json needs a path")))
+            }
+            "--metrics" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--metrics needs an interval"));
+                opts.metrics = parse_interval(&v).unwrap_or_else(|| {
+                    usage(&format!("bad interval {v:?} (try 1s, 500ms, 250us)"))
+                });
+            }
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    opts
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    eprintln!("usage: repro [--quick] [--json <path>] [--metrics <interval>] [--trace <path>]");
+    std::process::exit(2);
+}
+
+/// Parses `1s` / `500ms` / `250us` / `100ns` (a bare number means
+/// seconds) into a positive duration.
+fn parse_interval(s: &str) -> Option<SimDuration> {
+    let split = s.find(|c: char| c.is_alphabetic()).unwrap_or(s.len());
+    let (num, unit) = s.split_at(split);
+    let v: f64 = num.parse().ok()?;
+    let ns = match unit {
+        "" | "s" => v * 1e9,
+        "ms" => v * 1e6,
+        "us" | "µs" => v * 1e3,
+        "ns" => v,
+        _ => return None,
+    };
+    if !ns.is_finite() || ns < 1.0 {
+        return None;
+    }
+    Some(SimDuration::from_nanos(ns.round() as u64))
+}
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick { ExpConfig::quick() } else { ExpConfig::full() };
+    let opts = parse_args();
+    let cfg = if opts.quick {
+        ExpConfig::quick()
+    } else {
+        ExpConfig::full()
+    };
     println!("Reproduction of: IEEE 802.11 Ad Hoc Networks: Performance Measurements");
     println!("(Anastasi, Borgia, Conti, Gregori — ICDCS-W 2003)");
     println!(
@@ -28,10 +112,179 @@ fn main() {
     print_figure3(cfg);
     print_figure4(cfg);
     print_table3(cfg);
-    print_four_station("FIGURE 7 — asymmetric scenario, 11 Mb/s (d = 25/82.5/25 m)", figure7(cfg));
-    print_four_station("FIGURE 9 — asymmetric scenario, 2 Mb/s (d = 25/92.5/25 m)", figure9(cfg));
-    print_four_station("FIGURE 11 — symmetric scenario, 11 Mb/s (d = 25/62.5/25 m)", figure11(cfg));
-    print_four_station("FIGURE 12 — symmetric scenario, 2 Mb/s (d = 25/62.5/25 m)", figure12(cfg));
+    if opts.json.is_some() {
+        // Instrumented path: rerun each four-station cell with an
+        // interval-metrics sink so the JSON report carries the
+        // throughput-vs-time series next to the headline numbers.
+        let figures = run_instrumented_figures(cfg, opts.metrics);
+        for f in &figures {
+            print_four_station(f.title, f.cells.iter().map(|c| c.cell).collect());
+        }
+        let path = opts.json.as_deref().expect("checked above");
+        match std::fs::write(path, report_json(cfg, opts.metrics, &figures)) {
+            Ok(()) => println!("JSON report written to {path}"),
+            Err(e) => {
+                eprintln!("repro: writing {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        print_four_station(FIG7_TITLE, figure7(cfg));
+        print_four_station(FIG9_TITLE, figure9(cfg));
+        print_four_station(FIG11_TITLE, figure11(cfg));
+        print_four_station(FIG12_TITLE, figure12(cfg));
+    }
+    if let Some(path) = &opts.trace {
+        match write_trace(cfg, path) {
+            Ok(lines) => println!("JSONL trace ({lines} events) written to {path}"),
+            Err(e) => {
+                eprintln!("repro: tracing to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+const FIG7_TITLE: &str = "FIGURE 7 — asymmetric scenario, 11 Mb/s (d = 25/82.5/25 m)";
+const FIG9_TITLE: &str = "FIGURE 9 — asymmetric scenario, 2 Mb/s (d = 25/92.5/25 m)";
+const FIG11_TITLE: &str = "FIGURE 11 — symmetric scenario, 11 Mb/s (d = 25/62.5/25 m)";
+const FIG12_TITLE: &str = "FIGURE 12 — symmetric scenario, 2 Mb/s (d = 25/62.5/25 m)";
+
+struct InstrumentedCell {
+    cell: FourStationCell,
+    engine: EngineStats,
+    intervals: Vec<IntervalRow>,
+}
+
+struct InstrumentedFigure {
+    figure: u32,
+    title: &'static str,
+    rate: PhyRate,
+    cells: Vec<InstrumentedCell>,
+}
+
+fn run_instrumented_figures(cfg: ExpConfig, interval: SimDuration) -> Vec<InstrumentedFigure> {
+    let specs = [
+        (
+            7,
+            FIG7_TITLE,
+            PhyRate::R11,
+            FourStationLayout::AsymmetricAt11,
+        ),
+        (9, FIG9_TITLE, PhyRate::R2, FourStationLayout::AsymmetricAt2),
+        (11, FIG11_TITLE, PhyRate::R11, FourStationLayout::Symmetric),
+        (12, FIG12_TITLE, PhyRate::R2, FourStationLayout::Symmetric),
+    ];
+    specs
+        .into_iter()
+        .map(|(figure, title, rate, layout)| {
+            let mut cells = Vec::with_capacity(4);
+            for transport in [SessionTransport::Udp, SessionTransport::Tcp] {
+                for scheme in [AccessScheme::Basic, AccessScheme::RtsCts] {
+                    let sink = SharedSink::new(IntervalMetricsSink::new(interval));
+                    let report = four_station::scenario(cfg, rate, layout, transport, scheme)
+                        .run_with(sink.clone());
+                    cells.push(InstrumentedCell {
+                        cell: FourStationCell {
+                            transport,
+                            scheme,
+                            session1_kbps: report.flow(dot11_net::FlowId(0)).throughput_kbps,
+                            session2_kbps: report.flow(dot11_net::FlowId(1)).throughput_kbps,
+                        },
+                        engine: report.engine,
+                        intervals: sink.take().into_rows(),
+                    });
+                }
+            }
+            InstrumentedFigure {
+                figure,
+                title,
+                rate,
+                cells,
+            }
+        })
+        .collect()
+}
+
+fn engine_json(e: &EngineStats) -> String {
+    format!(
+        "{{\"events\":{},\"queue_high_water\":{},\"sim_elapsed_ns\":{},\"wall_ns\":{},\
+         \"speedup\":{:.1},\"events_per_sec\":{:.0}}}",
+        e.events,
+        e.queue_high_water,
+        e.sim_elapsed.as_nanos(),
+        e.wall.as_nanos(),
+        e.speedup(),
+        e.events_per_sec()
+    )
+}
+
+fn report_json(cfg: ExpConfig, interval: SimDuration, figures: &[InstrumentedFigure]) -> String {
+    let mut s = format!(
+        "{{\"meta\":{{\"paper\":\"IEEE 802.11 Ad Hoc Networks: Performance Measurements\",\
+         \"seed\":{},\"duration_ns\":{},\"warmup_ns\":{},\"metrics_interval_ns\":{}}},\
+         \"four_station\":[",
+        cfg.seed,
+        cfg.duration.as_nanos(),
+        cfg.warmup.as_nanos(),
+        interval.as_nanos()
+    );
+    for (i, f) in figures.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"figure\":{},\"rate_kbps\":{},\"cells\":[",
+            f.figure,
+            (f.rate.bits_per_sec() / 1000.0) as u32
+        ));
+        for (j, c) in f.cells.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            let transport = match c.cell.transport {
+                SessionTransport::Udp => "udp",
+                SessionTransport::Tcp => "tcp",
+            };
+            let scheme = match c.cell.scheme {
+                AccessScheme::Basic => "basic",
+                AccessScheme::RtsCts => "rts_cts",
+            };
+            s.push_str(&format!(
+                "{{\"transport\":\"{transport}\",\"scheme\":\"{scheme}\",\
+                 \"session1_kbps\":{:.3},\"session2_kbps\":{:.3},\"engine\":{},\"intervals\":[",
+                c.cell.session1_kbps,
+                c.cell.session2_kbps,
+                engine_json(&c.engine)
+            ));
+            for (k, row) in c.intervals.iter().enumerate() {
+                if k > 0 {
+                    s.push(',');
+                }
+                s.push_str(&row.to_json());
+            }
+            s.push_str("]}");
+        }
+        s.push_str("]}");
+    }
+    s.push_str("]}\n");
+    s
+}
+
+fn write_trace(cfg: ExpConfig, path: &str) -> std::io::Result<u64> {
+    let sink = SharedSink::new(JsonlSink::create(path)?);
+    let _ = four_station::scenario(
+        cfg,
+        PhyRate::R11,
+        FourStationLayout::AsymmetricAt11,
+        SessionTransport::Udp,
+        AccessScheme::Basic,
+    )
+    .run_with(sink.clone());
+    let jsonl = sink.take();
+    let lines = jsonl.lines();
+    jsonl.into_inner()?;
+    Ok(lines)
 }
 
 fn table1() {
@@ -49,7 +302,10 @@ fn table1() {
 
 fn figure1() {
     println!("== FIGURE 1 — encapsulation overheads (m = 512 B) ==");
-    println!("{:>9} | {:>9} | {:>6} | {:>6} | {:>8} | payload airtime", "transport", "data rate", "IP", "MPDU", "airtime");
+    println!(
+        "{:>9} | {:>9} | {:>6} | {:>6} | {:>8} | payload airtime",
+        "transport", "data rate", "IP", "MPDU", "airtime"
+    );
     for (t, label) in [(TransportKind::Udp, "UDP"), (TransportKind::Tcp, "TCP")] {
         for rate in [PhyRate::R11, PhyRate::R1] {
             let b = overhead_breakdown(512, t, rate, Preamble::Long);
@@ -85,7 +341,10 @@ fn print_table2() {
 
 fn print_figure2(cfg: ExpConfig) {
     println!("== FIGURE 2 — ideal vs measured throughput, 11 Mb/s, m = 512 B ==");
-    println!("{:>10} | {:>9} | {:>9} | {:>9}", "scheme", "ideal", "real UDP", "real TCP");
+    println!(
+        "{:>10} | {:>9} | {:>9} | {:>9}",
+        "scheme", "ideal", "real UDP", "real TCP"
+    );
     for row in figure2::figure2(cfg) {
         println!(
             "{:>10} | {:>7.3} M | {:>7.3} M | {:>7.3} M",
@@ -142,7 +401,10 @@ fn print_figure4(cfg: ExpConfig) {
 
 fn print_table3(cfg: ExpConfig) {
     println!("== TABLE 3 — transmission-range estimates ==");
-    println!("{:>14} | {:>9} | {:>9} | {:>9} | {:>9}", "", "11 Mb/s", "5.5 Mb/s", "2 Mb/s", "1 Mb/s");
+    println!(
+        "{:>14} | {:>9} | {:>9} | {:>9} | {:>9}",
+        "", "11 Mb/s", "5.5 Mb/s", "2 Mb/s", "1 Mb/s"
+    );
     let entries = table3::table3(cfg);
     let fmt = |r: Option<f64>| match r {
         Some(m) => format!("{m:>6.0} m"),
@@ -157,7 +419,9 @@ fn print_table3(cfg: ExpConfig) {
     for e in entries.iter().rev() {
         print!(" {:>9} |", fmt(e.control_range_m));
     }
-    println!("\n(paper: data 30 / 70 / 90-100 / 110-130 m; control 90 m at 2 Mb/s, 120 m at 1 Mb/s)\n");
+    println!(
+        "\n(paper: data 30 / 70 / 90-100 / 110-130 m; control 90 m at 2 Mb/s, 120 m at 1 Mb/s)\n"
+    );
 }
 
 fn print_four_station(title: &str, cells: Vec<FourStationCell>) {

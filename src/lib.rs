@@ -10,6 +10,7 @@
 //! * `phy` — the 802.11b DSSS PHY and radio-propagation models;
 //! * `mac` — the DCF MAC;
 //! * `net` — IP/UDP/TCP-Reno stack and traffic sources;
+//! * `trace` — structured tracing sinks and interval metrics;
 //! * `adhoc` — scenarios, the simulation world, the analytic model, and
 //!   the per-table/figure experiments.
 //!
@@ -33,3 +34,4 @@ pub use dot11_adhoc as adhoc;
 pub use dot11_mac as mac;
 pub use dot11_net as net;
 pub use dot11_phy as phy;
+pub use dot11_trace as trace;

@@ -14,7 +14,14 @@ fn airtime_partitions_the_run() {
         .seed(1)
         .duration(SimDuration::from_secs(3))
         .warmup(SimDuration::from_millis(500))
-        .flow(0, 1, Traffic::SaturatedUdp { payload_bytes: 512, backlog: 10 })
+        .flow(
+            0,
+            1,
+            Traffic::SaturatedUdp {
+                payload_bytes: 512,
+                backlog: 10,
+            },
+        )
         .run();
     for n in &report.nodes {
         let total = n.airtime.total_ns();
@@ -33,7 +40,14 @@ fn saturated_link_airtime_roles() {
         .seed(1)
         .duration(SimDuration::from_secs(3))
         .warmup(SimDuration::from_millis(500))
-        .flow(0, 1, Traffic::SaturatedUdp { payload_bytes: 512, backlog: 10 })
+        .flow(
+            0,
+            1,
+            Traffic::SaturatedUdp {
+                payload_bytes: 512,
+                backlog: 10,
+            },
+        )
         .run();
     let tx = &report.nodes[0].airtime;
     let rx = &report.nodes[1].airtime;
@@ -49,7 +63,11 @@ fn saturated_link_airtime_roles() {
         "receiver rx fraction {:.2}",
         rx.rx_fraction()
     );
-    assert!(rx.tx_fraction() > 0.10, "ACKs cost air: {:.2}", rx.tx_fraction());
+    assert!(
+        rx.tx_fraction() > 0.10,
+        "ACKs cost air: {:.2}",
+        rx.tx_fraction()
+    );
     // Sender's rx share ≈ receiver's ACK share.
     assert!((tx.rx_fraction() - rx.tx_fraction()).abs() < 0.05);
 }
@@ -65,8 +83,22 @@ fn figure7_receiver_is_mostly_deaf() {
         .seed(3)
         .duration(SimDuration::from_secs(6))
         .warmup(SimDuration::from_secs(1))
-        .flow(0, 1, Traffic::SaturatedUdp { payload_bytes: 512, backlog: 10 })
-        .flow(2, 3, Traffic::SaturatedUdp { payload_bytes: 512, backlog: 10 })
+        .flow(
+            0,
+            1,
+            Traffic::SaturatedUdp {
+                payload_bytes: 512,
+                backlog: 10,
+            },
+        )
+        .flow(
+            2,
+            3,
+            Traffic::SaturatedUdp {
+                payload_bytes: 512,
+                backlog: 10,
+            },
+        )
         .run();
     let s1_rx = report.nodes[1].airtime.rx_fraction();
     // Locked more than half the time although its own session only

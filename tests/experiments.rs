@@ -32,7 +32,10 @@ fn figure7_session2_wins_at_11mbps() {
             udp.session1_kbps,
             udp.session2_kbps
         );
-        assert!(udp.session1_kbps > 50.0, "{scheme}: session 1 should not be silent");
+        assert!(
+            udp.session1_kbps > 50.0,
+            "{scheme}: session 1 should not be silent"
+        );
     }
 }
 
@@ -44,14 +47,22 @@ fn figure7_tcp_reduces_the_difference() {
     let cells = figure7(cfg());
     let udp = cell(&cells, SessionTransport::Udp, AccessScheme::Basic);
     let tcp = cell(&cells, SessionTransport::Tcp, AccessScheme::Basic);
-    assert!(tcp.imbalance() > 1.2, "TCP imbalance should persist: {:.2}", tcp.imbalance());
+    assert!(
+        tcp.imbalance() > 1.2,
+        "TCP imbalance should persist: {:.2}",
+        tcp.imbalance()
+    );
     assert!(
         tcp.imbalance() < udp.imbalance() * 1.15,
         "TCP should not be more unfair than UDP: {:.2} vs {:.2}",
         tcp.imbalance(),
         udp.imbalance()
     );
-    assert!(tcp.session1_kbps > 100.0, "TCP session 1 moves data: {:.0}", tcp.session1_kbps);
+    assert!(
+        tcp.session1_kbps > 100.0,
+        "TCP session 1 moves data: {:.0}",
+        tcp.session1_kbps
+    );
 }
 
 /// Figure 9: at 2 Mb/s every station shares a more uniform channel view
@@ -70,7 +81,11 @@ fn figure9_balances_at_2mbps() {
         );
     }
     let udp2 = cell(&at2, SessionTransport::Udp, AccessScheme::Basic);
-    assert!(udp2.imbalance() < 2.6, "2 Mb/s UDP imbalance {:.2}", udp2.imbalance());
+    assert!(
+        udp2.imbalance() < 2.6,
+        "2 Mb/s UDP imbalance {:.2}",
+        udp2.imbalance()
+    );
     assert!(udp2.session1_kbps > 200.0 && udp2.session2_kbps > 200.0);
 }
 
@@ -109,7 +124,14 @@ fn sessions_share_capacity_beyond_tx_range() {
         .seed(c.seed)
         .duration(c.duration)
         .warmup(c.warmup)
-        .flow(0, 1, Traffic::SaturatedUdp { payload_bytes: 512, backlog: 10 })
+        .flow(
+            0,
+            1,
+            Traffic::SaturatedUdp {
+                payload_bytes: 512,
+                backlog: 10,
+            },
+        )
         .run()
         .flow(FlowId(0))
         .throughput_kbps;

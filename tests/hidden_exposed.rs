@@ -25,8 +25,22 @@ fn hidden_stations_collide_and_rts_helps() {
             .seed(5)
             .duration(SimDuration::from_secs(8))
             .warmup(SimDuration::from_secs(1))
-            .flow(0, 1, Traffic::SaturatedUdp { payload_bytes: 512, backlog: 10 })
-            .flow(2, 1, Traffic::SaturatedUdp { payload_bytes: 512, backlog: 10 })
+            .flow(
+                0,
+                1,
+                Traffic::SaturatedUdp {
+                    payload_bytes: 512,
+                    backlog: 10,
+                },
+            )
+            .flow(
+                2,
+                1,
+                Traffic::SaturatedUdp {
+                    payload_bytes: 512,
+                    backlog: 10,
+                },
+            )
             .run();
         let total = report.flow(FlowId(0)).throughput_kbps + report.flow(FlowId(1)).throughput_kbps;
         let retries: u64 = report.nodes.iter().map(|n| n.mac.retries).sum();
@@ -36,14 +50,20 @@ fn hidden_stations_collide_and_rts_helps() {
     let (rts_total, rts_retries) = run(true);
     // Without RTS the hidden senders trash each other's data frames at
     // the receiver: heavy retries, poor goodput.
-    assert!(basic_retries > 2_000, "hidden stations should collide, retries {basic_retries}");
+    assert!(
+        basic_retries > 2_000,
+        "hidden stations should collide, retries {basic_retries}"
+    );
     // RTS/CTS trades short RTS collisions for protected data: fewer
     // retries and clearly better total goodput.
     assert!(
         rts_total > basic_total * 1.3,
         "RTS/CTS should rescue hidden stations: {rts_total:.0} vs {basic_total:.0} kb/s"
     );
-    assert!(rts_retries < basic_retries, "retries {rts_retries} vs {basic_retries}");
+    assert!(
+        rts_retries < basic_retries,
+        "retries {rts_retries} vs {basic_retries}"
+    );
 }
 
 /// With carrier sensing crippled (ablation D1), the session-1 sender can
@@ -60,8 +80,22 @@ fn removing_pcs_advantage_creates_hidden_stations() {
             .seed(2)
             .duration(SimDuration::from_secs(6))
             .warmup(SimDuration::from_secs(1))
-            .flow(0, 1, Traffic::SaturatedUdp { payload_bytes: 512, backlog: 10 })
-            .flow(2, 3, Traffic::SaturatedUdp { payload_bytes: 512, backlog: 10 })
+            .flow(
+                0,
+                1,
+                Traffic::SaturatedUdp {
+                    payload_bytes: 512,
+                    backlog: 10,
+                },
+            )
+            .flow(
+                2,
+                3,
+                Traffic::SaturatedUdp {
+                    payload_bytes: 512,
+                    backlog: 10,
+                },
+            )
             .run();
         let retries: u64 = report.nodes.iter().map(|n| n.mac.retries).sum();
         (
@@ -71,7 +105,8 @@ fn removing_pcs_advantage_creates_hidden_stations() {
         )
     };
     let (s1_with, s2_with, retries_with) = run(RadioConfig::dwl650());
-    let (s1_without, s2_without, retries_without) = run(RadioConfig::dwl650().without_pcs_advantage());
+    let (s1_without, s2_without, retries_without) =
+        run(RadioConfig::dwl650().without_pcs_advantage());
     // The robust signature of losing carrier sense is wasted air: frames
     // overlap constantly, so MAC retries multiply. (Throughput can move
     // either way — the aggressive sender sometimes *gains* because its
@@ -82,7 +117,10 @@ fn removing_pcs_advantage_creates_hidden_stations() {
         "hidden overlap should multiply retries: {retries_without} vs {retries_with}"
     );
     assert!(s1_with + s2_with > 1000.0, "sanity: baseline moves data");
-    assert!(s1_without + s2_without > 100.0, "sanity: ablation still moves data");
+    assert!(
+        s1_without + s2_without > 100.0,
+        "sanity: ablation still moves data"
+    );
 }
 
 /// The exposed-station effect: a sender within carrier-sense range of a
@@ -100,9 +138,23 @@ fn exposed_station_defers_needlessly() {
             .seed(4)
             .duration(SimDuration::from_secs(6))
             .warmup(SimDuration::from_secs(1))
-            .flow(1, 2, Traffic::SaturatedUdp { payload_bytes: 512, backlog: 10 });
+            .flow(
+                1,
+                2,
+                Traffic::SaturatedUdp {
+                    payload_bytes: 512,
+                    backlog: 10,
+                },
+            );
         if with_foreign {
-            b = b.flow(0, 3, Traffic::SaturatedUdp { payload_bytes: 512, backlog: 10 });
+            b = b.flow(
+                0,
+                3,
+                Traffic::SaturatedUdp {
+                    payload_bytes: 512,
+                    backlog: 10,
+                },
+            );
         }
         b.run().flow(FlowId(0)).throughput_kbps
     };
@@ -112,7 +164,10 @@ fn exposed_station_defers_needlessly() {
         exposed < alone * 0.7,
         "exposed sender should lose throughput: {exposed:.0} vs alone {alone:.0} kb/s"
     );
-    assert!(exposed > alone * 0.2, "but not starve outright: {exposed:.0} kb/s");
+    assert!(
+        exposed > alone * 0.2,
+        "but not starve outright: {exposed:.0} kb/s"
+    );
 }
 
 /// NAV (virtual carrier sense) suppresses CTS responses — the mechanism
@@ -133,12 +188,32 @@ fn nav_suppresses_cts_after_unanswered_rts() {
         .seed(3)
         .duration(SimDuration::from_secs(6))
         .warmup(SimDuration::from_secs(1))
-        .flow(0, 1, Traffic::SaturatedUdp { payload_bytes: 512, backlog: 10 })
-        .flow(2, 3, Traffic::SaturatedUdp { payload_bytes: 512, backlog: 10 })
+        .flow(
+            0,
+            1,
+            Traffic::SaturatedUdp {
+                payload_bytes: 512,
+                backlog: 10,
+            },
+        )
+        .flow(
+            2,
+            3,
+            Traffic::SaturatedUdp {
+                payload_bytes: 512,
+                backlog: 10,
+            },
+        )
         .run();
     let suppressed = report.nodes[1].mac.cts_suppressed;
-    assert!(suppressed > 0, "stale reservations should block some CTS responses");
-    assert!(report.nodes[1].mac.nav_updates > 100, "S2's RTSes keep setting S1's NAV");
+    assert!(
+        suppressed > 0,
+        "stale reservations should block some CTS responses"
+    );
+    assert!(
+        report.nodes[1].mac.nav_updates > 100,
+        "S2's RTSes keep setting S1's NAV"
+    );
     // The victim flow still makes progress between reservations.
     assert!(report.flow(FlowId(0)).throughput_kbps > 100.0);
 }

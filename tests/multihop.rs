@@ -18,7 +18,14 @@ fn relay_forwards_out_of_range_traffic() {
             .seed(1)
             .duration(SimDuration::from_secs(4))
             .warmup(SimDuration::from_millis(500))
-            .flow(0, 2, Traffic::SaturatedUdp { payload_bytes: 512, backlog: 10 });
+            .flow(
+                0,
+                2,
+                Traffic::SaturatedUdp {
+                    payload_bytes: 512,
+                    backlog: 10,
+                },
+            );
         if routed {
             b = b.chain_routes();
         }
@@ -32,11 +39,23 @@ fn relay_forwards_out_of_range_traffic() {
     );
     let routed = run(true);
     let f = routed.flow(FlowId(0));
-    assert!(f.delivered_packets > 500, "forwarding should work: {}", f.delivered_packets);
+    assert!(
+        f.delivered_packets > 500,
+        "forwarding should work: {}",
+        f.delivered_packets
+    );
     // The relay transmitted roughly as many data frames as it received.
     let relay = &routed.nodes[1];
-    assert!(relay.mac.data_tx > 500, "relay transmitted {}", relay.mac.data_tx);
-    assert!(relay.mac.delivered > 500, "relay received {}", relay.mac.delivered);
+    assert!(
+        relay.mac.data_tx > 500,
+        "relay transmitted {}",
+        relay.mac.data_tx
+    );
+    assert!(
+        relay.mac.delivered > 500,
+        "relay received {}",
+        relay.mac.delivered
+    );
     // The sink saw data only from the relay (MAC-level src), while the
     // flow-level payload is from station 0 — checked implicitly by the
     // sink's flow accounting above.
@@ -85,11 +104,25 @@ fn manual_routes_can_detour() {
         .seed(3)
         .duration(SimDuration::from_secs(4))
         .warmup(SimDuration::from_millis(500))
-        .flow(0, 2, Traffic::SaturatedUdp { payload_bytes: 512, backlog: 10 })
+        .flow(
+            0,
+            2,
+            Traffic::SaturatedUdp {
+                payload_bytes: 512,
+                backlog: 10,
+            },
+        )
         .run();
     let f = report.flow(FlowId(0));
-    assert!(f.delivered_packets > 500, "detour should carry: {}", f.delivered_packets);
-    assert!(report.nodes[1].mac.data_tx > 500, "relay must be on the path");
+    assert!(
+        f.delivered_packets > 500,
+        "detour should carry: {}",
+        f.delivered_packets
+    );
+    assert!(
+        report.nodes[1].mac.data_tx > 500,
+        "relay must be on the path"
+    );
 }
 
 /// The relay's interface queue is the chain's bottleneck: with a tiny
@@ -107,7 +140,14 @@ fn relay_queue_is_the_bottleneck() {
         .seed(4)
         .duration(SimDuration::from_secs(4))
         .warmup(SimDuration::from_millis(500))
-        .flow(0, 2, Traffic::SaturatedUdp { payload_bytes: 512, backlog: 2 })
+        .flow(
+            0,
+            2,
+            Traffic::SaturatedUdp {
+                payload_bytes: 512,
+                backlog: 2,
+            },
+        )
         .run();
     let relay = &report.nodes[1];
     let f = report.flow(FlowId(0));

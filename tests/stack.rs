@@ -29,17 +29,24 @@ fn two_node(rate: PhyRate, preamble: Preamble, traffic: Traffic, seed: u64) -> f
 /// it does — in simulation, end to end.
 #[test]
 fn short_preamble_gain_matches_the_model() {
-    let sat = Traffic::SaturatedUdp { payload_bytes: 512, backlog: 10 };
+    let sat = Traffic::SaturatedUdp {
+        payload_bytes: 512,
+        backlog: 10,
+    };
     let long = two_node(PhyRate::R11, Preamble::Long, sat, 5);
     let short = two_node(PhyRate::R11, Preamble::Short, sat, 5);
-    let model_gain = max_throughput_eq_with(512, PhyRate::R11, AccessScheme::Basic, Preamble::Short)
-        / max_throughput_eq_with(512, PhyRate::R11, AccessScheme::Basic, Preamble::Long);
+    let model_gain =
+        max_throughput_eq_with(512, PhyRate::R11, AccessScheme::Basic, Preamble::Short)
+            / max_throughput_eq_with(512, PhyRate::R11, AccessScheme::Basic, Preamble::Long);
     let sim_gain = short / long;
     assert!(
         (sim_gain - model_gain).abs() < 0.05,
         "sim gain {sim_gain:.3} vs model gain {model_gain:.3}"
     );
-    assert!(sim_gain > 1.12, "short preamble should gain ≥12% at 11 Mb/s, got {sim_gain:.3}");
+    assert!(
+        sim_gain > 1.12,
+        "short preamble should gain ≥12% at 11 Mb/s, got {sim_gain:.3}"
+    );
 }
 
 /// Two TCP flows in opposite directions between the same pair: both make
@@ -58,12 +65,25 @@ fn bidirectional_tcp_shares_the_link() {
         .run();
     let a = report.flow(FlowId(0)).throughput_kbps;
     let b = report.flow(FlowId(1)).throughput_kbps;
-    assert!(a > 400.0 && b > 400.0, "both directions flow: {a:.0} / {b:.0}");
+    assert!(
+        a > 400.0 && b > 400.0,
+        "both directions flow: {a:.0} / {b:.0}"
+    );
     let ratio = a.max(b) / a.min(b);
     assert!(ratio < 2.0, "directions roughly fair: {a:.0} vs {b:.0}");
     // Combined they approach (but cannot beat) the unidirectional rate.
-    let solo = two_node(PhyRate::R11, Preamble::Long, Traffic::BulkTcp { mss: 512 }, 8);
-    assert!(a + b < solo * 1000.0 * 1.15, "no free capacity: {:.0} vs solo {:.0}", a + b, solo * 1000.0);
+    let solo = two_node(
+        PhyRate::R11,
+        Preamble::Long,
+        Traffic::BulkTcp { mss: 512 },
+        8,
+    );
+    assert!(
+        a + b < solo * 1000.0 * 1.15,
+        "no free capacity: {:.0} vs solo {:.0}",
+        a + b,
+        solo * 1000.0
+    );
 }
 
 /// A station can source a TCP flow while sinking an unrelated UDP flow.
@@ -80,20 +100,35 @@ fn mixed_roles_on_one_station() {
         .flow(
             0,
             1,
-            Traffic::CbrUdp { payload_bytes: 256, interval: SimDuration::from_millis(20), limit: None },
+            Traffic::CbrUdp {
+                payload_bytes: 256,
+                interval: SimDuration::from_millis(20),
+                limit: None,
+            },
         )
         .run();
     let tcp = report.flow(FlowId(0));
     let udp = report.flow(FlowId(1));
-    assert!(tcp.throughput_kbps > 200.0, "TCP starved: {:.0}", tcp.throughput_kbps);
-    assert!(udp.loss_rate < 0.05, "paced UDP should survive: loss {:.2}", udp.loss_rate);
+    assert!(
+        tcp.throughput_kbps > 200.0,
+        "TCP starved: {:.0}",
+        tcp.throughput_kbps
+    );
+    assert!(
+        udp.loss_rate < 0.05,
+        "paced UDP should survive: loss {:.2}",
+        udp.loss_rate
+    );
 }
 
 /// Delayed flow starts: a second flow joining mid-run takes its share
 /// without wedging the first.
 #[test]
 fn late_joiner_takes_a_share() {
-    let sat = Traffic::SaturatedUdp { payload_bytes: 512, backlog: 10 };
+    let sat = Traffic::SaturatedUdp {
+        payload_bytes: 512,
+        backlog: 10,
+    };
     let report = ScenarioBuilder::new(PhyRate::R11)
         .line(&[0.0, 10.0, 20.0])
         .day(DayProfile::still())
@@ -125,12 +160,24 @@ fn saturation_inflates_delay() {
         .flow(
             0,
             1,
-            Traffic::CbrUdp { payload_bytes: 512, interval: SimDuration::from_millis(10), limit: None },
+            Traffic::CbrUdp {
+                payload_bytes: 512,
+                interval: SimDuration::from_millis(10),
+                limit: None,
+            },
         )
         .run();
     let p = paced.flow(FlowId(0));
-    assert!(p.mean_delay_ms > 0.0 && p.mean_delay_ms < 5.0, "paced delay {:.2} ms", p.mean_delay_ms);
-    assert!(p.max_delay_ms < 20.0, "paced max delay {:.2} ms", p.max_delay_ms);
+    assert!(
+        p.mean_delay_ms > 0.0 && p.mean_delay_ms < 5.0,
+        "paced delay {:.2} ms",
+        p.mean_delay_ms
+    );
+    assert!(
+        p.max_delay_ms < 20.0,
+        "paced max delay {:.2} ms",
+        p.max_delay_ms
+    );
 
     let saturated = ScenarioBuilder::new(PhyRate::R11)
         .line(&[0.0, 10.0])
@@ -138,7 +185,14 @@ fn saturation_inflates_delay() {
         .seed(9)
         .duration(SimDuration::from_secs(4))
         .warmup(SimDuration::from_millis(500))
-        .flow(0, 1, Traffic::SaturatedUdp { payload_bytes: 512, backlog: 10 })
+        .flow(
+            0,
+            1,
+            Traffic::SaturatedUdp {
+                payload_bytes: 512,
+                backlog: 10,
+            },
+        )
         .run();
     let s = saturated.flow(FlowId(0));
     assert!(

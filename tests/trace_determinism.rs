@@ -1,0 +1,113 @@
+//! End-to-end tracing guarantees: same-seed runs produce byte-identical
+//! JSONL traces, the interval series tiles the run, and engine stats are
+//! populated.
+
+use desim::SimDuration;
+use dot11_testbed::adhoc::{Scenario, ScenarioBuilder, Traffic};
+use dot11_testbed::net::FlowId;
+use dot11_testbed::phy::PhyRate;
+use dot11_testbed::trace::{IntervalMetricsSink, JsonlSink, RingBufferSink, SharedSink};
+
+fn scenario(seed: u64) -> Scenario {
+    ScenarioBuilder::new(PhyRate::R11)
+        .line(&[0.0, 10.0])
+        .seed(seed)
+        .duration(SimDuration::from_secs(1))
+        .warmup(SimDuration::from_millis(100))
+        .flow(
+            0,
+            1,
+            Traffic::SaturatedUdp {
+                payload_bytes: 512,
+                backlog: 10,
+            },
+        )
+        .build()
+}
+
+fn trace_bytes(seed: u64) -> Vec<u8> {
+    let sink = SharedSink::new(JsonlSink::new(Vec::new()));
+    let _ = scenario(seed).run_with(sink.clone());
+    sink.take()
+        .into_inner()
+        .expect("writing to a Vec cannot fail")
+}
+
+#[test]
+fn same_seed_traces_are_byte_identical() {
+    let a = trace_bytes(7);
+    let b = trace_bytes(7);
+    assert!(!a.is_empty(), "a saturated run must emit trace events");
+    assert_eq!(a, b, "same seed, same scenario => identical JSONL bytes");
+}
+
+#[test]
+fn different_seeds_diverge() {
+    assert_ne!(trace_bytes(7), trace_bytes(8));
+}
+
+#[test]
+fn every_trace_line_is_a_json_object() {
+    let bytes = trace_bytes(7);
+    let text = std::str::from_utf8(&bytes).expect("trace is UTF-8");
+    let mut lines = 0;
+    for line in text.lines() {
+        assert!(line.starts_with("{\"t\":"), "line {lines}: {line}");
+        assert!(line.ends_with('}'), "line {lines}: {line}");
+        lines += 1;
+    }
+    assert!(lines > 100, "expected a dense trace, got {lines} lines");
+}
+
+#[test]
+fn interval_series_tiles_the_run_and_conserves_bytes() {
+    let sink = SharedSink::new(IntervalMetricsSink::new(SimDuration::from_millis(250)));
+    let report = scenario(7).run_with(sink.clone());
+    let rows = sink.take().into_rows();
+    assert_eq!(rows.len(), 4, "1 s run in 250 ms windows");
+    for (k, row) in rows.iter().enumerate() {
+        assert_eq!(row.index, k as u64);
+        assert_eq!(row.start.as_nanos(), k as u64 * 250_000_000);
+        assert_eq!(
+            row.flows.len(),
+            1,
+            "one flow per window (rectangular series)"
+        );
+    }
+    assert_eq!(rows.last().expect("rows").end.as_nanos(), 1_000_000_000);
+    let windowed: u64 = rows.iter().map(|r| r.flows[0].bytes).sum();
+    assert_eq!(
+        windowed,
+        report.flow(FlowId(0)).delivered_bytes,
+        "per-window deliveries must sum to the run total"
+    );
+}
+
+#[test]
+fn engine_stats_are_populated() {
+    let report = scenario(7).run();
+    assert!(
+        report.engine.events > 1_000,
+        "saturated second dispatches many events"
+    );
+    assert_eq!(report.engine.events, report.events);
+    assert!(report.engine.queue_high_water >= 2);
+    // The clock stops on the last event at or before the configured end.
+    let elapsed = report.engine.sim_elapsed.as_nanos();
+    assert!(
+        (900_000_000..=1_000_000_000).contains(&elapsed),
+        "elapsed {elapsed} ns"
+    );
+}
+
+#[test]
+fn ring_buffer_bounds_memory_over_a_real_run() {
+    let sink = SharedSink::new(RingBufferSink::new(64));
+    let _ = scenario(7).run_with(sink.clone());
+    let ring = sink.take();
+    assert_eq!(ring.len(), 64, "full ring");
+    assert!(ring.total_seen() > 64, "evicted the overflow");
+    // What remains is the most recent history, in time order.
+    let times: Vec<u64> = ring.records().map(|(t, _)| t.as_nanos()).collect();
+    assert!(times.windows(2).all(|w| w[0] <= w[1]));
+}

@@ -17,7 +17,14 @@ fn measure_udp(rate: PhyRate, rts: bool, payload: u32, seed: u64) -> f64 {
         .seed(seed)
         .duration(SimDuration::from_secs(6))
         .warmup(SimDuration::from_secs(1))
-        .flow(0, 1, Traffic::SaturatedUdp { payload_bytes: payload, backlog: 10 })
+        .flow(
+            0,
+            1,
+            Traffic::SaturatedUdp {
+                payload_bytes: payload,
+                backlog: 10,
+            },
+        )
         .run();
     report.flow(FlowId(0)).throughput_kbps / 1000.0
 }
@@ -50,7 +57,10 @@ fn saturated_udp_matches_equations_at_all_rates() {
 fn utilization_headline_holds_in_simulation() {
     let sim = measure_udp(PhyRate::R11, false, 1024, 11);
     assert!(sim / 11.0 < 0.50, "utilization {:.3}", sim / 11.0);
-    assert!(sim / 11.0 > 0.35, "sanity: simulator should still move data");
+    assert!(
+        sim / 11.0 > 0.35,
+        "sanity: simulator should still move data"
+    );
 }
 
 /// TCP throughput sits below UDP at every rate (the Figure 2 effect), but
@@ -68,8 +78,14 @@ fn tcp_sits_below_udp_at_every_rate() {
             .flow(0, 1, Traffic::BulkTcp { mss: 512 })
             .run();
         let tcp = report.flow(FlowId(0)).throughput_kbps / 1000.0;
-        assert!(tcp < udp, "{rate}: TCP {tcp:.3} should be below UDP {udp:.3}");
-        assert!(tcp > udp * 0.5, "{rate}: TCP {tcp:.3} collapsed vs UDP {udp:.3}");
+        assert!(
+            tcp < udp,
+            "{rate}: TCP {tcp:.3} should be below UDP {udp:.3}"
+        );
+        assert!(
+            tcp > udp * 0.5,
+            "{rate}: TCP {tcp:.3} collapsed vs UDP {udp:.3}"
+        );
     }
 }
 
@@ -81,13 +97,26 @@ fn runs_are_deterministic_in_the_seed() {
             .line(&[0.0, 28.0]) // near the range edge: plenty of randomness
             .seed(seed)
             .duration(SimDuration::from_secs(3))
-            .flow(0, 1, Traffic::SaturatedUdp { payload_bytes: 512, backlog: 10 })
+            .flow(
+                0,
+                1,
+                Traffic::SaturatedUdp {
+                    payload_bytes: 512,
+                    backlog: 10,
+                },
+            )
             .run()
     };
     let a = run(42);
     let b = run(42);
-    assert_eq!(a.flow(FlowId(0)).delivered_bytes, b.flow(FlowId(0)).delivered_bytes);
-    assert_eq!(a.flow(FlowId(0)).offered_packets, b.flow(FlowId(0)).offered_packets);
+    assert_eq!(
+        a.flow(FlowId(0)).delivered_bytes,
+        b.flow(FlowId(0)).delivered_bytes
+    );
+    assert_eq!(
+        a.flow(FlowId(0)).offered_packets,
+        b.flow(FlowId(0)).offered_packets
+    );
     assert_eq!(a.events, b.events);
     assert_eq!(a.nodes[0].mac, b.nodes[0].mac);
     assert_eq!(a.nodes[1].phy, b.nodes[1].phy);
@@ -116,12 +145,22 @@ fn out_of_range_link_delivers_nothing() {
         .line(&[0.0, 300.0])
         .seed(1)
         .duration(SimDuration::from_secs(3))
-        .flow(0, 1, Traffic::SaturatedUdp { payload_bytes: 512, backlog: 5 })
+        .flow(
+            0,
+            1,
+            Traffic::SaturatedUdp {
+                payload_bytes: 512,
+                backlog: 5,
+            },
+        )
         .run();
     let f = report.flow(FlowId(0));
     assert_eq!(f.delivered_packets, 0);
     assert!(f.loss_rate > 0.99);
-    assert!(report.nodes[0].mac.tx_dropped > 0, "retry-limit drops expected");
+    assert!(
+        report.nodes[0].mac.tx_dropped > 0,
+        "retry-limit drops expected"
+    );
     assert_eq!(report.nodes[1].mac.delivered, 0);
 }
 
@@ -146,7 +185,10 @@ fn udp_is_exactly_once_on_clean_link() {
         .run();
     let f = report.flow(FlowId(0));
     assert_eq!(f.offered_packets, 200);
-    assert_eq!(f.delivered_packets, 200, "clean link: every datagram exactly once");
+    assert_eq!(
+        f.delivered_packets, 200,
+        "clean link: every datagram exactly once"
+    );
     assert_eq!(f.delivered_bytes, 200 * 256);
 }
 
@@ -168,7 +210,14 @@ fn bianchi_matches_simulation() {
             .duration(SimDuration::from_secs(6))
             .warmup(SimDuration::from_secs(1));
         for i in 0..n {
-            b = b.flow(i, n, Traffic::SaturatedUdp { payload_bytes: 512, backlog: 10 });
+            b = b.flow(
+                i,
+                n,
+                Traffic::SaturatedUdp {
+                    payload_bytes: 512,
+                    backlog: 10,
+                },
+            );
         }
         let report = b.run();
         let sim_total = report.total_throughput_kbps() / 1000.0;
