@@ -31,6 +31,7 @@
 pub mod analytic;
 pub mod calib;
 pub mod experiments;
+pub mod hash;
 pub mod node;
 pub mod range;
 pub mod scenario;
@@ -40,7 +41,7 @@ pub mod world;
 pub use calib::{calibrated_medium_config, calibrated_path_loss};
 pub use range::{estimate_crossing, LossCurve};
 pub use scenario::{Scenario, ScenarioBuilder, Traffic};
-pub use stats::{EngineStats, FlowReport, NodeReport, RunReport};
+pub use stats::{EngineStats, FlowReport, NodeReport, RunReport, Summary};
 pub use world::World;
 
 pub use dot11_trace as trace;

@@ -113,6 +113,69 @@ pub fn jain_index(throughputs: &[f64]) -> f64 {
     sum * sum / (throughputs.len() as f64 * sq)
 }
 
+/// Distribution summary of one metric across repeated runs (seeds).
+///
+/// The sweep engine aggregates every cell metric with this: the paper's
+/// own numbers are single measurement sessions, and the four-station
+/// magnitudes are channel-draw dependent, so any quoted value should come
+/// with its spread over seeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (midpoint of the two central samples for even `n`).
+    pub median: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std_dev: f64,
+    /// Half-width of the normal-approximation 95% confidence interval of
+    /// the mean (`1.96·σ/√n`; 0 for n < 2).
+    pub ci95: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes `samples`. Returns `None` for an empty slice.
+    ///
+    /// Samples are summed in sorted order, so the result is identical
+    /// regardless of the order runs completed in — a requirement for
+    /// sweep reports being independent of worker scheduling.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("metric samples are never NaN"));
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        let (std_dev, ci95) = if n > 1 {
+            let var = sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+            let sd = var.sqrt();
+            (sd, 1.96 * sd / (n as f64).sqrt())
+        } else {
+            (0.0, 0.0)
+        };
+        Some(Summary {
+            n,
+            mean,
+            median,
+            std_dev,
+            ci95,
+            min: sorted[0],
+            max: sorted[n - 1],
+        })
+    }
+}
+
 /// Everything a finished run reports.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -233,6 +296,34 @@ mod tests {
         // 10 simulated seconds in 20 ms of wall time.
         assert!((e.speedup() - 500.0).abs() < 1e-9);
         assert!((e.events_per_sec() - 61_700.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn summary_over_known_samples() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).expect("non-empty");
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.median - 4.5).abs() < 1e-12);
+        // Sample std dev of this classic set: sqrt(32/7).
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert!((s.ci95 - 1.96 * s.std_dev / 8.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!((s.min, s.max), (2.0, 9.0));
+    }
+
+    #[test]
+    fn summary_is_order_independent() {
+        let a = Summary::of(&[3.0, 1.0, 2.0]).expect("non-empty");
+        let b = Summary::of(&[1.0, 2.0, 3.0]).expect("non-empty");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn summary_single_sample_has_zero_spread() {
+        let s = Summary::of(&[42.0]).expect("non-empty");
+        assert_eq!(s.median, 42.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95, 0.0);
+        assert!(Summary::of(&[]).is_none());
     }
 
     #[test]

@@ -30,6 +30,8 @@
 //! assert!(sim.pop().is_none());
 //! ```
 
+#![warn(missing_docs)]
+
 mod queue;
 mod rng;
 mod sim;

@@ -1,0 +1,194 @@
+//! Content-addressed run caching.
+//!
+//! Every finished cell persists as one JSON line in
+//! `<cache_dir>/<cell-key>.json`, where the filename is the cell's
+//! [`CellKey`](crate::CellKey) — a stable hash of (scenario, seed, run
+//! params). A re-run looks the key up before simulating: cache hits cost
+//! one file read, and a fully warm sweep simulates **zero** worlds.
+//!
+//! Invariants the determinism tests pin:
+//!
+//! * a cache file's bytes depend only on the cell spec and its
+//!   (deterministic) metrics — never on worker count or timing, so files
+//!   written by `--jobs 1` and `--jobs 8` runs are byte-identical;
+//! * floats are serialized with Rust's shortest-round-trip formatting and
+//!   re-parsed bit-exactly, so a cached result aggregates identically to
+//!   a recomputed one;
+//! * entries carry a format-version tag; a mismatch (or any parse
+//!   failure) is treated as a miss and the cell is recomputed, never an
+//!   error.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::json;
+use crate::report::CellMetrics;
+use crate::spec::{CellKey, CellSpec};
+
+/// The cache entry format version. Bump on any change to the entry
+/// layout; old entries then read as misses.
+const FORMAT: &str = "dot11-sweep/v1";
+
+/// A directory of cached cell results (see module docs).
+#[derive(Debug, Clone)]
+pub struct RunCache {
+    dir: PathBuf,
+}
+
+impl RunCache {
+    /// Opens (creating if needed) a cache directory.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<RunCache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(RunCache { dir })
+    }
+
+    /// The directory this cache lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file a cell's result lives at.
+    pub fn path_for(&self, key: CellKey) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    /// Looks a cell up. Any miss, version mismatch, stale key or parse
+    /// failure returns `None` — the caller simply recomputes.
+    pub fn load(&self, spec: &CellSpec) -> Option<CellMetrics> {
+        let key = spec.key();
+        let text = std::fs::read_to_string(self.path_for(key)).ok()?;
+        let value = json::parse(&text).ok()?;
+        let obj = value.as_object()?;
+        if json::get_str(obj, "version")? != FORMAT {
+            return None;
+        }
+        if json::get_str(obj, "key")? != key.to_string() {
+            return None;
+        }
+        let metrics = json::get(obj, "metrics")?.as_object()?;
+        Some(CellMetrics {
+            flows_kbps: json::get_f64_array(metrics, "flows_kbps")?,
+            loss_rates: json::get_f64_array(metrics, "loss_rates")?,
+            fairness: json::get_f64(metrics, "fairness")?,
+            events: json::get_f64(metrics, "events")? as u64,
+            queue_high_water: json::get_f64(metrics, "queue_high_water")? as u64,
+            sim_elapsed_ns: json::get_f64(metrics, "sim_elapsed_ns")? as u64,
+        })
+    }
+
+    /// The exact bytes stored for a cell — a pure function of the spec
+    /// and metrics, which is what makes cache files comparable across
+    /// runs and worker counts.
+    pub fn entry_bytes(spec: &CellSpec, metrics: &CellMetrics) -> String {
+        format!(
+            "{{\"version\":\"{FORMAT}\",\"key\":\"{}\",\"scenario\":\"{}\",\"seed\":{},\
+             \"duration_ns\":{},\"warmup_ns\":{},\"metrics\":{}}}\n",
+            spec.key(),
+            spec.group_label(),
+            spec.seed,
+            spec.params.duration.as_nanos(),
+            spec.params.warmup.as_nanos(),
+            metrics.to_json()
+        )
+    }
+
+    /// Persists a cell's result. The write is atomic (temp file + rename)
+    /// so concurrent workers — or concurrent sweeps sharing a cache dir —
+    /// never expose a torn entry; the rename's last-writer-wins race is
+    /// harmless because both writers produce identical bytes.
+    pub fn store(
+        &self,
+        spec: &CellSpec,
+        metrics: &CellMetrics,
+        worker: usize,
+    ) -> std::io::Result<()> {
+        let key = spec.key();
+        let tmp = self
+            .dir
+            .join(format!(".{key}.w{worker}.p{}.tmp", std::process::id()));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(Self::entry_bytes(spec, metrics).as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, self.path_for(key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{RunParams, SweepScenario};
+    use desim::SimDuration;
+
+    fn spec() -> CellSpec {
+        CellSpec {
+            scenario: SweepScenario::figure(7)[0],
+            seed: 42,
+            params: RunParams {
+                duration: SimDuration::from_secs(1),
+                warmup: SimDuration::from_millis(100),
+            },
+        }
+    }
+
+    fn metrics() -> CellMetrics {
+        CellMetrics {
+            flows_kbps: vec![599.03680000001, 2714.0],
+            loss_rates: vec![0.25, 0.0],
+            fairness: 0.7512341,
+            events: 123_456_789,
+            queue_high_water: 77,
+            sim_elapsed_ns: 20_000_000_000,
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "dot11-sweep-cache-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn store_then_load_round_trips_bit_exactly() {
+        let cache = RunCache::open(tmp_dir("roundtrip")).expect("open cache");
+        let (s, m) = (spec(), metrics());
+        assert!(cache.load(&s).is_none(), "cold cache misses");
+        cache.store(&s, &m, 0).expect("store");
+        let back = cache.load(&s).expect("warm cache hits");
+        assert_eq!(back, m, "floats survive the JSON round trip bit-exactly");
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
+    fn entry_bytes_are_a_pure_function() {
+        let (s, m) = (spec(), metrics());
+        assert_eq!(RunCache::entry_bytes(&s, &m), RunCache::entry_bytes(&s, &m));
+        assert!(RunCache::entry_bytes(&s, &m).contains(&s.key().to_string()));
+    }
+
+    #[test]
+    fn different_spec_is_a_miss() {
+        let cache = RunCache::open(tmp_dir("miss")).expect("open cache");
+        let (s, m) = (spec(), metrics());
+        cache.store(&s, &m, 1).expect("store");
+        let other = CellSpec { seed: 43, ..s };
+        assert!(cache.load(&other).is_none());
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
+    fn corrupt_entry_reads_as_miss() {
+        let cache = RunCache::open(tmp_dir("corrupt")).expect("open cache");
+        let s = spec();
+        std::fs::write(cache.path_for(s.key()), b"{not json").expect("write");
+        assert!(cache.load(&s).is_none());
+        std::fs::write(cache.path_for(s.key()), b"{\"version\":\"other/v9\"}").expect("write");
+        assert!(cache.load(&s).is_none());
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+}

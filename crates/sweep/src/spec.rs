@@ -1,0 +1,432 @@
+//! Sweep specifications: which scenarios, which seeds, which run length.
+//!
+//! A [`SweepSpec`] is the cross product of scenario recipes × seeds under
+//! shared [`RunParams`]; [`SweepSpec::cells`] expands it into the flat
+//! list of [`CellSpec`]s the runner executes. Every cell has a
+//! [`CellKey`] — a stable content hash of everything that determines its
+//! result — which names its cache entry and pins determinism tests.
+
+use desim::SimDuration;
+use dot11_adhoc::analytic::AccessScheme;
+use dot11_adhoc::experiments::four_station::{self, FourStationLayout, SessionTransport};
+use dot11_adhoc::experiments::ExpConfig;
+use dot11_adhoc::hash::StableHasher;
+use dot11_adhoc::{Scenario, ScenarioBuilder, Traffic};
+use dot11_phy::PhyRate;
+
+/// One scenario recipe a sweep can run.
+///
+/// Variants are *declarative* — plain data, cheap to copy across worker
+/// threads — and each expands to a [`Scenario`] via [`SweepScenario::build`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SweepScenario {
+    /// The paper's four-station, two-session topology (Figures 5–12).
+    FourStation {
+        /// NIC data rate.
+        rate: PhyRate,
+        /// Station geometry.
+        layout: FourStationLayout,
+        /// Transport used by both sessions.
+        transport: SessionTransport,
+        /// Access scheme.
+        scheme: AccessScheme,
+    },
+    /// A single saturated link: two stations `distance_m` apart.
+    TwoStation {
+        /// NIC data rate.
+        rate: PhyRate,
+        /// Station separation, meters.
+        distance_m: f64,
+        /// Transport of the single flow.
+        transport: SessionTransport,
+        /// Access scheme.
+        scheme: AccessScheme,
+    },
+}
+
+fn rate_kbps(rate: PhyRate) -> u32 {
+    (rate.bits_per_sec() / 1000.0) as u32
+}
+
+fn transport_tag(t: SessionTransport) -> &'static str {
+    match t {
+        SessionTransport::Udp => "udp",
+        SessionTransport::Tcp => "tcp",
+    }
+}
+
+fn scheme_tag(s: AccessScheme) -> &'static str {
+    match s {
+        AccessScheme::Basic => "basic",
+        AccessScheme::RtsCts => "rts",
+    }
+}
+
+fn layout_tag(l: FourStationLayout) -> &'static str {
+    match l {
+        FourStationLayout::AsymmetricAt11 => "asym11",
+        FourStationLayout::AsymmetricAt2 => "asym2",
+        FourStationLayout::Symmetric => "sym",
+    }
+}
+
+impl SweepScenario {
+    /// A stable, human-readable name: doubles as the grouping label in
+    /// reports and as part of the cache key.
+    pub fn name(&self) -> String {
+        match *self {
+            SweepScenario::FourStation {
+                rate,
+                layout,
+                transport,
+                scheme,
+            } => format!(
+                "four_station/{}/{}k/{}/{}",
+                layout_tag(layout),
+                rate_kbps(rate),
+                transport_tag(transport),
+                scheme_tag(scheme)
+            ),
+            SweepScenario::TwoStation {
+                rate,
+                distance_m,
+                transport,
+                scheme,
+            } => format!(
+                "two_station/{}m/{}k/{}/{}",
+                distance_m,
+                rate_kbps(rate),
+                transport_tag(transport),
+                scheme_tag(scheme)
+            ),
+        }
+    }
+
+    /// Feeds the scenario's identity into a stable hasher.
+    pub fn encode(&self, h: &mut StableHasher) {
+        match *self {
+            SweepScenario::FourStation {
+                rate,
+                layout,
+                transport,
+                scheme,
+            } => {
+                h.write_str("four_station");
+                h.write_u32(rate_kbps(rate));
+                h.write_str(layout_tag(layout));
+                h.write_str(transport_tag(transport));
+                h.write_str(scheme_tag(scheme));
+            }
+            SweepScenario::TwoStation {
+                rate,
+                distance_m,
+                transport,
+                scheme,
+            } => {
+                h.write_str("two_station");
+                h.write_u32(rate_kbps(rate));
+                h.write_f64(distance_m);
+                h.write_str(transport_tag(transport));
+                h.write_str(scheme_tag(scheme));
+            }
+        }
+    }
+
+    /// Expands the recipe into a runnable [`Scenario`].
+    pub fn build(&self, params: RunParams, seed: u64) -> Scenario {
+        match *self {
+            SweepScenario::FourStation {
+                rate,
+                layout,
+                transport,
+                scheme,
+            } => {
+                let cfg = ExpConfig {
+                    seed,
+                    duration: params.duration,
+                    warmup: params.warmup,
+                };
+                four_station::scenario(cfg, rate, layout, transport, scheme)
+            }
+            SweepScenario::TwoStation {
+                rate,
+                distance_m,
+                transport,
+                scheme,
+            } => {
+                let traffic = match transport {
+                    SessionTransport::Udp => Traffic::SaturatedUdp {
+                        payload_bytes: 512,
+                        backlog: 10,
+                    },
+                    SessionTransport::Tcp => Traffic::BulkTcp { mss: 512 },
+                };
+                ScenarioBuilder::new(rate)
+                    .line(&[0.0, distance_m])
+                    .rts(scheme == AccessScheme::RtsCts)
+                    .seed(seed)
+                    .duration(params.duration)
+                    .warmup(params.warmup)
+                    .flow(0, 1, traffic)
+                    .build()
+            }
+        }
+    }
+
+    /// The four cells (both transports × both schemes) of one paper
+    /// four-station figure: 7, 9, 11 or 12.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a figure number the paper does not have.
+    pub fn figure(figure: u32) -> Vec<SweepScenario> {
+        let (rate, layout) = match figure {
+            7 => (PhyRate::R11, FourStationLayout::AsymmetricAt11),
+            9 => (PhyRate::R2, FourStationLayout::AsymmetricAt2),
+            11 => (PhyRate::R11, FourStationLayout::Symmetric),
+            12 => (PhyRate::R2, FourStationLayout::Symmetric),
+            other => panic!("no four-station figure {other} in the paper (7, 9, 11, 12)"),
+        };
+        let mut v = Vec::with_capacity(4);
+        for transport in [SessionTransport::Udp, SessionTransport::Tcp] {
+            for scheme in [AccessScheme::Basic, AccessScheme::RtsCts] {
+                v.push(SweepScenario::FourStation {
+                    rate,
+                    layout,
+                    transport,
+                    scheme,
+                });
+            }
+        }
+        v
+    }
+}
+
+/// Run length and warm-up shared by every cell of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunParams {
+    /// Simulated session length.
+    pub duration: SimDuration,
+    /// Warm-up excluded from throughput windows.
+    pub warmup: SimDuration,
+}
+
+impl RunParams {
+    /// The `repro` binary's full-fidelity settings: 20 s sessions, 2 s
+    /// warm-up (matches [`ExpConfig::full`]).
+    pub fn full() -> RunParams {
+        let c = ExpConfig::full();
+        RunParams {
+            duration: c.duration,
+            warmup: c.warmup,
+        }
+    }
+
+    /// Reduced settings (4 s sessions) matching [`ExpConfig::quick`].
+    pub fn quick() -> RunParams {
+        let c = ExpConfig::quick();
+        RunParams {
+            duration: c.duration,
+            warmup: c.warmup,
+        }
+    }
+
+    fn encode(&self, h: &mut StableHasher) {
+        h.write_u64(self.duration.as_nanos());
+        h.write_u64(self.warmup.as_nanos());
+    }
+}
+
+/// The content hash naming one cell: stable across processes, platforms
+/// and worker counts, and therefore safe to use as a cache filename.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellKey(pub u64);
+
+impl std::fmt::Display for CellKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// One unit of sweep work: a scenario recipe at one seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellSpec {
+    /// The scenario recipe.
+    pub scenario: SweepScenario,
+    /// The master seed of this run.
+    pub seed: u64,
+    /// Run length and warm-up.
+    pub params: RunParams,
+}
+
+impl CellSpec {
+    /// The cell's content hash over (format version, scenario, seed,
+    /// params). The version tag is bumped whenever the *meaning* of a
+    /// cached result changes, invalidating old cache dirs wholesale.
+    pub fn key(&self) -> CellKey {
+        let mut h = StableHasher::new();
+        h.write_str("dot11-sweep/v1");
+        self.scenario.encode(&mut h);
+        h.write_u64(self.seed);
+        self.params.encode(&mut h);
+        CellKey(h.finish())
+    }
+
+    /// The label cells aggregate under: scenario name — everything but
+    /// the seed.
+    pub fn group_label(&self) -> String {
+        self.scenario.name()
+    }
+}
+
+/// The cross product a sweep runs: scenarios × seeds under one
+/// [`RunParams`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Scenario recipes, in report order.
+    pub scenarios: Vec<SweepScenario>,
+    /// Seeds every scenario is run at.
+    pub seeds: Vec<u64>,
+    /// Shared run parameters.
+    pub params: RunParams,
+}
+
+impl SweepSpec {
+    /// An empty spec with the given run parameters.
+    pub fn new(params: RunParams) -> SweepSpec {
+        SweepSpec {
+            scenarios: Vec::new(),
+            seeds: Vec::new(),
+            params,
+        }
+    }
+
+    /// Adds one scenario recipe.
+    pub fn scenario(mut self, s: SweepScenario) -> SweepSpec {
+        self.scenarios.push(s);
+        self
+    }
+
+    /// Adds several scenario recipes.
+    pub fn scenarios(mut self, s: impl IntoIterator<Item = SweepScenario>) -> SweepSpec {
+        self.scenarios.extend(s);
+        self
+    }
+
+    /// Sets the seed list from any iterator (e.g. `1..=30`).
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> SweepSpec {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Expands the cross product, scenario-major: all seeds of the first
+    /// scenario, then all seeds of the second, … Cell order is part of
+    /// the report contract (groups keep first-appearance order).
+    pub fn cells(&self) -> Vec<CellSpec> {
+        let mut cells = Vec::with_capacity(self.scenarios.len() * self.seeds.len());
+        for &scenario in &self.scenarios {
+            for &seed in &self.seeds {
+                cells.push(CellSpec {
+                    scenario,
+                    seed,
+                    params: self.params,
+                });
+            }
+        }
+        cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> RunParams {
+        RunParams {
+            duration: SimDuration::from_secs(2),
+            warmup: SimDuration::from_millis(200),
+        }
+    }
+
+    #[test]
+    fn cross_product_is_scenario_major() {
+        let spec = SweepSpec::new(params())
+            .scenarios(SweepScenario::figure(7))
+            .seeds(1..=3);
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 12);
+        assert_eq!(cells[0].seed, 1);
+        assert_eq!(cells[2].seed, 3);
+        assert_eq!(cells[0].scenario, cells[2].scenario);
+        assert_ne!(cells[0].scenario, cells[3].scenario);
+    }
+
+    #[test]
+    fn keys_separate_every_dimension() {
+        let base = CellSpec {
+            scenario: SweepScenario::figure(7)[0],
+            seed: 1,
+            params: params(),
+        };
+        let other_seed = CellSpec { seed: 2, ..base };
+        let other_scenario = CellSpec {
+            scenario: SweepScenario::figure(9)[0],
+            ..base
+        };
+        let other_params = CellSpec {
+            params: RunParams {
+                duration: SimDuration::from_secs(3),
+                warmup: base.params.warmup,
+            },
+            ..base
+        };
+        let keys = [
+            base.key(),
+            other_seed.key(),
+            other_scenario.key(),
+            other_params.key(),
+        ];
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j], "cells {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_stable_and_seed_free() {
+        let spec = SweepScenario::figure(12)[3];
+        assert_eq!(spec.name(), "four_station/sym/2000k/tcp/rts");
+        let cell = CellSpec {
+            scenario: spec,
+            seed: 7,
+            params: params(),
+        };
+        assert_eq!(cell.group_label(), spec.name());
+    }
+
+    #[test]
+    #[should_panic(expected = "no four-station figure")]
+    fn unknown_figure_panics() {
+        SweepScenario::figure(8);
+    }
+
+    #[test]
+    fn built_scenarios_run() {
+        let cell = CellSpec {
+            scenario: SweepScenario::TwoStation {
+                rate: PhyRate::R11,
+                distance_m: 10.0,
+                transport: SessionTransport::Udp,
+                scheme: AccessScheme::Basic,
+            },
+            seed: 5,
+            params: RunParams {
+                duration: SimDuration::from_millis(400),
+                warmup: SimDuration::from_millis(100),
+            },
+        };
+        let report = cell.scenario.build(cell.params, cell.seed).run();
+        assert!(report.flow(dot11_net::FlowId(0)).throughput_kbps > 100.0);
+    }
+}

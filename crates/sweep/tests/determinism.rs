@@ -1,0 +1,149 @@
+//! The sweep engine's three load-bearing contracts, pinned:
+//!
+//! 1. **Key stability** — cell hashes are golden values. If one of these
+//!    assertions fails, every existing cache directory in the world has
+//!    been silently invalidated: either restore the encoding or bump the
+//!    format-version tag in `CellSpec::key` *deliberately*.
+//! 2. **Determinism under parallelism** — the aggregated report is
+//!    byte-identical for `--jobs 1` and `--jobs 8`, and the cache files
+//!    each run writes are byte-identical too.
+//! 3. **Warm-cache short-circuit** — a re-run over a populated cache
+//!    simulates zero worlds and still reproduces the same report.
+
+use desim::SimDuration;
+use dot11_adhoc::analytic::AccessScheme;
+use dot11_adhoc::experiments::four_station::SessionTransport;
+use dot11_phy::PhyRate;
+use dot11_sweep::{run_sweep, CellSpec, RunParams, SweepOptions, SweepScenario, SweepSpec};
+
+#[test]
+fn cell_keys_are_golden() {
+    let full = RunParams::full();
+    let expected = [
+        ("four_station/asym11/11000k/udp/basic", "6388136a18945d5d"),
+        ("four_station/asym11/11000k/udp/rts", "49a510563121d7a2"),
+        ("four_station/asym11/11000k/tcp/basic", "111731b70f7b956d"),
+        ("four_station/asym11/11000k/tcp/rts", "78f789197ccba932"),
+    ];
+    for (scenario, (label, key)) in SweepScenario::figure(7).into_iter().zip(expected) {
+        let cell = CellSpec {
+            scenario,
+            seed: 105,
+            params: full,
+        };
+        assert_eq!(cell.group_label(), label);
+        assert_eq!(
+            cell.key().to_string(),
+            key,
+            "stable hash of {label} moved — existing caches are invalidated"
+        );
+    }
+    let two = CellSpec {
+        scenario: SweepScenario::TwoStation {
+            rate: PhyRate::R2,
+            distance_m: 40.0,
+            transport: SessionTransport::Tcp,
+            scheme: AccessScheme::RtsCts,
+        },
+        seed: 7,
+        params: RunParams {
+            duration: SimDuration::from_secs(2),
+            warmup: SimDuration::from_millis(250),
+        },
+    };
+    assert_eq!(two.key().to_string(), "318b8d2cd6f5d809");
+}
+
+/// 8 scenario recipes × 4 seeds = 32 cells, kept short (300 ms sims) so
+/// the whole test runs in seconds.
+fn spec_32_cells() -> SweepSpec {
+    let mut scenarios = SweepScenario::figure(7);
+    scenarios.extend(SweepScenario::figure(12));
+    SweepSpec::new(RunParams {
+        duration: SimDuration::from_millis(300),
+        warmup: SimDuration::from_millis(100),
+    })
+    .scenarios(scenarios)
+    .seeds(1..=4)
+}
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("dot11-sweep-det-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Sorted (filename, bytes) snapshot of a cache directory.
+fn cache_entries(dir: &std::path::Path) -> Vec<(String, Vec<u8>)> {
+    let mut entries: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .expect("cache dir exists")
+        .map(|e| {
+            let e = e.expect("dir entry");
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                std::fs::read(e.path()).expect("cache file readable"),
+            )
+        })
+        .collect();
+    entries.sort();
+    entries
+}
+
+#[test]
+fn jobs_1_and_jobs_8_agree_and_warm_cache_simulates_nothing() {
+    let spec = spec_32_cells();
+    assert_eq!(spec.cells().len(), 32);
+    let dir_serial = fresh_dir("serial");
+    let dir_parallel = fresh_dir("parallel");
+
+    // Cold, one worker.
+    let serial_opts = SweepOptions {
+        jobs: 1,
+        cache_dir: Some(dir_serial.clone()),
+    };
+    let serial = run_sweep(&spec, &serial_opts).expect("serial sweep");
+    assert_eq!(serial.engine.simulated, 32);
+    assert_eq!(serial.engine.cached, 0);
+
+    // Cold, eight workers, separate cache.
+    let parallel_opts = SweepOptions {
+        jobs: 8,
+        cache_dir: Some(dir_parallel.clone()),
+    };
+    let parallel = run_sweep(&spec, &parallel_opts).expect("parallel sweep");
+    assert_eq!(parallel.engine.simulated, 32);
+    assert_eq!(parallel.engine.jobs, 8);
+
+    // Contract 2a: identical aggregated reports, byte for byte.
+    assert_eq!(
+        serial.deterministic_json(),
+        parallel.deterministic_json(),
+        "aggregated SweepReport depends on the worker count"
+    );
+
+    // Contract 2b: the cache files themselves are byte-identical.
+    let a = cache_entries(&dir_serial);
+    let b = cache_entries(&dir_parallel);
+    assert_eq!(a.len(), 32);
+    assert_eq!(a, b, "cached cells written by --jobs 1 and --jobs 8 differ");
+
+    // Contract 3: warm cache → zero worlds simulated, same report.
+    let warm = run_sweep(&spec, &parallel_opts).expect("warm sweep");
+    assert_eq!(warm.engine.simulated, 0, "warm cache must skip every cell");
+    assert_eq!(warm.engine.cached, 32);
+    assert!(warm.cells.iter().all(|c| c.cached));
+    assert_eq!(warm.deterministic_json(), serial.deterministic_json());
+
+    // And a partially warm cache simulates exactly the missing cells.
+    let extra = {
+        let mut s = spec.clone();
+        s.seeds.push(5);
+        s
+    };
+    let partial = run_sweep(&extra, &parallel_opts).expect("partial sweep");
+    assert_eq!(partial.engine.cached, 32);
+    assert_eq!(partial.engine.simulated, 8, "only the new seed's cells run");
+
+    std::fs::remove_dir_all(&dir_serial).ok();
+    std::fs::remove_dir_all(&dir_parallel).ok();
+}

@@ -25,6 +25,8 @@
 //! `desim` at the bottom of the dependency graph and every layer above can
 //! emit into it.
 
+#![warn(missing_docs)]
+
 mod jsonl;
 mod metrics;
 mod record;

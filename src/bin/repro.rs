@@ -13,6 +13,25 @@
 //!   UDP/basic-access cell (one JSON object per MAC/PHY/TCP event).
 //!
 //! Output sections are numbered after the paper's artifacts.
+//!
+//! # `repro sweep`
+//!
+//! `cargo run --release --bin repro -- sweep [FLAGS]` runs the paper's
+//! four-station figures across a **seed population in parallel** and
+//! prints seed-aggregated statistics (mean ± 95% CI over seeds) instead
+//! of one channel draw:
+//!
+//! * `--scenarios fig7,fig9,fig11,fig12` — which figures (default: all
+//!   four; each contributes 4 cells: UDP/TCP × basic/RTS).
+//! * `--seeds A..B` or `--seeds N` (= `1..N`) — seed range, inclusive
+//!   (default `1..8`).
+//! * `--jobs N` — worker threads (default: all cores).
+//! * `--cache-dir <dir>` — content-addressed run cache: finished cells
+//!   are never recomputed, a fully warm re-run simulates zero worlds.
+//! * `--json <path>` — write the full machine-readable `SweepReport`.
+//! * `--quick` — 4 s sessions instead of 20 s.
+//! * `--duration <interval>` / `--warmup <interval>` — explicit run
+//!   length (e.g. `300ms`; overrides `--quick`).
 
 use desim::SimDuration;
 use dot11_adhoc::analytic::{
@@ -92,6 +111,10 @@ fn parse_interval(s: &str) -> Option<SimDuration> {
 }
 
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("sweep") {
+        sweep_main(std::env::args().skip(2).collect());
+        return;
+    }
     let opts = parse_args();
     let cfg = if opts.quick {
         ExpConfig::quick()
@@ -142,6 +165,244 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+}
+
+// --- the sweep subcommand -------------------------------------------------
+
+struct SweepArgs {
+    scenarios: Vec<(String, Vec<dot11_sweep::SweepScenario>)>,
+    seeds: std::ops::RangeInclusive<u64>,
+    jobs: usize,
+    cache_dir: Option<String>,
+    json: Option<String>,
+    params: dot11_sweep::RunParams,
+}
+
+fn sweep_usage(msg: &str) -> ! {
+    eprintln!("repro sweep: {msg}");
+    eprintln!(
+        "usage: repro sweep [--scenarios fig7,fig9,fig11,fig12] [--seeds A..B|N] \
+         [--jobs N] [--cache-dir <dir>] [--json <path>] [--quick] \
+         [--duration <interval>] [--warmup <interval>]"
+    );
+    std::process::exit(2);
+}
+
+/// Parses `A..B` (inclusive) or a bare `N` meaning `1..N`.
+fn parse_seed_range(s: &str) -> Option<std::ops::RangeInclusive<u64>> {
+    let range = match s.split_once("..") {
+        Some((a, b)) => a.parse().ok()?..=b.parse().ok()?,
+        None => 1..=s.parse().ok()?,
+    };
+    (!range.is_empty()).then_some(range)
+}
+
+fn parse_scenario_group(name: &str) -> Option<Vec<dot11_sweep::SweepScenario>> {
+    match name {
+        "fig7" => Some(dot11_sweep::SweepScenario::figure(7)),
+        "fig9" => Some(dot11_sweep::SweepScenario::figure(9)),
+        "fig11" => Some(dot11_sweep::SweepScenario::figure(11)),
+        "fig12" => Some(dot11_sweep::SweepScenario::figure(12)),
+        _ => None,
+    }
+}
+
+fn parse_sweep_args(args: Vec<String>) -> SweepArgs {
+    let mut out = SweepArgs {
+        scenarios: Vec::new(),
+        seeds: 1..=8,
+        jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        cache_dir: None,
+        json: None,
+        params: dot11_sweep::RunParams::full(),
+    };
+    let mut duration = None;
+    let mut warmup = None;
+    let mut quick = false;
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scenarios" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| sweep_usage("--scenarios needs a list"));
+                for name in v.split(',') {
+                    let group = parse_scenario_group(name).unwrap_or_else(|| {
+                        sweep_usage(&format!(
+                            "unknown scenario {name:?} (try fig7, fig9, fig11, fig12)"
+                        ))
+                    });
+                    out.scenarios.push((name.to_owned(), group));
+                }
+            }
+            "--seeds" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| sweep_usage("--seeds needs a range"));
+                out.seeds = parse_seed_range(&v)
+                    .unwrap_or_else(|| sweep_usage(&format!("bad seed range {v:?} (try 1..30)")));
+            }
+            "--jobs" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| sweep_usage("--jobs needs a count"));
+                out.jobs = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| sweep_usage(&format!("bad job count {v:?}")));
+            }
+            "--cache-dir" => {
+                out.cache_dir = Some(
+                    args.next()
+                        .unwrap_or_else(|| sweep_usage("--cache-dir needs a path")),
+                );
+            }
+            "--json" => {
+                out.json = Some(
+                    args.next()
+                        .unwrap_or_else(|| sweep_usage("--json needs a path")),
+                );
+            }
+            "--quick" => quick = true,
+            "--duration" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| sweep_usage("--duration needs an interval"));
+                duration = Some(
+                    parse_interval(&v)
+                        .unwrap_or_else(|| sweep_usage(&format!("bad interval {v:?}"))),
+                );
+            }
+            "--warmup" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| sweep_usage("--warmup needs an interval"));
+                warmup = Some(
+                    parse_interval(&v)
+                        .unwrap_or_else(|| sweep_usage(&format!("bad interval {v:?}"))),
+                );
+            }
+            other => sweep_usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    if quick {
+        out.params = dot11_sweep::RunParams::quick();
+    }
+    if let Some(d) = duration {
+        out.params.duration = d;
+        // Keep the default warm-up valid for short explicit durations.
+        if out.params.warmup >= d {
+            out.params.warmup = SimDuration::from_nanos((d.as_nanos() / 4).max(1));
+        }
+    }
+    if let Some(w) = warmup {
+        out.params.warmup = w;
+    }
+    if out.params.warmup >= out.params.duration {
+        sweep_usage("warmup must be shorter than duration");
+    }
+    if out.scenarios.is_empty() {
+        for name in ["fig7", "fig9", "fig11", "fig12"] {
+            out.scenarios
+                .push((name.to_owned(), parse_scenario_group(name).expect("known")));
+        }
+    }
+    out
+}
+
+fn sweep_main(args: Vec<String>) {
+    let args = parse_sweep_args(args);
+    let spec = dot11_sweep::SweepSpec::new(args.params)
+        .scenarios(args.scenarios.iter().flat_map(|(_, g)| g.iter().copied()))
+        .seeds(args.seeds.clone());
+    let n_scenarios = spec.scenarios.len();
+    let n_seeds = spec.seeds.len();
+    println!(
+        "== SWEEP — {n_scenarios} scenario cells × {n_seeds} seeds = {} runs ==",
+        n_scenarios * n_seeds
+    );
+    println!(
+        "sessions: {} (warm-up {}), seeds {}..{}\n",
+        args.params.duration,
+        args.params.warmup,
+        args.seeds.start(),
+        args.seeds.end()
+    );
+    let opts = dot11_sweep::SweepOptions {
+        jobs: args.jobs,
+        cache_dir: args.cache_dir.clone().map(Into::into),
+    };
+    let report = match dot11_sweep::run_sweep(&spec, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("repro sweep: {e}");
+            std::process::exit(1);
+        }
+    };
+    print_sweep_report(&report);
+    if let Some(path) = &args.json {
+        match std::fs::write(path, report.to_json()) {
+            Ok(()) => println!("JSON sweep report written to {path}"),
+            Err(e) => {
+                eprintln!("repro sweep: writing {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn fmt_summary_kbps(s: &dot11_adhoc::Summary) -> String {
+    format!("{:>6.0} ± {:<5.0}", s.mean, s.ci95)
+}
+
+fn print_sweep_report(report: &dot11_sweep::SweepReport) {
+    println!(
+        "{:<42} | {:>3} | {:>14} | {:>14} | {:>9} | fairness",
+        "scenario (kb/s, mean ± 95% CI over seeds)", "n", "session 1", "session 2", "imbalance"
+    );
+    for g in &report.groups {
+        let s2 = g
+            .flows_kbps
+            .get(1)
+            .map(fmt_summary_kbps)
+            .unwrap_or_else(|| format!("{:>14}", "—"));
+        let imbalance = g
+            .imbalance()
+            .map(|r| format!("{r:>8.2}x"))
+            .unwrap_or_else(|| format!("{:>9}", "—"));
+        println!(
+            "{:<42} | {:>3} | {} | {} | {} | {:>5.2} ± {:.2}",
+            g.label,
+            g.total_kbps.n,
+            fmt_summary_kbps(&g.flows_kbps[0]),
+            s2,
+            imbalance,
+            g.fairness.mean,
+            g.fairness.ci95
+        );
+    }
+    let e = &report.engine;
+    println!(
+        "\nengine: {} jobs | {} simulated, {} cached | wall {:.2} s | \
+         {:.0}x aggregate sim/wall | {:.0}% mean worker utilization",
+        e.jobs,
+        e.simulated,
+        e.cached,
+        e.wall.as_secs_f64(),
+        e.speedup(),
+        100.0 * e.mean_utilization()
+    );
+    for w in &e.workers {
+        println!(
+            "  worker {:>2}: {:>3} cells | {:>9} events | busy {:.2} s ({:.0}%)",
+            w.worker,
+            w.cells,
+            w.events,
+            w.busy.as_secs_f64(),
+            100.0 * w.utilization(e.wall)
+        );
     }
 }
 
