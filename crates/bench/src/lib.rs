@@ -10,11 +10,25 @@
 //! timed iterations until a wall-clock budget is spent, and reports the
 //! median/min per-iteration time. Pass a substring on the command line to
 //! run a subset: `cargo bench --bench engine -- queue`.
+//!
+//! The harness also maintains the repo's perf trajectory:
+//!
+//! * `--json PATH` writes every result (plus derived metrics such as
+//!   ns/event) as machine-readable JSON — CI uploads these as artifacts;
+//! * `--baseline PATH` compares the run against a committed
+//!   `BENCH_*.json` and **exits non-zero** if any shared `ns_per_event`
+//!   metric regressed more than `--tolerance PCT` (default 25%).
+//!
+//! Call [`Harness::finish`] at the end of each bench `main` to flush the
+//! JSON and apply the gate.
 
+use std::cell::RefCell;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use desim::SimDuration;
 use dot11_adhoc::experiments::ExpConfig;
+use dot11_sweep::json;
 
 /// The reduced configuration benches run at: 1 s sessions are enough to
 /// exercise every code path while keeping repeated sampling affordable.
@@ -26,21 +40,89 @@ pub fn bench_config() -> ExpConfig {
     }
 }
 
+/// One benchmark's recorded outcome (what `--json` serializes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark name (`group/case`).
+    pub name: String,
+    /// Median per-iteration wall time, nanoseconds.
+    pub median_ns: u64,
+    /// Fastest iteration, nanoseconds.
+    pub min_ns: u64,
+    /// Timed iterations taken.
+    pub iters: usize,
+    /// Derived metrics (e.g. `events`, `events_per_sec`, `ns_per_event`),
+    /// in insertion order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl BenchRecord {
+    fn to_json(&self) -> String {
+        let metrics: Vec<String> = self
+            .metrics
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{}", fmt_f64(*v)))
+            .collect();
+        format!(
+            "{{\"name\":\"{}\",\"median_ns\":{},\"min_ns\":{},\"iters\":{},\
+             \"metrics\":{{{}}}}}",
+            self.name,
+            self.median_ns,
+            self.min_ns,
+            self.iters,
+            metrics.join(",")
+        )
+    }
+}
+
+/// Shortest-round-trip float formatting (JSON has no NaN/Inf).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
 /// A minimal benchmark runner: substring filtering, warm-up, a fixed
-/// wall-clock budget per benchmark, median-of-iterations reporting.
+/// wall-clock budget per benchmark, median-of-iterations reporting, and
+/// optional JSON emission / baseline regression gating (module docs).
 pub struct Harness {
     filter: Option<String>,
     budget: Duration,
     max_iters: usize,
+    json: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    tolerance_pct: f64,
+    results: RefCell<Vec<BenchRecord>>,
 }
 
 impl Harness {
-    /// Builds a harness from `std::env::args`, ignoring flags (cargo
-    /// passes `--bench`); the first free argument is a substring filter
-    /// on benchmark names.
+    /// Builds a harness from `std::env::args`. Recognized flags:
+    /// `--json PATH`, `--baseline PATH`, `--tolerance PCT`; other flags
+    /// (cargo passes `--bench`) are ignored, and the first free argument
+    /// is a substring filter on benchmark names.
     pub fn from_args() -> Harness {
-        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
-        Harness::with_filter(filter)
+        let mut filter = None;
+        let mut h = Harness::with_filter(None);
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--json" => h.json = args.next().map(PathBuf::from),
+                "--baseline" => h.baseline = args.next().map(PathBuf::from),
+                "--tolerance" => {
+                    h.tolerance_pct = args
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .unwrap_or(h.tolerance_pct)
+                }
+                _ if a.starts_with('-') => {}
+                _ if filter.is_none() => filter = Some(a),
+                _ => {}
+            }
+        }
+        h.filter = filter;
+        h
     }
 
     /// Builds a harness with an explicit (optional) name filter.
@@ -49,6 +131,10 @@ impl Harness {
             filter,
             budget: Duration::from_secs(1),
             max_iters: 1_000,
+            json: None,
+            baseline: None,
+            tolerance_pct: 25.0,
+            results: RefCell::new(Vec::new()),
         }
     }
 
@@ -60,7 +146,20 @@ impl Harness {
     /// Times `f`, printing one line: name, median and min per-iteration
     /// time, and the iteration count. Always runs at least one timed
     /// iteration, so even multi-second benchmarks report.
-    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) {
+    pub fn bench<R>(&self, name: &str, f: impl FnMut() -> R) {
+        self.bench_metrics(name, f, |_, _| Vec::new());
+    }
+
+    /// Like [`Harness::bench`], but also derives named metrics from the
+    /// last iteration's return value and the median iteration time (e.g.
+    /// events dispatched → ns/event, events/sec). Metrics land in the
+    /// printed line and the `--json` record.
+    pub fn bench_metrics<R>(
+        &self,
+        name: &str,
+        mut f: impl FnMut() -> R,
+        metrics: impl FnOnce(&R, Duration) -> Vec<(String, f64)>,
+    ) {
         if !self.selected(name) {
             return;
         }
@@ -74,23 +173,139 @@ impl Harness {
         }
         let mut samples = Vec::new();
         let start = Instant::now();
+        let mut last = None;
         while samples.len() < self.max_iters
             && (samples.is_empty() || start.elapsed() < self.budget)
         {
             let t0 = Instant::now();
-            std::hint::black_box(f());
+            last = Some(std::hint::black_box(f()));
             samples.push(t0.elapsed());
         }
         samples.sort();
         let median = samples[samples.len() / 2];
         let min = samples[0];
+        let derived = metrics(last.as_ref().expect("at least one iteration"), median);
+        let extra: String = derived
+            .iter()
+            .map(|(k, v)| format!("  {k} {v:.1}"))
+            .collect();
         println!(
-            "{name:<44} median {:>10}  min {:>10}  ({} iters)",
+            "{name:<44} median {:>10}  min {:>10}  ({} iters){extra}",
             fmt_duration(median),
             fmt_duration(min),
             samples.len()
         );
+        self.results.borrow_mut().push(BenchRecord {
+            name: name.to_owned(),
+            median_ns: median.as_nanos() as u64,
+            min_ns: min.as_nanos() as u64,
+            iters: samples.len(),
+            metrics: derived,
+        });
     }
+
+    /// The records accumulated so far, in run order.
+    pub fn records(&self) -> Vec<BenchRecord> {
+        self.results.borrow().clone()
+    }
+
+    /// Serializes the accumulated records as one JSON object.
+    pub fn results_json(&self) -> String {
+        let benches: Vec<String> = self
+            .results
+            .borrow()
+            .iter()
+            .map(BenchRecord::to_json)
+            .collect();
+        format!(
+            "{{\"version\":\"dot11-bench/v1\",\"benches\":[{}]}}\n",
+            benches.join(",")
+        )
+    }
+
+    /// Flushes `--json` output and applies the `--baseline` regression
+    /// gate. Call at the end of each bench `main`; exits the process with
+    /// a non-zero status (after printing each offender) if any shared
+    /// `ns_per_event` metric regressed beyond the tolerance.
+    pub fn finish(&self) {
+        if let Some(path) = &self.json {
+            std::fs::write(path, self.results_json())
+                .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+            eprintln!("wrote {}", path.display());
+        }
+        let Some(baseline) = &self.baseline else {
+            return;
+        };
+        let text = std::fs::read_to_string(baseline)
+            .unwrap_or_else(|e| panic!("read baseline {}: {e}", baseline.display()));
+        let regressions = check_against_baseline(&self.records(), &text, self.tolerance_pct);
+        if !regressions.is_empty() {
+            for r in &regressions {
+                eprintln!("PERF REGRESSION: {r}");
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "perf gate: no ns_per_event regression > {}% vs {}",
+            self.tolerance_pct,
+            baseline.display()
+        );
+    }
+}
+
+/// Compares run records against a committed `BENCH_*.json`: for every
+/// benchmark present in both with an `ns_per_event` metric, reports a
+/// regression when the current value exceeds the baseline by more than
+/// `tolerance_pct` percent. Unknown benches on either side are ignored,
+/// so adding or retiring benchmarks never trips the gate.
+pub fn check_against_baseline(
+    records: &[BenchRecord],
+    baseline_json: &str,
+    tolerance_pct: f64,
+) -> Vec<String> {
+    let parsed = match json::parse(baseline_json) {
+        Ok(v) => v,
+        Err(e) => return vec![format!("baseline is not valid JSON: {e}")],
+    };
+    let Some(benches) = parsed
+        .as_object()
+        .and_then(|o| json::get(o, "benches"))
+        .and_then(|b| match b {
+            json::JsonValue::Arr(a) => Some(a),
+            _ => None,
+        })
+    else {
+        return vec!["baseline has no \"benches\" array".to_owned()];
+    };
+    let mut regressions = Vec::new();
+    for entry in benches {
+        let Some(obj) = entry.as_object() else {
+            continue;
+        };
+        let (Some(name), Some(metrics)) = (
+            json::get_str(obj, "name"),
+            json::get(obj, "metrics").and_then(|m| m.as_object()),
+        ) else {
+            continue;
+        };
+        let Some(base) = json::get_f64(metrics, "ns_per_event") else {
+            continue;
+        };
+        let Some(record) = records.iter().find(|r| r.name == name) else {
+            continue;
+        };
+        let Some(&(_, cur)) = record.metrics.iter().find(|(k, _)| k == "ns_per_event") else {
+            continue;
+        };
+        if base > 0.0 && cur > base * (1.0 + tolerance_pct / 100.0) {
+            regressions.push(format!(
+                "{name}: ns_per_event {cur:.1} vs baseline {base:.1} \
+                 (+{:.0}%, tolerance {tolerance_pct}%)",
+                (cur / base - 1.0) * 100.0
+            ));
+        }
+    }
+    regressions
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -124,6 +339,55 @@ mod tests {
         assert!(!h.selected("phy/ber_cck11"));
         let all = Harness::with_filter(None);
         assert!(all.selected("anything"));
+    }
+
+    fn record(name: &str, ns_per_event: f64) -> BenchRecord {
+        BenchRecord {
+            name: name.into(),
+            median_ns: 1_000,
+            min_ns: 900,
+            iters: 10,
+            metrics: vec![("ns_per_event".into(), ns_per_event)],
+        }
+    }
+
+    #[test]
+    fn results_json_is_parseable_and_complete() {
+        let h = Harness::with_filter(None);
+        h.bench_metrics(
+            "group/case",
+            || 42u64,
+            |&v, median| {
+                assert!(median.as_nanos() > 0 || v == 42);
+                vec![("events".into(), v as f64)]
+            },
+        );
+        let json_text = h.results_json();
+        let parsed = json::parse(&json_text).expect("valid JSON");
+        let obj = parsed.as_object().expect("object");
+        assert_eq!(json::get_str(obj, "version"), Some("dot11-bench/v1"));
+        assert!(json_text.contains("\"name\":\"group/case\""));
+        assert!(json_text.contains("\"events\":42"));
+    }
+
+    #[test]
+    fn baseline_gate_flags_only_real_regressions() {
+        let baseline = "{\"version\":\"dot11-bench/v1\",\"benches\":[\
+             {\"name\":\"a\",\"median_ns\":1,\"min_ns\":1,\"iters\":1,\
+              \"metrics\":{\"ns_per_event\":100.0}},\
+             {\"name\":\"gone\",\"median_ns\":1,\"min_ns\":1,\"iters\":1,\
+              \"metrics\":{\"ns_per_event\":5.0}}]}";
+        // Within tolerance: 20% over a 25% gate.
+        assert!(check_against_baseline(&[record("a", 120.0)], baseline, 25.0).is_empty());
+        // Beyond tolerance: flagged.
+        let regressions = check_against_baseline(&[record("a", 130.0)], baseline, 25.0);
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].contains("ns_per_event 130.0 vs baseline 100.0"));
+        // Improvements and benches missing on either side never trip it.
+        assert!(check_against_baseline(&[record("a", 50.0)], baseline, 25.0).is_empty());
+        assert!(check_against_baseline(&[record("new", 9e9)], baseline, 25.0).is_empty());
+        // A garbage baseline reports instead of passing silently.
+        assert!(!check_against_baseline(&[record("a", 1.0)], "nope", 25.0).is_empty());
     }
 
     #[test]

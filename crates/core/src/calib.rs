@@ -44,7 +44,7 @@ pub fn calibrated_path_loss() -> LogDistance {
 /// day profile, and the paper's τ = 1 µs propagation delay.
 pub fn calibrated_medium_config(day: DayProfile) -> MediumConfig {
     MediumConfig {
-        path_loss: Box::new(calibrated_path_loss()),
+        path_loss: calibrated_path_loss().into(),
         day,
         propagation_delay: SimDuration::from_micros(1),
     }

@@ -48,6 +48,10 @@ pub struct Node<S: TraceSink = NullSink> {
     pub(crate) tcp_receivers: HashMap<FlowId, TcpReceiver>,
     pub(crate) cbr_sources: HashMap<FlowId, CbrSource>,
     pub(crate) saturated_sources: HashMap<FlowId, SaturatedSource>,
+    /// Saturated-source flow ids in install order: the refill path walks
+    /// this instead of collecting `saturated_sources.keys()` per event,
+    /// which would both allocate and iterate in hash order.
+    pub(crate) saturated_flows: Vec<FlowId>,
     pub(crate) udp_sinks: HashMap<FlowId, UdpSink>,
 }
 
@@ -62,6 +66,7 @@ impl<S: TraceSink> Node<S> {
             tcp_receivers: HashMap::new(),
             cbr_sources: HashMap::new(),
             saturated_sources: HashMap::new(),
+            saturated_flows: Vec::new(),
             udp_sinks: HashMap::new(),
         }
     }

@@ -24,7 +24,7 @@
 use desim::SimDuration;
 use dot11_mac::MacConfig;
 use dot11_net::{FlowId, StaticRoutes};
-use dot11_phy::{DayProfile, NodeId, PathLoss, PhyRate, Position, RadioConfig};
+use dot11_phy::{DayProfile, NodeId, PathLossModel, PhyRate, Position, RadioConfig};
 use dot11_trace::TraceSink;
 
 use crate::calib::calibrated_path_loss;
@@ -79,7 +79,7 @@ pub struct Scenario {
     pub(crate) radio: RadioConfig,
     pub(crate) mac: MacConfig,
     pub(crate) day: DayProfile,
-    pub(crate) path_loss: Box<dyn PathLoss>,
+    pub(crate) path_loss: PathLossModel,
     pub(crate) flows: Vec<FlowSpec>,
     pub(crate) routes: StaticRoutes,
     pub(crate) seed: u64,
@@ -141,7 +141,7 @@ impl ScenarioBuilder {
                 radio: RadioConfig::dwl650(),
                 mac: MacConfig::new(data_rate),
                 day: DayProfile::clear(),
-                path_loss: Box::new(calibrated_path_loss()),
+                path_loss: calibrated_path_loss().into(),
                 flows: Vec::new(),
                 routes: StaticRoutes::new(),
                 seed: 1,
@@ -217,8 +217,8 @@ impl ScenarioBuilder {
     }
 
     /// Replaces the path-loss model (e.g. ns-2 style two-ray ground).
-    pub fn path_loss(mut self, model: Box<dyn PathLoss>) -> ScenarioBuilder {
-        self.scenario.path_loss = model;
+    pub fn path_loss(mut self, model: impl Into<PathLossModel>) -> ScenarioBuilder {
+        self.scenario.path_loss = model.into();
         self
     }
 

@@ -98,6 +98,32 @@ struct InFlight {
     remaining: usize,
 }
 
+/// A stack of recycled `Vec`s for the per-event action/output buffers.
+///
+/// The event handlers recurse (a delivered segment produces an ACK, which
+/// enqueues at the MAC, …), so one scratch buffer is not enough: each
+/// recursion depth checks a buffer out and returns it cleared when done.
+/// The pool grows to the maximum recursion depth within the first few
+/// events and allocates nothing after that.
+struct BufPool<T> {
+    free: Vec<Vec<T>>,
+}
+
+impl<T> BufPool<T> {
+    fn new() -> BufPool<T> {
+        BufPool { free: Vec::new() }
+    }
+
+    fn get(&mut self) -> Vec<T> {
+        self.free.pop().unwrap_or_default()
+    }
+
+    fn put(&mut self, mut buf: Vec<T>) {
+        buf.clear();
+        self.free.push(buf);
+    }
+}
+
 /// The assembled simulation (see module docs).
 ///
 /// Generic over a [`TraceSink`]; the default [`NullSink`] compiles every
@@ -119,6 +145,13 @@ pub struct World<S: TraceSink + Clone = NullSink> {
     routes: StaticRoutes,
     duration: SimDuration,
     warmup: SimDuration,
+    /// Recycled buffers for the hot-path handlers (see [`BufPool`]).
+    mac_action_pool: BufPool<MacAction<Packet>>,
+    tcp_out_pool: BufPool<TcpOutput>,
+    /// Reused scatter buffer for [`Medium::transmit_into`].
+    delivery_scratch: Vec<(NodeId, TxSignal)>,
+    /// Reused output buffer for saturated-source refills.
+    packet_scratch: Vec<Packet>,
 }
 
 impl World {
@@ -194,6 +227,10 @@ impl<S: TraceSink + Clone> World<S> {
             routes,
             duration,
             warmup,
+            mac_action_pool: BufPool::new(),
+            tcp_out_pool: BufPool::new(),
+            delivery_scratch: Vec::new(),
+            packet_scratch: Vec::new(),
         };
         world.install_endpoints();
         world
@@ -210,6 +247,7 @@ impl<S: TraceSink + Clone> World<S> {
                         f.id,
                         SaturatedSource::new(f.id, f.src, f.dst, payload_bytes, backlog),
                     );
+                    self.nodes[f.src.index()].saturated_flows.push(f.id);
                     self.nodes[f.dst.index()]
                         .udp_sinks
                         .insert(f.id, UdpSink::default());
@@ -245,6 +283,21 @@ impl<S: TraceSink + Clone> World<S> {
     pub fn run(mut self) -> RunReport {
         let wall_start = std::time::Instant::now();
         let end = SimTime::ZERO + self.duration;
+        self.step_until(end);
+        if S::ENABLED {
+            // Close at the configured end so the final metrics window
+            // spans to the run boundary, not the last event.
+            self.sink.finish(end);
+        }
+        self.report(wall_start.elapsed())
+    }
+
+    /// Dispatches events until the next one would land after `end`.
+    ///
+    /// [`World::run`] drives the whole scenario through this; it is public
+    /// so instrumentation (e.g. the allocation-profiling tests) can advance
+    /// a world in segments and observe it between them.
+    pub fn step_until(&mut self, end: SimTime) {
         while let Some(t) = self.sim.peek_time() {
             if t > end {
                 break;
@@ -252,12 +305,6 @@ impl<S: TraceSink + Clone> World<S> {
             let (now, ev) = self.sim.pop().expect("peeked event");
             self.handle(now, ev);
         }
-        if S::ENABLED {
-            // Close at the configured end so the final metrics window
-            // spans to the run boundary, not the last event.
-            self.sink.finish(end);
-        }
-        self.report(wall_start.elapsed())
     }
 
     fn handle(&mut self, now: SimTime, ev: Event) {
@@ -271,7 +318,7 @@ impl<S: TraceSink + Clone> World<S> {
             Event::TxAirEnd { node, tx_id } => self.on_tx_air_end(node, tx_id, now),
             Event::MacTimer { node, kind } => {
                 self.mac_timers.remove(&(node.0, kind));
-                let mut actions = Vec::new();
+                let mut actions = self.mac_action_pool.get();
                 self.nodes[node.index()]
                     .mac
                     .on_timer(kind, now, &mut actions);
@@ -279,7 +326,7 @@ impl<S: TraceSink + Clone> World<S> {
             }
             Event::RtoTimer { node, flow } => {
                 self.rto_timers.remove(&(node.0, flow.0));
-                let mut outs = Vec::new();
+                let mut outs = self.tcp_out_pool.get();
                 if let Some(s) = self.nodes[node.index()].tcp_senders.get_mut(&flow) {
                     s.on_rto(now, &mut outs);
                 }
@@ -287,7 +334,7 @@ impl<S: TraceSink + Clone> World<S> {
             }
             Event::DelackTimer { node, flow } => {
                 self.delack_timers.remove(&(node.0, flow.0));
-                let mut outs = Vec::new();
+                let mut outs = self.tcp_out_pool.get();
                 if let Some(r) = self.nodes[node.index()].tcp_receivers.get_mut(&flow) {
                     r.on_delack_timer(now, &mut outs);
                 }
@@ -315,7 +362,7 @@ impl<S: TraceSink + Clone> World<S> {
             Traffic::SaturatedUdp { .. } => self.refill_saturated(spec.src.index(), now),
             Traffic::CbrUdp { .. } => self.on_cbr_tick(spec.src, flow, now),
             Traffic::BulkTcp { .. } => {
-                let mut outs = Vec::new();
+                let mut outs = self.tcp_out_pool.get();
                 self.nodes[spec.src.index()]
                     .tcp_senders
                     .get_mut(&flow)
@@ -340,21 +387,23 @@ impl<S: TraceSink + Clone> World<S> {
     }
 
     fn refill_saturated(&mut self, idx: usize, now: SimTime) {
-        let flows: Vec<FlowId> = self.nodes[idx].saturated_sources.keys().copied().collect();
-        for flow in flows {
+        for fi in 0..self.nodes[idx].saturated_flows.len() {
+            let flow = self.nodes[idx].saturated_flows[fi];
             // One top-up per invocation: the source emits enough datagrams
             // to restore its backlog given the current queue depth. (A
             // loop would never terminate if the backlog exceeded the MAC
             // queue capacity — drops would be "re-filled" forever.)
             let queued = self.nodes[idx].mac.queue_len();
-            let packets = self.nodes[idx]
+            let mut packets = std::mem::take(&mut self.packet_scratch);
+            self.nodes[idx]
                 .saturated_sources
                 .get_mut(&flow)
                 .expect("source present")
-                .refill(queued, now);
-            for p in packets {
+                .refill(queued, now, &mut packets);
+            for p in packets.drain(..) {
                 self.enqueue_packet(idx, p, now);
             }
+            self.packet_scratch = packets;
         }
     }
 
@@ -374,7 +423,7 @@ impl<S: TraceSink + Clone> World<S> {
             tag,
             payload: packet,
         };
-        let mut actions = Vec::new();
+        let mut actions = self.mac_action_pool.get();
         self.nodes[idx].mac.enqueue(sdu, now, &mut actions);
         self.apply_mac_actions(idx, actions, now);
     }
@@ -408,7 +457,7 @@ impl<S: TraceSink + Clone> World<S> {
             }
             Segment::Tcp { seq, ack } => {
                 let flow = packet.flow;
-                let mut outs = Vec::new();
+                let mut outs = self.tcp_out_pool.get();
                 if packet.payload_bytes > 0 {
                     if let Some(r) = self.nodes[idx].tcp_receivers.get_mut(&flow) {
                         let before = r.delivered_bytes();
@@ -436,8 +485,14 @@ impl<S: TraceSink + Clone> World<S> {
         }
     }
 
-    fn apply_tcp_outputs(&mut self, idx: usize, flow: FlowId, outs: Vec<TcpOutput>, now: SimTime) {
-        for out in outs {
+    fn apply_tcp_outputs(
+        &mut self,
+        idx: usize,
+        flow: FlowId,
+        mut outs: Vec<TcpOutput>,
+        now: SimTime,
+    ) {
+        for out in outs.drain(..) {
             match out {
                 TcpOutput::Send(packet) => self.enqueue_packet(idx, packet, now),
                 TcpOutput::ArmRto(delay) => {
@@ -470,12 +525,13 @@ impl<S: TraceSink + Clone> World<S> {
                 }
             }
         }
+        self.tcp_out_pool.put(outs);
     }
 
     // --- MAC/PHY plumbing ----------------------------------------------------
 
-    fn apply_mac_actions(&mut self, idx: usize, actions: Vec<MacAction<Packet>>, now: SimTime) {
-        for action in actions {
+    fn apply_mac_actions(&mut self, idx: usize, mut actions: Vec<MacAction<Packet>>, now: SimTime) {
+        for action in actions.drain(..) {
             match action {
                 MacAction::Transmit { frame, rate } => {
                     self.start_transmission(idx, frame, rate, now)
@@ -497,6 +553,7 @@ impl<S: TraceSink + Clone> World<S> {
                 MacAction::TxStatus { .. } => self.refill_saturated(idx, now),
             }
         }
+        self.mac_action_pool.put(actions);
     }
 
     fn start_transmission(
@@ -508,13 +565,17 @@ impl<S: TraceSink + Clone> World<S> {
     ) {
         let source = self.nodes[idx].id;
         let radio = *self.nodes[idx].phy.config();
-        let (tx_id, airtime, deliveries) = self.medium.transmit(
+        // Scatter into the world's reused buffer (taken out so the medium
+        // and simulator can be borrowed alongside it).
+        let mut deliveries = std::mem::take(&mut self.delivery_scratch);
+        let (tx_id, airtime) = self.medium.transmit_into(
             source,
             radio.tx_power,
             rate,
             frame.mpdu_bytes,
             radio.preamble,
             now,
+            &mut deliveries,
         );
         let until = now + airtime.total();
         if S::ENABLED {
@@ -546,12 +607,14 @@ impl<S: TraceSink + Clone> World<S> {
                 tx_id,
             },
         );
-        for (rx, sig) in deliveries {
+        for (rx, sig) in deliveries.drain(..) {
+            let (starts_at, ends_at) = (sig.starts_at, sig.ends_at);
             self.sim
-                .schedule_at(sig.starts_at, Event::SignalStart { rx, sig });
+                .schedule_at(starts_at, Event::SignalStart { rx, sig });
             self.sim
-                .schedule_at(sig.ends_at, Event::SignalEnd { rx, tx_id });
+                .schedule_at(ends_at, Event::SignalEnd { rx, tx_id });
         }
+        self.delivery_scratch = deliveries;
         if self.in_flight[&tx_id].remaining == 0 {
             self.in_flight.remove(&tx_id);
         }
@@ -560,7 +623,7 @@ impl<S: TraceSink + Clone> World<S> {
     fn on_signal_end(&mut self, rx: NodeId, tx_id: TxId, now: SimTime) {
         let idx = rx.index();
         let outcome = self.nodes[idx].phy.signal_end(tx_id, now);
-        let mut actions = Vec::new();
+        let mut actions = self.mac_action_pool.get();
         if let Some(out) = outcome {
             match out.kind {
                 RxOutcomeKind::Decoded => {
@@ -615,7 +678,7 @@ impl<S: TraceSink + Clone> World<S> {
                 .record(now, &TraceRecord::FrameTxEnd { node: node.0 });
         }
         self.nodes[idx].phy.end_tx(now);
-        let mut actions = Vec::new();
+        let mut actions = self.mac_action_pool.get();
         self.nodes[idx].mac.on_tx_end(now, &mut actions);
         self.apply_mac_actions(idx, actions, now);
         self.sync_cs(idx, now);
@@ -626,7 +689,7 @@ impl<S: TraceSink + Clone> World<S> {
         let busy = self.nodes[idx].phy.carrier_busy();
         if busy != self.nodes[idx].cs_reported {
             self.nodes[idx].cs_reported = busy;
-            let mut actions = Vec::new();
+            let mut actions = self.mac_action_pool.get();
             if busy {
                 self.nodes[idx].mac.on_channel_busy(now, &mut actions);
             } else {

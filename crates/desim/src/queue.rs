@@ -4,44 +4,54 @@
 //!
 //! * **Deterministic tie-break.** Events scheduled for the same instant pop
 //!   in the order they were scheduled (FIFO), never in heap-internal order.
-//! * **O(log n) cancellation.** Timers (ACK timeouts, backoff expiry) are
-//!   cancelled far more often than they fire. Cancellation marks the entry
-//!   dead via its sequence number; dead entries are skipped lazily on pop.
+//! * **Cheap cancellation without tombstones.** Timers (ACK timeouts,
+//!   backoff expiry) are cancelled far more often than they fire. Each live
+//!   event owns a generation-stamped slot in a slab; cancelling vacates the
+//!   slot in O(1) — no per-event hashing, no tombstone set to grow. The
+//!   heap entry left behind carries the generation it was minted under and
+//!   is recognised as stale (and dropped) when it surfaces in `pop` or
+//!   `peek_time`.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
 /// A handle to a scheduled event, used to cancel it before it fires.
 ///
 /// Handles are cheap to copy and remain valid (but inert) after the event
-/// has fired or been cancelled.
+/// has fired or been cancelled: the slot generation recorded in the handle
+/// no longer matches the slab, so late cancels are rejected in O(1) —
+/// even when the slot has since been reused by a newer event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventHandle {
-    seq: u64,
+    slot: u32,
+    generation: u32,
 }
 
-struct Entry<E> {
+/// Heap entries carry only the scheduling key and a slot reference; the
+/// payload lives in the slab so cancellation can reclaim it immediately.
+struct HeapEntry {
     time: SimTime,
     seq: u64,
-    event: E,
+    slot: u32,
+    generation: u32,
 }
 
-impl<E> PartialEq for Entry<E> {
+impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl<E> Eq for Entry<E> {}
+impl Eq for HeapEntry {}
 
-impl<E> PartialOrd for Entry<E> {
+impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> Ord for Entry<E> {
+impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (time, seq) wins.
         other
@@ -49,6 +59,15 @@ impl<E> Ord for Entry<E> {
             .cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
     }
+}
+
+/// One slab slot. The generation counts how many times the slot has been
+/// vacated; a handle or heap entry minted under an older generation is
+/// stale. (A single slot would need 2^32 reuses while one stale heap entry
+/// stays buried for the counter to alias — beyond any simulated horizon.)
+struct Slot<E> {
+    generation: u32,
+    event: Option<E>,
 }
 
 /// A cancellable future-event set ordered by `(time, insertion order)`.
@@ -69,13 +88,15 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(ev, "same-instant, scheduled later");
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    /// Sequence numbers of entries still in the heap and not cancelled.
-    pending: HashSet<u64>,
-    /// Sequence numbers cancelled while still in the heap; their entries
-    /// are skipped (and the mark dropped) when they surface in `pop`.
-    cancelled: HashSet<u64>,
+    heap: BinaryHeap<HeapEntry>,
+    /// Event payloads, indexed by `HeapEntry::slot` / `EventHandle::slot`.
+    slots: Vec<Slot<E>>,
+    /// Vacated slot indices ready for reuse.
+    free: Vec<u32>,
+    /// FIFO tie-break for same-instant events.
     next_seq: u64,
+    /// Live (scheduled, not cancelled, not fired) event count.
+    live: usize,
     /// Largest live population ever reached (see [`EventQueue::high_water`]).
     high_water: usize,
 }
@@ -85,9 +106,10 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            pending: HashSet::new(),
-            cancelled: HashSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             next_seq: 0,
+            live: 0,
             high_water: 0,
         }
     }
@@ -96,33 +118,66 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, time: SimTime, event: E) -> EventHandle {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event });
-        self.pending.insert(seq);
-        self.high_water = self.high_water.max(self.pending.len());
-        EventHandle { seq }
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize].event = Some(event);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("event slab exceeds u32 slots");
+                self.slots.push(Slot {
+                    generation: 0,
+                    event: Some(event),
+                });
+                slot
+            }
+        };
+        let generation = self.slots[slot as usize].generation;
+        self.heap.push(HeapEntry {
+            time,
+            seq,
+            slot,
+            generation,
+        });
+        self.live += 1;
+        self.high_water = self.high_water.max(self.live);
+        EventHandle { slot, generation }
+    }
+
+    /// Vacates `slot`, returning its payload and retiring the generation
+    /// every outstanding handle/heap entry for it was minted under.
+    fn vacate(&mut self, slot: u32) -> E {
+        let s = &mut self.slots[slot as usize];
+        let event = s.event.take().expect("vacating an empty slot");
+        s.generation = s.generation.wrapping_add(1);
+        self.free.push(slot);
+        self.live -= 1;
+        event
     }
 
     /// Cancels a scheduled event.
     ///
     /// Returns `true` if the event was still pending, `false` if it had
-    /// already fired or been cancelled (in which case nothing changes).
+    /// already fired or been cancelled (in which case nothing changes —
+    /// repeated cancels of a dead handle are free and allocate nothing).
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        if self.pending.remove(&handle.seq) {
-            self.cancelled.insert(handle.seq);
-            true
-        } else {
-            false
+        match self.slots.get(handle.slot as usize) {
+            Some(s) if s.generation == handle.generation && s.event.is_some() => {
+                self.vacate(handle.slot);
+                true
+            }
+            _ => false,
         }
     }
 
     /// Removes and returns the earliest live event with its time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue; // skip dead entry
+            if self.slots[entry.slot as usize].generation != entry.generation {
+                continue; // cancelled: the slot moved on without it
             }
-            self.pending.remove(&entry.seq);
-            return Some((entry.time, entry.event));
+            let event = self.vacate(entry.slot);
+            return Some((entry.time, event));
         }
         None
     }
@@ -130,25 +185,22 @@ impl<E> EventQueue<E> {
     /// The time of the earliest live event, if any, without removing it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-            } else {
+            if self.slots[entry.slot as usize].generation == entry.generation {
                 return Some(entry.time);
             }
+            self.heap.pop(); // drop the stale entry eagerly
         }
         None
     }
 
     /// Number of live (non-cancelled) pending events.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.live
     }
 
     /// True if no live events are pending.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.live == 0
     }
 
     /// The largest number of live events ever pending at once — the
@@ -168,7 +220,8 @@ impl<E> Default for EventQueue<E> {
 impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
-            .field("live", &self.pending.len())
+            .field("live", &self.live)
+            .field("slots", &self.slots.len())
             .field("next_seq", &self.next_seq)
             .finish()
     }
@@ -233,13 +286,29 @@ mod tests {
         let mut q = EventQueue::<u32>::new();
         let h = q.push(t(1), 7);
         let mut other = EventQueue::<u32>::new();
-        // A handle minted by a different queue with a higher seq is inert.
+        // A handle minted by a different queue for a slot this queue has
+        // never allocated is inert.
         for _ in 0..3 {
             other.push(t(1), 0);
         }
         let foreign = other.push(t(1), 0);
         assert!(!q.cancel(foreign));
         assert!(q.cancel(h));
+    }
+
+    #[test]
+    fn stale_handle_to_reused_slot_is_inert() {
+        let mut q = EventQueue::new();
+        let h1 = q.push(t(10), 1);
+        assert!(q.cancel(h1));
+        // The push reuses h1's slot under a newer generation.
+        let h2 = q.push(t(20), 2);
+        assert!(
+            !q.cancel(h1),
+            "stale generation must not cancel the slot's new occupant"
+        );
+        assert_eq!(q.pop(), Some((t(20), 2)));
+        assert!(!q.cancel(h2));
     }
 
     #[test]
@@ -252,5 +321,33 @@ mod tests {
         q.push(time + SimDuration::from_micros(1), "c");
         assert_eq!(q.pop().map(|(_, e)| e), Some("c"));
         assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+    }
+
+    #[test]
+    fn mass_cancel_of_fired_handles_leaves_no_tombstones() {
+        // Regression: a timer-heavy MAC retires millions of handles whose
+        // events have already fired. Every such cancel must be a no-op
+        // that stores nothing — the queue's footprint stays at the slab
+        // high-water mark, not the cancel count.
+        let mut q = EventQueue::new();
+        let mut fired = Vec::new();
+        for i in 0..4u64 {
+            fired.push(q.push(t(i), i));
+        }
+        while q.pop().is_some() {}
+        for _ in 0..250_000 {
+            for &h in &fired {
+                assert!(!q.cancel(h), "fired handle must stay inert");
+            }
+        }
+        // One million dead cancels later: no tombstones anywhere.
+        assert!(q.heap.is_empty());
+        assert_eq!(q.free.len(), q.slots.len());
+        assert!(q.slots.len() <= 4, "slab never grew past the live peak");
+        // And the queue still schedules and cancels normally.
+        let h = q.push(t(100), 42);
+        assert_eq!(q.len(), 1);
+        assert!(q.cancel(h));
+        assert!(q.is_empty());
     }
 }

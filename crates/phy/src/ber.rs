@@ -67,6 +67,15 @@ fn q(x: f64) -> f64 {
     0.5 * erfc(x / std::f64::consts::SQRT_2)
 }
 
+/// CCK 5.5 coding gain over uncoded DQPSK: +0.5 dB as a linear factor,
+/// i.e. `10^(0.5/10)`. Hoisted to a literal so the BER hot loop does not
+/// re-evaluate `powf` per integration segment; a test pins the bits.
+const CCK5_5_CODING_GAIN: f64 = 1.122_018_454_301_963_3;
+
+/// CCK 11 per-bit penalty against DQPSK: −5 dB as a linear factor,
+/// i.e. `10^(-5/10)`. See [`CCK5_5_CODING_GAIN`] for why it is a literal.
+const CCK11_CODING_GAIN: f64 = 0.316_227_766_016_837_94;
+
 /// Bit error probability for `modulation` at linear SINR `sinr`
 /// (signal power over noise-plus-interference power, both in the chip
 /// bandwidth).
@@ -96,11 +105,11 @@ pub fn ber(modulation: Modulation, sinr: f64) -> f64 {
         // gain buys ~0.5 dB over uncoded DQPSK at equal Eb/N0 (the
         // effective required-SINR then lands where the paper's ~70 m
         // 5.5 Mb/s range implies, given the rate-4/11 processing gain).
-        Modulation::Cck5_5 => q((2.0 * ebn0 * 10f64.powf(0.5 / 10.0)).sqrt()),
+        Modulation::Cck5_5 => q((2.0 * ebn0 * CCK5_5_CODING_GAIN).sqrt()),
         // CCK 11: 8 bits per symbol and no spreading margin left; ~5 dB
         // penalty against DQPSK per bit, putting the decode threshold at
         // ~14.6 dB SINR.
-        Modulation::Cck11 => q((2.0 * ebn0 * 10f64.powf(-5.0 / 10.0)).sqrt()),
+        Modulation::Cck11 => q((2.0 * ebn0 * CCK11_CODING_GAIN).sqrt()),
     };
     pb.clamp(0.0, 0.5)
 }
@@ -202,5 +211,21 @@ mod tests {
         // surely.
         let b = ber(Modulation::Cck11, 100.0);
         assert!(packet_success_prob(b, 8192 + 272) > 0.9999);
+    }
+
+    #[test]
+    fn cck_coding_gain_literals_match_powf_bitwise() {
+        // The hoisted constants must be the exact f64s `powf` produces,
+        // or every CCK BER (and hence every golden report) would shift.
+        assert_eq!(
+            CCK5_5_CODING_GAIN.to_bits(),
+            10f64.powf(0.5 / 10.0).to_bits(),
+            "CCK 5.5 coding-gain literal drifted from 10^(0.5/10)"
+        );
+        assert_eq!(
+            CCK11_CODING_GAIN.to_bits(),
+            10f64.powf(-5.0 / 10.0).to_bits(),
+            "CCK 11 coding-gain literal drifted from 10^(-5/10)"
+        );
     }
 }

@@ -47,7 +47,7 @@ pub mod units;
 
 pub use ber::{ber, packet_success_prob, Modulation};
 pub use medium::{Medium, MediumConfig, TxId, TxSignal};
-pub use pathloss::{FreeSpace, LogDistance, PathLoss, TwoRayGround};
+pub use pathloss::{FreeSpace, LogDistance, PathLoss, PathLossModel, TwoRayGround};
 pub use plcp::{FrameAirtime, Preamble};
 pub use radio::RadioConfig;
 pub use rate::PhyRate;

@@ -9,20 +9,22 @@
 
 use desim::{SimDuration, SimTime};
 
-use crate::pathloss::PathLoss;
+use crate::pathloss::{PathLoss, PathLossModel};
 use crate::plcp::{FrameAirtime, Preamble};
 use crate::rate::PhyRate;
 use crate::shadowing::{DayProfile, Shadowing};
-use crate::units::{Dbm, Meters, NodeId, Position};
+use crate::units::{Db, Dbm, Meters, NodeId, Position};
 
 /// Identifier of one transmission on the medium (unique within a run).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TxId(pub u64);
 
 /// Static configuration of the medium.
+#[derive(Clone)]
 pub struct MediumConfig {
-    /// Deterministic path-loss model.
-    pub path_loss: Box<dyn PathLoss>,
+    /// Deterministic path-loss model (devirtualized — see
+    /// [`PathLossModel`]).
+    pub path_loss: PathLossModel,
     /// Day/weather profile driving the shadowing process.
     pub day: DayProfile,
     /// Propagation delay applied uniformly (the paper's Table 1 lists
@@ -62,23 +64,49 @@ pub struct TxSignal {
 }
 
 /// The shared medium for one simulation run.
+///
+/// Positions are static for a run, so the deterministic part of every
+/// directed link — distance and path loss — is precomputed at
+/// construction into a flat n×n matrix. The per-frame cost of
+/// [`Medium::transmit_into`] is then one cache-line read plus the
+/// time-varying shadowing sample per receiver; no `log10`, no virtual
+/// dispatch, no allocation.
 #[derive(Debug)]
 pub struct Medium {
     positions: Vec<Position>,
     shadowing: Shadowing,
     config: MediumConfig,
+    /// Row-major `[tx][rx]` cache of `(distance, path_loss)` per directed
+    /// pair — exactly the values `path_loss.path_loss(distance(tx, rx))`
+    /// would produce, so cached and recomputed powers are bit-identical.
+    links: Vec<(Meters, Db)>,
     next_tx: u64,
 }
 
 impl Medium {
     /// Creates a medium over the given station positions.
     pub fn new(positions: Vec<Position>, shadowing: Shadowing, config: MediumConfig) -> Medium {
+        let n = positions.len();
+        let mut links = Vec::with_capacity(n * n);
+        for tx in 0..n {
+            for rx in 0..n {
+                let d = positions[tx].distance_to(positions[rx]);
+                links.push((d, config.path_loss.path_loss(d)));
+            }
+        }
         Medium {
             positions,
             shadowing,
             config,
+            links,
             next_tx: 0,
         }
+    }
+
+    /// The cached (distance, path loss) of the directed link `tx → rx`.
+    #[inline]
+    fn link(&self, tx: NodeId, rx: NodeId) -> (Meters, Db) {
+        self.links[tx.index() * self.positions.len() + rx.index()]
     }
 
     /// Number of stations on the field.
@@ -106,19 +134,21 @@ impl Medium {
     }
 
     /// Samples the received power on the directed link `tx → rx` at `now`
-    /// given the transmitter's TX power: path loss plus the current
-    /// shadowing state of that link.
+    /// given the transmitter's TX power: (cached) path loss plus the
+    /// current shadowing state of that link.
     pub fn rx_power(&mut self, tx: NodeId, rx: NodeId, tx_power: Dbm, now: SimTime) -> Dbm {
-        let d = self.distance(tx, rx);
-        let pl = self.config.path_loss.path_loss(d);
+        let (d, pl) = self.link(tx, rx);
         let excess = self.shadowing.sample(tx, rx, d, now);
         tx_power - pl - excess
     }
 
-    /// Launches a transmission at `now` from `source` and returns the
-    /// signal as it will appear at every *other* station, powers sampled
-    /// at launch (block-fading per frame).
-    pub fn transmit(
+    /// Launches a transmission at `now` from `source`, appending the
+    /// signal as it will appear at every *other* station (in station
+    /// order) to `deliveries`, powers sampled at launch (block-fading per
+    /// frame). The buffer is cleared first, so callers reuse one scratch
+    /// `Vec` across frames and the steady-state path never allocates.
+    #[allow(clippy::too_many_arguments)] // the per-frame signature is flat on purpose
+    pub fn transmit_into(
         &mut self,
         source: NodeId,
         tx_power: Dbm,
@@ -126,13 +156,15 @@ impl Medium {
         mpdu_bytes: u32,
         preamble: Preamble,
         now: SimTime,
-    ) -> (TxId, FrameAirtime, Vec<(NodeId, TxSignal)>) {
+        deliveries: &mut Vec<(NodeId, TxSignal)>,
+    ) -> (TxId, FrameAirtime) {
         let tx_id = TxId(self.next_tx);
         self.next_tx += 1;
         let airtime = FrameAirtime::new(mpdu_bytes, rate, preamble);
         let starts_at = now + self.config.propagation_delay;
         let ends_at = starts_at + airtime.total();
-        let mut deliveries = Vec::with_capacity(self.positions.len().saturating_sub(1));
+        deliveries.clear();
+        deliveries.reserve(self.positions.len().saturating_sub(1));
         for idx in 0..self.positions.len() {
             let rx = NodeId(idx as u32);
             if rx == source {
@@ -153,6 +185,30 @@ impl Medium {
                 },
             ));
         }
+        (tx_id, airtime)
+    }
+
+    /// Allocating convenience form of [`Medium::transmit_into`] for tests
+    /// and one-shot callers; the event loop uses the scratch-buffer form.
+    pub fn transmit(
+        &mut self,
+        source: NodeId,
+        tx_power: Dbm,
+        rate: PhyRate,
+        mpdu_bytes: u32,
+        preamble: Preamble,
+        now: SimTime,
+    ) -> (TxId, FrameAirtime, Vec<(NodeId, TxSignal)>) {
+        let mut deliveries = Vec::new();
+        let (tx_id, airtime) = self.transmit_into(
+            source,
+            tx_power,
+            rate,
+            mpdu_bytes,
+            preamble,
+            now,
+            &mut deliveries,
+        );
         (tx_id, airtime, deliveries)
     }
 }
@@ -173,7 +229,7 @@ mod tests {
             positions,
             Shadowing::new(day.clone(), SimRng::from_seed(5)),
             MediumConfig {
-                path_loss: Box::new(LogDistance::anchored_at_free_space_1m(3.0)),
+                path_loss: LogDistance::anchored_at_free_space_1m(3.0).into(),
                 day,
                 propagation_delay: SimDuration::from_micros(1),
             },
@@ -233,6 +289,76 @@ mod tests {
         // Consecutive transmissions get distinct ids.
         let (tx_id2, ..) = m.transmit(NodeId(0), Dbm(15.0), PhyRate::R1, 20, Preamble::Long, now);
         assert_ne!(tx_id, tx_id2);
+    }
+
+    /// The link matrix is an optimization, not a behaviour change: the
+    /// cached (distance, loss) must be bit-identical to recomputing from
+    /// positions, and a scratch-buffer transmit must equal the allocating
+    /// form — including the shadowing draws, which depend only on call
+    /// order.
+    #[test]
+    fn link_cache_matches_naive_recomputation_bitwise() {
+        let positions = vec![
+            Position::on_line(0.0),
+            Position::on_line(25.0),
+            Position { x: 40.0, y: 30.0 },
+            Position::on_line(200.0),
+        ];
+        let model = LogDistance::anchored_at_free_space_1m(3.0);
+        for tx in 0..positions.len() {
+            for rx in 0..positions.len() {
+                let m = medium(positions.clone(), false);
+                let (d, pl) = m.link(NodeId(tx as u32), NodeId(rx as u32));
+                let naive_d = positions[tx].distance_to(positions[rx]);
+                assert_eq!(d.0.to_bits(), naive_d.0.to_bits(), "{tx}->{rx} distance");
+                assert_eq!(
+                    pl.0.to_bits(),
+                    model.path_loss(naive_d).0.to_bits(),
+                    "{tx}->{rx} loss"
+                );
+            }
+        }
+        // Two identically seeded media: transmit vs transmit_into agree
+        // bit-for-bit, scratch garbage notwithstanding.
+        let mut a = medium(positions.clone(), false);
+        let mut b = medium(positions, false);
+        let mut scratch = vec![(
+            NodeId(9),
+            TxSignal {
+                tx_id: TxId(999),
+                source: NodeId(9),
+                rx_power: Dbm(0.0),
+                rate: PhyRate::R1,
+                mpdu_bytes: 1,
+                preamble: Preamble::Short,
+                starts_at: SimTime::ZERO,
+                ends_at: SimTime::ZERO,
+            },
+        )];
+        for frame in 0..8u64 {
+            let now = SimTime::from_micros(frame * 300);
+            let src = NodeId((frame % 4) as u32);
+            let (id_a, air_a, dels_a) =
+                a.transmit(src, Dbm(15.0), PhyRate::R11, 534, Preamble::Long, now);
+            let (id_b, air_b) = b.transmit_into(
+                src,
+                Dbm(15.0),
+                PhyRate::R11,
+                534,
+                Preamble::Long,
+                now,
+                &mut scratch,
+            );
+            assert_eq!(id_a, id_b);
+            assert_eq!(air_a.total(), air_b.total());
+            assert_eq!(dels_a.len(), scratch.len());
+            for ((rx_a, sig_a), (rx_b, sig_b)) in dels_a.iter().zip(&scratch) {
+                assert_eq!(rx_a, rx_b);
+                assert_eq!(sig_a.rx_power.0.to_bits(), sig_b.rx_power.0.to_bits());
+                assert_eq!(sig_a.starts_at, sig_b.starts_at);
+                assert_eq!(sig_a.ends_at, sig_b.ends_at);
+            }
+        }
     }
 
     #[test]

@@ -168,6 +168,63 @@ impl PathLoss for TwoRayGround {
     }
 }
 
+/// The concrete path-loss models as one `Copy` enum — the devirtualized
+/// form the hot path uses.
+///
+/// `Medium` evaluates path loss once per directed link per frame (and,
+/// after PR 3, once per link per *run*); dispatching through
+/// `Box<dyn PathLoss>` costs an indirect call and makes the containing
+/// config neither `Copy` nor `Send`-friendly. Every model the testbed
+/// ships is a small POD struct, so the enum form is both faster and
+/// freely cloneable. The [`PathLoss`] trait remains for extension and for
+/// the range solvers' generic code; `PathLossModel` implements it.
+///
+/// # Example
+///
+/// ```
+/// use dot11_phy::{LogDistance, Meters, PathLoss, PathLossModel};
+/// let model = PathLossModel::from(LogDistance::anchored_at_free_space_1m(3.0));
+/// let boxed: Box<dyn PathLoss> = Box::new(LogDistance::anchored_at_free_space_1m(3.0));
+/// assert_eq!(model.path_loss(Meters(25.0)), boxed.path_loss(Meters(25.0)));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub enum PathLossModel {
+    /// Free-space (Friis) loss.
+    FreeSpace(FreeSpace),
+    /// Log-distance loss (the calibrated outdoor model).
+    LogDistance(LogDistance),
+    /// Two-ray ground reflection (the ns-2 comparison baseline).
+    TwoRayGround(TwoRayGround),
+}
+
+impl PathLoss for PathLossModel {
+    fn path_loss(&self, distance: Meters) -> Db {
+        match self {
+            PathLossModel::FreeSpace(m) => m.path_loss(distance),
+            PathLossModel::LogDistance(m) => m.path_loss(distance),
+            PathLossModel::TwoRayGround(m) => m.path_loss(distance),
+        }
+    }
+}
+
+impl From<FreeSpace> for PathLossModel {
+    fn from(m: FreeSpace) -> PathLossModel {
+        PathLossModel::FreeSpace(m)
+    }
+}
+
+impl From<LogDistance> for PathLossModel {
+    fn from(m: LogDistance) -> PathLossModel {
+        PathLossModel::LogDistance(m)
+    }
+}
+
+impl From<TwoRayGround> for PathLossModel {
+    fn from(m: TwoRayGround) -> PathLossModel {
+        PathLossModel::TwoRayGround(m)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,5 +305,33 @@ mod tests {
         let fs = FreeSpace::at_2_4_ghz();
         assert_eq!(fs.path_loss(Meters(0.0)), fs.path_loss(Meters(1.0)));
         assert_eq!(fs.path_loss(Meters(0.5)), fs.path_loss(Meters(1.0)));
+    }
+
+    #[test]
+    fn enum_dispatch_matches_direct_calls_bitwise() {
+        let cases: [(PathLossModel, &dyn PathLoss); 3] = [
+            (FreeSpace::at_2_4_ghz().into(), &FreeSpace::at_2_4_ghz()),
+            (
+                LogDistance::anchored_at_free_space_1m(2.42).into(),
+                &LogDistance::anchored_at_free_space_1m(2.42),
+            ),
+            (
+                TwoRayGround::ns2_default().into(),
+                &TwoRayGround::ns2_default(),
+            ),
+        ];
+        for (model, direct) in cases {
+            for d in [0.3, 1.0, 25.0, 151.0, 4000.0] {
+                assert_eq!(
+                    model.path_loss(Meters(d)).0.to_bits(),
+                    direct.path_loss(Meters(d)).0.to_bits(),
+                    "{model:?} at {d} m"
+                );
+            }
+            assert_eq!(
+                model.distance_for_loss(Db(100.0)).map(|m| m.0.to_bits()),
+                direct.distance_for_loss(Db(100.0)).map(|m| m.0.to_bits()),
+            );
+        }
     }
 }

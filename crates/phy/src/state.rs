@@ -12,8 +12,6 @@
 //! decoded" — which the MAC answers with EIFS, a behaviour central to the
 //! paper's four-station asymmetries.
 
-use std::collections::HashMap;
-
 use desim::{SimRng, SimTime};
 use dot11_trace::{NullSink, TraceRecord, TraceSink};
 
@@ -54,11 +52,6 @@ pub struct RxOutcome {
     pub rx_power: Dbm,
     /// Body rate of the frame.
     pub rate: PhyRate,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Arrival {
-    power: MilliWatts,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -156,7 +149,16 @@ pub struct PhyState<S: TraceSink = NullSink> {
     node: NodeId,
     sink: S,
     mode: Mode,
-    arriving: HashMap<TxId, Arrival>,
+    /// Signals currently on the air, sorted by [`TxId`]. Overlap degree
+    /// is a handful at most, so a flat sorted `Vec` beats hashing — and
+    /// unlike a `HashMap` its iteration order is deterministic.
+    arriving: Vec<(TxId, MilliWatts)>,
+    /// Running Neumaier (compensated) sum of the arriving powers:
+    /// `arriving_sum` is the working sum, `arriving_comp` the accumulated
+    /// rounding residual. Updated O(1) on signal start/end, which turns
+    /// the O(k) re-sums in `carrier_busy` / `integrate` into adds.
+    arriving_sum: f64,
+    arriving_comp: f64,
     noise: MilliWatts,
     cs_threshold: MilliWatts,
     counters: PhyCounters,
@@ -184,7 +186,9 @@ impl<S: TraceSink> PhyState<S> {
             node,
             sink,
             mode: Mode::Idle,
-            arriving: HashMap::new(),
+            arriving: Vec::new(),
+            arriving_sum: 0.0,
+            arriving_comp: 0.0,
             counters: PhyCounters::default(),
             airtime: Airtime::default(),
             airtime_mark: SimTime::ZERO,
@@ -247,8 +251,22 @@ impl<S: TraceSink> PhyState<S> {
         }
     }
 
+    /// The summed on-air power: the compensated running total, O(1).
     fn total_arriving(&self) -> MilliWatts {
-        self.arriving.values().map(|a| a.power).sum()
+        MilliWatts(self.arriving_sum + self.arriving_comp)
+    }
+
+    /// Folds `x` (a signed power delta, mW) into the running Neumaier
+    /// sum: exact two-sum, residual into the compensation term.
+    #[inline]
+    fn add_arriving_power(&mut self, x: f64) {
+        let t = self.arriving_sum + x;
+        self.arriving_comp += if self.arriving_sum.abs() >= x.abs() {
+            (self.arriving_sum - t) + x
+        } else {
+            (x - t) + self.arriving_sum
+        };
+        self.arriving_sum = t;
     }
 
     /// A new signal reaches the antenna.
@@ -256,7 +274,16 @@ impl<S: TraceSink> PhyState<S> {
         self.account_airtime(now);
         self.integrate(now);
         let power = sig.rx_power.to_milliwatts();
-        self.arriving.insert(sig.tx_id, Arrival { power });
+        match self.arriving.binary_search_by_key(&sig.tx_id, |e| e.0) {
+            Err(i) => self.arriving.insert(i, (sig.tx_id, power)),
+            Ok(i) => {
+                // Re-announced TxId (cannot happen from `Medium`, but keep
+                // the old map's last-write-wins semantics).
+                let old = std::mem::replace(&mut self.arriving[i].1, power);
+                self.add_arriving_power(-old.0);
+            }
+        }
+        self.add_arriving_power(power.0);
         let detectable = sig.rx_power.0 >= self.cfg.cs_threshold.0;
         match self.mode {
             Mode::Idle if detectable => {
@@ -309,8 +336,20 @@ impl<S: TraceSink> PhyState<S> {
     pub fn signal_end(&mut self, tx_id: TxId, now: SimTime) -> Option<RxOutcome> {
         self.account_airtime(now);
         self.integrate(now);
-        let removed = self.arriving.remove(&tx_id);
-        debug_assert!(removed.is_some(), "signal_end for unknown {tx_id:?}");
+        match self.arriving.binary_search_by_key(&tx_id, |e| e.0) {
+            Ok(i) => {
+                let (_, power) = self.arriving.remove(i);
+                if self.arriving.is_empty() {
+                    // Quiet antenna: pin the accumulator to exactly zero
+                    // so residuals can never drift across quiet periods.
+                    self.arriving_sum = 0.0;
+                    self.arriving_comp = 0.0;
+                } else {
+                    self.add_arriving_power(-power.0);
+                }
+            }
+            Err(_) => debug_assert!(false, "signal_end for unknown {tx_id:?}"),
+        }
         match self.mode {
             Mode::Rx(lock) if lock.tx_id == tx_id => {
                 self.mode = Mode::Idle;
@@ -369,13 +408,25 @@ impl<S: TraceSink> PhyState<S> {
         if now <= lock.last_integrated {
             return;
         }
-        let interference: MilliWatts = self
-            .arriving
-            .iter()
-            .filter(|(id, _)| **id != lock.tx_id)
-            .map(|(_, a)| a.power)
-            .sum();
-        let sinr = lock.signal.0 / (interference.0 + self.noise.0);
+        // Interference = everything arriving minus the locked signal,
+        // taken from the running compensated accumulator in O(1) instead
+        // of re-summing the arrival set. The subtraction reuses the
+        // Neumaier step so a lone locked signal yields exactly 0.0 and
+        // residuals stay within one ulp of the naive re-sum.
+        let interference = if self.arriving.len() <= 1 {
+            0.0
+        } else {
+            let x = -lock.signal.0;
+            let t = self.arriving_sum + x;
+            let comp = self.arriving_comp
+                + if self.arriving_sum.abs() >= x.abs() {
+                    (self.arriving_sum - t) + x
+                } else {
+                    (x - t) + self.arriving_sum
+                };
+            (t + comp).max(0.0)
+        };
+        let sinr = lock.signal.0 / (interference + self.noise.0);
         let from = lock.last_integrated;
         let to = now.min(lock.ends_at);
         if to > from {
@@ -657,5 +708,51 @@ mod tests {
             p.signal_end(b.tx_id, b.ends_at).is_some(),
             "b locked after a ended"
         );
+    }
+
+    #[test]
+    fn incremental_arriving_sum_tracks_naive_resum() {
+        // Property: across randomized signal start/end interleavings the
+        // running compensated accumulator stays within a relative 1e-12
+        // of a fresh re-sum over the arrival set (each individually
+        // rounds at ~2^-52 per element), and pins to exactly 0.0
+        // whenever the antenna goes quiet.
+        let mut rng = SimRng::from_seed(0x801_2001);
+        for _case in 0..200 {
+            let mut p = phy();
+            let mut active: Vec<(u64, SimTime)> = Vec::new();
+            let mut next_id = 0u64;
+            let mut now_us = 0u64;
+            for _step in 0..60 {
+                now_us += 1 + rng.gen_range_u32(0, 50) as u64;
+                let start = active.is_empty() || rng.gen_bool(0.55);
+                if start {
+                    // Powers spanning ~70 dB of dynamic range so the
+                    // accumulator sees both absorption (tiny + huge) and
+                    // cancellation (removing the dominant term).
+                    let dbm = -110.0 + 70.0 * rng.gen_f64();
+                    let sig = signal(next_id, dbm, now_us, 546, PhyRate::R11);
+                    let _ = p.signal_start(&sig, sig.starts_at);
+                    active.push((next_id, sig.ends_at));
+                    next_id += 1;
+                } else {
+                    let i = rng.gen_range_u32(0, active.len() as u32) as usize;
+                    let (id, _) = active.swap_remove(i);
+                    let _ = p.signal_end(TxId(id), SimTime::from_micros(now_us));
+                }
+                let naive: f64 = p.arriving.iter().map(|(_, w)| w.0).sum();
+                let inc = p.total_arriving().0;
+                if p.arriving.is_empty() {
+                    assert_eq!(inc, 0.0, "quiet antenna must read exactly zero");
+                } else {
+                    assert!(
+                        (inc - naive).abs() <= naive * 1e-12,
+                        "incremental {inc:e} drifted from naive {naive:e} \
+                         with {} arrivals",
+                        p.arriving.len()
+                    );
+                }
+            }
+        }
     }
 }

@@ -46,7 +46,7 @@
 #![warn(missing_docs)]
 
 mod cache;
-mod json;
+pub mod json;
 mod report;
 mod runner;
 mod spec;

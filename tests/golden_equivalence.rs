@@ -1,0 +1,131 @@
+//! Hot-path refactor equivalence goldens.
+//!
+//! The PR-3 fast path (link-gain caching in `Medium`, incremental
+//! interference in `PhyState`, the slab event queue, allocation-free
+//! scatter) must be *behaviour-preserving*: same seed, same world,
+//! byte-identical reports. The files under `tests/golden/` were generated
+//! from the pre-refactor tree (commit `5e088cb`) with the ignored
+//! `regenerate_goldens` test below; the active test re-runs the same
+//! four-station cells on the current tree and compares byte-for-byte.
+//!
+//! If a deliberate behaviour change ever moves these bytes, regenerate
+//! with `cargo test --release --test golden_equivalence -- --ignored`
+//! and document the delta in EXPERIMENTS.md.
+
+use desim::SimDuration;
+use dot11_testbed::adhoc::analytic::AccessScheme;
+use dot11_testbed::adhoc::experiments::four_station::{
+    scenario, FourStationLayout, SessionTransport,
+};
+use dot11_testbed::adhoc::experiments::ExpConfig;
+use dot11_testbed::adhoc::RunReport;
+
+/// The seeds the issue pins: 100–110 inclusive.
+const SEEDS: std::ops::RangeInclusive<u64> = 100..=110;
+
+fn config(seed: u64) -> ExpConfig {
+    ExpConfig {
+        seed,
+        duration: SimDuration::from_secs(2),
+        warmup: SimDuration::from_millis(250),
+    }
+}
+
+/// Serializes the deterministic layer of a [`RunReport`] (everything but
+/// the wall clock) as JSON. Floats use Rust's shortest-round-trip
+/// `Display`, so equal bits produce equal bytes; node counters are pinned
+/// through their `Debug` form, which covers every MAC/PHY/ARF field.
+fn report_json(r: &RunReport) -> String {
+    let flows: Vec<String> = r
+        .flows
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"flow\":{},\"src\":{},\"dst\":{},\"offered_packets\":{},\
+                 \"delivered_bytes\":{},\"delivered_packets\":{},\
+                 \"measured_bytes\":{},\"throughput_kbps\":{},\"loss_rate\":{},\
+                 \"mean_delay_ms\":{},\"max_delay_ms\":{}}}",
+                f.flow.0,
+                f.src.0,
+                f.dst.0,
+                f.offered_packets,
+                f.delivered_bytes,
+                f.delivered_packets,
+                f.measured_bytes,
+                f.throughput_kbps,
+                f.loss_rate,
+                f.mean_delay_ms,
+                f.max_delay_ms
+            )
+        })
+        .collect();
+    let nodes: Vec<String> = r
+        .nodes
+        .iter()
+        .map(|n| format!("\"{}\"", format!("{n:?}").replace('"', "'")))
+        .collect();
+    format!(
+        "{{\"duration_ns\":{},\"warmup_ns\":{},\"events\":{},\
+         \"queue_high_water\":{},\"flows\":[{}],\"nodes\":[{}]}}\n",
+        r.duration.as_nanos(),
+        r.warmup.as_nanos(),
+        r.events,
+        r.engine.queue_high_water,
+        flows.join(","),
+        nodes.join(",")
+    )
+}
+
+/// All four cells (UDP/TCP × basic/RTS) of the Figure 7 asymmetric
+/// four-station scenario for one seed, concatenated.
+fn four_station_json(seed: u64) -> String {
+    let cfg = config(seed);
+    let mut out = String::new();
+    for transport in [SessionTransport::Udp, SessionTransport::Tcp] {
+        for scheme in [AccessScheme::Basic, AccessScheme::RtsCts] {
+            let report = scenario(
+                cfg,
+                dot11_testbed::phy::PhyRate::R11,
+                FourStationLayout::AsymmetricAt11,
+                transport,
+                scheme,
+            )
+            .run();
+            out.push_str(&report_json(&report));
+        }
+    }
+    out
+}
+
+fn golden_path(seed: u64) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("four_station_seed{seed}.json"))
+}
+
+/// The refactored pipeline reproduces the pre-refactor tree's
+/// four-station reports byte-for-byte for seeds 100–110.
+#[test]
+fn four_station_reports_match_seed_commit_goldens() {
+    for seed in SEEDS {
+        let expected = std::fs::read_to_string(golden_path(seed))
+            .unwrap_or_else(|e| panic!("golden for seed {seed} missing: {e}"));
+        let actual = four_station_json(seed);
+        assert_eq!(
+            actual, expected,
+            "seed {seed}: four-station RunReport JSON moved vs. the seed commit"
+        );
+    }
+}
+
+/// Regenerates the goldens. Run only when a behaviour change is
+/// deliberate: `cargo test --release --test golden_equivalence -- --ignored`.
+#[test]
+#[ignore = "writes tests/golden/*.json; run only to regenerate"]
+fn regenerate_goldens() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    std::fs::create_dir_all(&dir).expect("create tests/golden");
+    for seed in SEEDS {
+        std::fs::write(golden_path(seed), four_station_json(seed)).expect("write golden");
+    }
+}
