@@ -1,18 +1,21 @@
 //! The `engine_hotpath` group: the per-frame fast path and the tracked
 //! perf baseline.
 //!
-//! These are the numbers `BENCH_pr3.json` pins (see README "Perf
-//! trajectory"): the four-station run's ns/event and events/sec, the raw
-//! medium-scatter / PHY-interference / timer-cancel microcosts under it,
-//! and the cold/warm sweep wall time. Run with
+//! These are the numbers `BENCH_pr4.json` pins (see README "Perf
+//! trajectory"): the four-station run's ns/event, events/sec and
+//! end-to-end `sim_ns_per_wall_ns` speedup, the raw medium-scatter /
+//! PHY-interference / timer-cancel microcosts under it, and the
+//! cold/warm sweep wall time. Run with
 //!
 //! ```console
-//! cargo bench -p dot11-bench --bench hotpath -- --json BENCH_pr3.json
-//! cargo bench -p dot11-bench --bench hotpath -- --baseline BENCH_pr3.json
+//! cargo bench -p dot11-bench --bench hotpath -- --json BENCH_pr4.json
+//! cargo bench -p dot11-bench --bench hotpath -- --baseline BENCH_pr4.json
 //! ```
 //!
 //! The second form is the CI regression gate: it exits non-zero if any
-//! `ns_per_event` metric regressed more than the tolerance (default 25%).
+//! gated metric regressed more than the tolerance (default 25%) —
+//! `ns_per_event` guards per-event cost, `sim_ns_per_wall_ns` guards the
+//! end-to-end ratio so "fewer but slower events" can't slip through.
 
 use std::hint::black_box;
 
@@ -42,7 +45,10 @@ fn four_station_medium() -> Medium {
 }
 
 /// End-to-end: one saturated-UDP four-station cell (Figure 7's workload)
-/// at 1 s. The derived ns/event + events/sec are the headline numbers.
+/// at 1 s. The derived ns/event + events/sec pin per-event cost;
+/// `sim_ns_per_wall_ns` (simulated nanoseconds per wall nanosecond) pins
+/// the end-to-end speed so an event-count cut that makes each event
+/// slower still has to win overall.
 fn bench_four_station(h: &Harness) {
     let cfg = bench_config();
     h.bench_metrics(
@@ -63,6 +69,10 @@ fn bench_four_station(h: &Harness) {
                 ("events".into(), events),
                 ("ns_per_event".into(), median.as_nanos() as f64 / events),
                 ("events_per_sec".into(), events / median.as_secs_f64()),
+                (
+                    "sim_ns_per_wall_ns".into(),
+                    report.engine.sim_elapsed.as_nanos() as f64 / median.as_nanos() as f64,
+                ),
             ]
         },
     );

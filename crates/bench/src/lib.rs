@@ -16,8 +16,12 @@
 //! * `--json PATH` writes every result (plus derived metrics such as
 //!   ns/event) as machine-readable JSON — CI uploads these as artifacts;
 //! * `--baseline PATH` compares the run against a committed
-//!   `BENCH_*.json` and **exits non-zero** if any shared `ns_per_event`
-//!   metric regressed more than `--tolerance PCT` (default 25%).
+//!   `BENCH_*.json` and **exits non-zero** if any shared gated metric
+//!   regressed more than `--tolerance PCT` (default 25%). Two metrics
+//!   are gated: `ns_per_event` (per-event cost; regresses upward) and
+//!   `sim_ns_per_wall_ns` (end-to-end simulated-time-per-wall-time;
+//!   regresses downward — this one stays meaningful when an optimization
+//!   shrinks the event count itself, which makes ns/event misleading).
 //!
 //! Call [`Harness::finish`] at the end of each bench `main` to flush the
 //! JSON and apply the gate.
@@ -226,17 +230,19 @@ impl Harness {
     /// Flushes `--json` output and applies the `--baseline` regression
     /// gate. Call at the end of each bench `main`; exits the process with
     /// a non-zero status (after printing each offender) if any shared
-    /// `ns_per_event` metric regressed beyond the tolerance.
+    /// gated metric ([`GATED_METRICS`]) regressed beyond the tolerance.
     pub fn finish(&self) {
         if let Some(path) = &self.json {
-            std::fs::write(path, self.results_json())
+            let path = resolve_repo_path(path);
+            std::fs::write(&path, self.results_json())
                 .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
             eprintln!("wrote {}", path.display());
         }
         let Some(baseline) = &self.baseline else {
             return;
         };
-        let text = std::fs::read_to_string(baseline)
+        let baseline = resolve_repo_path(baseline);
+        let text = std::fs::read_to_string(&baseline)
             .unwrap_or_else(|e| panic!("read baseline {}: {e}", baseline.display()));
         let regressions = check_against_baseline(&self.records(), &text, self.tolerance_pct);
         if !regressions.is_empty() {
@@ -246,18 +252,45 @@ impl Harness {
             std::process::exit(1);
         }
         println!(
-            "perf gate: no ns_per_event regression > {}% vs {}",
+            "perf gate: no ns_per_event / sim_ns_per_wall_ns regression > {}% vs {}",
             self.tolerance_pct,
             baseline.display()
         );
     }
 }
 
+/// Resolves a CLI-supplied path: absolute paths, and relative paths that
+/// already exist from the current directory, are used as-is; anything
+/// else is anchored at the workspace root. Cargo runs bench binaries
+/// with the *package* directory as cwd, but the committed `BENCH_*.json`
+/// files live at the repo root where CI invokes cargo — without the
+/// re-anchoring, `--baseline BENCH_pr4.json` would silently look in
+/// `crates/bench/` instead.
+fn resolve_repo_path(path: &std::path::Path) -> PathBuf {
+    if path.is_absolute() || path.exists() {
+        return path.to_path_buf();
+    }
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .find(|dir| dir.join("Cargo.lock").exists())
+        .map(|root| root.join(path))
+        .unwrap_or_else(|| path.to_path_buf())
+}
+
+/// The metrics the baseline gate watches, with their regression
+/// direction. `ns_per_event` regresses *upward*; `sim_ns_per_wall_ns`
+/// (simulated nanoseconds covered per wall nanosecond — the end-to-end
+/// speed, which stays honest when a change shrinks the event count
+/// itself) regresses *downward*.
+pub const GATED_METRICS: [(&str, bool); 2] =
+    [("ns_per_event", true), ("sim_ns_per_wall_ns", false)];
+
 /// Compares run records against a committed `BENCH_*.json`: for every
-/// benchmark present in both with an `ns_per_event` metric, reports a
-/// regression when the current value exceeds the baseline by more than
-/// `tolerance_pct` percent. Unknown benches on either side are ignored,
-/// so adding or retiring benchmarks never trips the gate.
+/// benchmark present in both with a gated metric (see [`GATED_METRICS`]),
+/// reports a regression when the current value is worse than the
+/// baseline by more than `tolerance_pct` percent in that metric's bad
+/// direction. Unknown benches on either side are ignored, so adding or
+/// retiring benchmarks never trips the gate.
 pub fn check_against_baseline(
     records: &[BenchRecord],
     baseline_json: &str,
@@ -288,21 +321,36 @@ pub fn check_against_baseline(
         ) else {
             continue;
         };
-        let Some(base) = json::get_f64(metrics, "ns_per_event") else {
-            continue;
-        };
         let Some(record) = records.iter().find(|r| r.name == name) else {
             continue;
         };
-        let Some(&(_, cur)) = record.metrics.iter().find(|(k, _)| k == "ns_per_event") else {
-            continue;
-        };
-        if base > 0.0 && cur > base * (1.0 + tolerance_pct / 100.0) {
-            regressions.push(format!(
-                "{name}: ns_per_event {cur:.1} vs baseline {base:.1} \
-                 (+{:.0}%, tolerance {tolerance_pct}%)",
-                (cur / base - 1.0) * 100.0
-            ));
+        for (metric, higher_is_worse) in GATED_METRICS {
+            let Some(base) = json::get_f64(metrics, metric) else {
+                continue;
+            };
+            let Some(&(_, cur)) = record.metrics.iter().find(|(k, _)| k == metric) else {
+                continue;
+            };
+            if base <= 0.0 {
+                continue;
+            }
+            let regressed = if higher_is_worse {
+                cur > base * (1.0 + tolerance_pct / 100.0)
+            } else {
+                cur < base * (1.0 - tolerance_pct / 100.0)
+            };
+            if regressed {
+                let pct = if higher_is_worse {
+                    (cur / base - 1.0) * 100.0
+                } else {
+                    (1.0 - cur / base) * 100.0
+                };
+                regressions.push(format!(
+                    "{name}: {metric} {cur:.1} vs baseline {base:.1} \
+                     ({}{pct:.0}%, tolerance {tolerance_pct}%)",
+                    if higher_is_worse { "+" } else { "-" },
+                ));
+            }
         }
     }
     regressions
@@ -388,6 +436,42 @@ mod tests {
         assert!(check_against_baseline(&[record("new", 9e9)], baseline, 25.0).is_empty());
         // A garbage baseline reports instead of passing silently.
         assert!(!check_against_baseline(&[record("a", 1.0)], "nope", 25.0).is_empty());
+    }
+
+    fn speed_record(name: &str, sim_ns_per_wall_ns: f64) -> BenchRecord {
+        BenchRecord {
+            name: name.into(),
+            median_ns: 1_000,
+            min_ns: 900,
+            iters: 10,
+            metrics: vec![("sim_ns_per_wall_ns".into(), sim_ns_per_wall_ns)],
+        }
+    }
+
+    #[test]
+    fn baseline_gate_inverts_for_throughput_metrics() {
+        let baseline = "{\"version\":\"dot11-bench/v1\",\"benches\":[\
+             {\"name\":\"a\",\"median_ns\":1,\"min_ns\":1,\"iters\":1,\
+              \"metrics\":{\"sim_ns_per_wall_ns\":400.0}}]}";
+        // sim/wall is higher-is-better: dropping within tolerance passes…
+        assert!(check_against_baseline(&[speed_record("a", 320.0)], baseline, 25.0).is_empty());
+        // …dropping beyond it is a regression…
+        let regressions = check_against_baseline(&[speed_record("a", 250.0)], baseline, 25.0);
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].contains("sim_ns_per_wall_ns 250.0 vs baseline 400.0"));
+        // …and going faster never trips it.
+        assert!(check_against_baseline(&[speed_record("a", 4000.0)], baseline, 25.0).is_empty());
+    }
+
+    #[test]
+    fn baseline_gate_checks_both_metrics_of_one_bench() {
+        let baseline = "{\"version\":\"dot11-bench/v1\",\"benches\":[\
+             {\"name\":\"a\",\"median_ns\":1,\"min_ns\":1,\"iters\":1,\
+              \"metrics\":{\"ns_per_event\":100.0,\"sim_ns_per_wall_ns\":400.0}}]}";
+        let mut both = record("a", 200.0);
+        both.metrics.push(("sim_ns_per_wall_ns".into(), 100.0));
+        let regressions = check_against_baseline(&[both], baseline, 25.0);
+        assert_eq!(regressions.len(), 2, "{regressions:?}");
     }
 
     #[test]

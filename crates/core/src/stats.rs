@@ -53,12 +53,88 @@ pub struct NodeReport {
     pub airtime: Airtime,
 }
 
+/// How many events of each kind the simulator dispatched during a run.
+///
+/// One counter per [`Event`](crate::world::Event) variant, with MAC timers
+/// broken out per [`TimerKind`](dot11_mac::TimerKind) — the per-kind view
+/// is what makes an event-count regression diagnosable (e.g. a change that
+/// silently reintroduces per-slot backoff events shows up as a
+/// `mac_backoff_slot` explosion while everything else holds still).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventKindCounts {
+    /// Traffic-source starts.
+    pub flow_start: u64,
+    /// Signal batches arriving at the receivers (one per transmission).
+    pub signal_start: u64,
+    /// Signal batches leaving the receivers (one per transmission).
+    pub signal_end: u64,
+    /// Transmitter finished keying a frame out.
+    pub tx_air_end: u64,
+    /// DIFS/EIFS deferral expiries.
+    pub mac_difs: u64,
+    /// Coalesced bulk-backoff expiries (all but the final slot).
+    pub mac_backoff_bulk: u64,
+    /// Final backoff-slot expiries.
+    pub mac_backoff_slot: u64,
+    /// CTS timeouts.
+    pub mac_cts_timeout: u64,
+    /// ACK timeouts.
+    pub mac_ack_timeout: u64,
+    /// SIFS-before-response expiries.
+    pub mac_sifs_response: u64,
+    /// SIFS-before-data expiries.
+    pub mac_sifs_data: u64,
+    /// NAV reservation expiries.
+    pub mac_nav_end: u64,
+    /// TCP retransmission timer expiries.
+    pub rto_timer: u64,
+    /// TCP delayed-ACK timer expiries.
+    pub delack_timer: u64,
+    /// Paced CBR source emissions.
+    pub cbr_tick: u64,
+    /// Warm-up boundary snapshots (one per run).
+    pub measure_start: u64,
+}
+
+impl EventKindCounts {
+    /// Every counter with its stable snake_case name, in declaration
+    /// order — the single source of truth for JSON emission and tests.
+    pub fn iter_named(&self) -> [(&'static str, u64); 16] {
+        [
+            ("flow_start", self.flow_start),
+            ("signal_start", self.signal_start),
+            ("signal_end", self.signal_end),
+            ("tx_air_end", self.tx_air_end),
+            ("mac_difs", self.mac_difs),
+            ("mac_backoff_bulk", self.mac_backoff_bulk),
+            ("mac_backoff_slot", self.mac_backoff_slot),
+            ("mac_cts_timeout", self.mac_cts_timeout),
+            ("mac_ack_timeout", self.mac_ack_timeout),
+            ("mac_sifs_response", self.mac_sifs_response),
+            ("mac_sifs_data", self.mac_sifs_data),
+            ("mac_nav_end", self.mac_nav_end),
+            ("rto_timer", self.rto_timer),
+            ("delack_timer", self.delack_timer),
+            ("cbr_tick", self.cbr_tick),
+            ("measure_start", self.measure_start),
+        ]
+    }
+
+    /// Sum over all kinds; equals the engine's total dispatched-event
+    /// count when every dispatch is classified.
+    pub fn total(&self) -> u64 {
+        self.iter_named().iter().map(|(_, v)| v).sum()
+    }
+}
+
 /// Engine self-instrumentation for one run: how hard the simulator worked
 /// and how fast it went relative to simulated time.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineStats {
     /// Events dispatched by the simulator.
     pub events: u64,
+    /// Dispatched events broken down by kind (sums to `events`).
+    pub kinds: EventKindCounts,
     /// Largest number of pending events ever queued at once.
     pub queue_high_water: usize,
     /// Simulated time covered by the run.
@@ -259,6 +335,7 @@ mod tests {
             events: 1234,
             engine: EngineStats {
                 events: 1234,
+                kinds: EventKindCounts::default(),
                 queue_high_water: 7,
                 sim_elapsed: SimDuration::from_secs(10),
                 wall: std::time::Duration::from_millis(20),
@@ -299,6 +376,25 @@ mod tests {
     }
 
     #[test]
+    fn kind_counts_total_and_names_stay_in_sync() {
+        let mut kinds = EventKindCounts::default();
+        assert_eq!(kinds.total(), 0);
+        kinds.signal_start = 3;
+        kinds.mac_backoff_bulk = 5;
+        kinds.measure_start = 1;
+        assert_eq!(kinds.total(), 9);
+        let named = kinds.iter_named();
+        assert_eq!(named.len(), 16, "every Event kind has a named counter");
+        let mut names: Vec<&str> = named.iter().map(|(n, _)| *n).collect();
+        names.dedup();
+        assert_eq!(names.len(), 16, "counter names are unique");
+        assert_eq!(
+            named.iter().find(|(n, _)| *n == "mac_backoff_bulk"),
+            Some(&("mac_backoff_bulk", 5))
+        );
+    }
+
+    #[test]
     fn summary_over_known_samples() {
         let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).expect("non-empty");
         assert_eq!(s.n, 8);
@@ -330,6 +426,7 @@ mod tests {
     fn engine_rates_guard_zero_wall() {
         let e = EngineStats {
             events: 10,
+            kinds: EventKindCounts::default(),
             queue_high_water: 1,
             sim_elapsed: SimDuration::from_secs(1),
             wall: std::time::Duration::ZERO,

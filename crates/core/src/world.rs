@@ -21,7 +21,7 @@ use dot11_trace::{FrameClass, NullSink, RxErrorCause, TraceRecord, TraceSink};
 
 use crate::node::{Node, UdpSink};
 use crate::scenario::{FlowSpec, Scenario, Traffic};
-use crate::stats::{EngineStats, FlowReport, NodeReport, RunReport};
+use crate::stats::{EngineStats, EventKindCounts, FlowReport, NodeReport, RunReport};
 
 fn frame_class(kind: FrameKind) -> FrameClass {
     match kind {
@@ -40,17 +40,18 @@ pub enum Event {
         /// Which flow.
         flow: FlowId,
     },
-    /// A transmitted signal reaches a receiver's antenna.
+    /// A transmitted signal reaches every receiver's antenna. One event
+    /// per transmission: propagation delay is uniform, so all receivers
+    /// share the arrival instant and the handler fans out over the
+    /// in-flight delivery list in station order — the same order the
+    /// per-receiver events of the unbatched scheme popped in.
     SignalStart {
-        /// The receiver.
-        rx: NodeId,
-        /// The signal as seen there.
-        sig: TxSignal,
+        /// The transmission.
+        tx_id: TxId,
     },
-    /// The signal leaves the receiver's antenna.
+    /// The signal leaves every receiver's antenna (one event per
+    /// transmission; see [`Event::SignalStart`]).
     SignalEnd {
-        /// The receiver.
-        rx: NodeId,
         /// The transmission.
         tx_id: TxId,
     },
@@ -95,7 +96,10 @@ pub enum Event {
 
 struct InFlight {
     frame: MacFrame<Packet>,
-    remaining: usize,
+    /// Per-receiver signals, in station order. Walked by the batched
+    /// signal-start/end handlers; the buffer is recycled through
+    /// `delivery_pool` when the transmission ends.
+    deliveries: Vec<(NodeId, TxSignal)>,
 }
 
 /// A stack of recycled `Vec`s for the per-event action/output buffers.
@@ -148,10 +152,13 @@ pub struct World<S: TraceSink + Clone = NullSink> {
     /// Recycled buffers for the hot-path handlers (see [`BufPool`]).
     mac_action_pool: BufPool<MacAction<Packet>>,
     tcp_out_pool: BufPool<TcpOutput>,
-    /// Reused scatter buffer for [`Medium::transmit_into`].
-    delivery_scratch: Vec<(NodeId, TxSignal)>,
+    /// Recycled scatter buffers for [`Medium::transmit_into`]; each lives
+    /// inside an [`InFlight`] entry while its transmission is on the air.
+    delivery_pool: BufPool<(NodeId, TxSignal)>,
     /// Reused output buffer for saturated-source refills.
     packet_scratch: Vec<Packet>,
+    /// Dispatched events broken down by kind.
+    kind_counts: EventKindCounts,
 }
 
 impl World {
@@ -208,10 +215,24 @@ impl<S: TraceSink + Clone> World<S> {
             nodes.push(Node::new(id, phy, dcf));
         }
         let mut sim = Simulator::new();
+        // Pending events are bounded by a few timers per station plus a
+        // few per transmission and flow; pre-size the queue so a late
+        // population peak never reallocates mid-run.
+        sim.reserve(16 * (nodes.len() + flows.len()).max(4));
         for f in &flows {
             sim.schedule_at(SimTime::ZERO + f.start, Event::FlowStart { flow: f.id });
         }
         sim.schedule_at(SimTime::ZERO + warmup, Event::MeasureStart);
+        // Pre-warm the delivery pool: at most one in-flight transmission
+        // per station (a keyed-up radio cannot start another), each
+        // scattering to at most n − 1 receivers. Sizing it up front keeps
+        // the steady state allocation-free even when the first deep
+        // overlap happens late in a run.
+        let mut delivery_pool = BufPool::new();
+        let n_stations = nodes.len();
+        for _ in 0..n_stations {
+            delivery_pool.put(Vec::with_capacity(n_stations));
+        }
         let mut world = World {
             sim,
             medium,
@@ -229,8 +250,9 @@ impl<S: TraceSink + Clone> World<S> {
             warmup,
             mac_action_pool: BufPool::new(),
             tcp_out_pool: BufPool::new(),
-            delivery_scratch: Vec::new(),
+            delivery_pool,
             packet_scratch: Vec::new(),
+            kind_counts: EventKindCounts::default(),
         };
         world.install_endpoints();
         world
@@ -307,14 +329,37 @@ impl<S: TraceSink + Clone> World<S> {
         }
     }
 
+    /// Tallies one dispatched event into the per-kind histogram.
+    fn count_kind(&mut self, ev: &Event) {
+        let k = &mut self.kind_counts;
+        match ev {
+            Event::FlowStart { .. } => k.flow_start += 1,
+            Event::SignalStart { .. } => k.signal_start += 1,
+            Event::SignalEnd { .. } => k.signal_end += 1,
+            Event::TxAirEnd { .. } => k.tx_air_end += 1,
+            Event::MacTimer { kind, .. } => match kind {
+                TimerKind::Difs => k.mac_difs += 1,
+                TimerKind::BackoffBulk => k.mac_backoff_bulk += 1,
+                TimerKind::BackoffSlot => k.mac_backoff_slot += 1,
+                TimerKind::CtsTimeout => k.mac_cts_timeout += 1,
+                TimerKind::AckTimeout => k.mac_ack_timeout += 1,
+                TimerKind::SifsResponse => k.mac_sifs_response += 1,
+                TimerKind::SifsData => k.mac_sifs_data += 1,
+                TimerKind::NavEnd => k.mac_nav_end += 1,
+            },
+            Event::RtoTimer { .. } => k.rto_timer += 1,
+            Event::DelackTimer { .. } => k.delack_timer += 1,
+            Event::CbrTick { .. } => k.cbr_tick += 1,
+            Event::MeasureStart => k.measure_start += 1,
+        }
+    }
+
     fn handle(&mut self, now: SimTime, ev: Event) {
+        self.count_kind(&ev);
         match ev {
             Event::FlowStart { flow } => self.start_flow(flow, now),
-            Event::SignalStart { rx, sig } => {
-                self.nodes[rx.index()].phy.signal_start(&sig, now);
-                self.sync_cs(rx.index(), now);
-            }
-            Event::SignalEnd { rx, tx_id } => self.on_signal_end(rx, tx_id, now),
+            Event::SignalStart { tx_id } => self.on_signal_start(tx_id, now),
+            Event::SignalEnd { tx_id } => self.on_signal_end(tx_id, now),
             Event::TxAirEnd { node, tx_id } => self.on_tx_air_end(node, tx_id, now),
             Event::MacTimer { node, kind } => {
                 self.mac_timers.remove(&(node.0, kind));
@@ -538,7 +583,17 @@ impl<S: TraceSink + Clone> World<S> {
                 }
                 MacAction::StartTimer { kind, delay } => {
                     let node = self.nodes[idx].id;
-                    let h = self.sim.schedule_in(delay, Event::MacTimer { node, kind });
+                    let ev = Event::MacTimer { node, kind };
+                    // The bulk-backoff timer stands in for the *last* tick
+                    // of a per-slot chain, which would have been the oldest
+                    // pending event at its instant — so it goes in the
+                    // trailing class (fires after every ordinary event at
+                    // that instant; see `Simulator::schedule_in_trailing`).
+                    let h = if kind == TimerKind::BackoffBulk {
+                        self.sim.schedule_in_trailing(delay, ev)
+                    } else {
+                        self.sim.schedule_in(delay, ev)
+                    };
                     if let Some(old) = self.mac_timers.insert((node.0, kind), h) {
                         self.sim.cancel(old);
                     }
@@ -565,9 +620,9 @@ impl<S: TraceSink + Clone> World<S> {
     ) {
         let source = self.nodes[idx].id;
         let radio = *self.nodes[idx].phy.config();
-        // Scatter into the world's reused buffer (taken out so the medium
-        // and simulator can be borrowed alongside it).
-        let mut deliveries = std::mem::take(&mut self.delivery_scratch);
+        // Scatter into a pooled buffer; it rides inside the `InFlight`
+        // entry until the transmission's SignalEnd returns it.
+        let mut deliveries = self.delivery_pool.get();
         let (tx_id, airtime) = self.medium.transmit_into(
             source,
             radio.tx_power,
@@ -593,13 +648,6 @@ impl<S: TraceSink + Clone> World<S> {
         }
         self.nodes[idx].phy.begin_tx(until, now);
         self.sync_cs(idx, now);
-        self.in_flight.insert(
-            tx_id,
-            InFlight {
-                frame,
-                remaining: deliveries.len(),
-            },
-        );
         self.sim.schedule_at(
             until,
             Event::TxAirEnd {
@@ -607,20 +655,53 @@ impl<S: TraceSink + Clone> World<S> {
                 tx_id,
             },
         );
-        for (rx, sig) in deliveries.drain(..) {
-            let (starts_at, ends_at) = (sig.starts_at, sig.ends_at);
-            self.sim
-                .schedule_at(starts_at, Event::SignalStart { rx, sig });
-            self.sim
-                .schedule_at(ends_at, Event::SignalEnd { rx, tx_id });
+        if deliveries.is_empty() {
+            // Nobody in range: no signal events, no in-flight entry.
+            self.delivery_pool.put(deliveries);
+            return;
         }
-        self.delivery_scratch = deliveries;
-        if self.in_flight[&tx_id].remaining == 0 {
-            self.in_flight.remove(&tx_id);
+        // Uniform propagation delay: every receiver shares the arrival and
+        // departure instants, so one event each covers the whole fan-out.
+        let (starts_at, ends_at) = (deliveries[0].1.starts_at, deliveries[0].1.ends_at);
+        debug_assert!(deliveries
+            .iter()
+            .all(|(_, s)| s.starts_at == starts_at && s.ends_at == ends_at));
+        self.sim
+            .schedule_at(starts_at, Event::SignalStart { tx_id });
+        self.sim.schedule_at(ends_at, Event::SignalEnd { tx_id });
+        self.in_flight.insert(tx_id, InFlight { frame, deliveries });
+    }
+
+    fn on_signal_start(&mut self, tx_id: TxId, now: SimTime) {
+        // Index loop with per-iteration lookups: `sync_cs` can recurse
+        // into `apply_mac_actions` and mutate `in_flight`, so no borrow
+        // may be held across receivers (the entries are `Copy`).
+        let n = self.in_flight[&tx_id].deliveries.len();
+        for i in 0..n {
+            let (rx, sig) = self.in_flight[&tx_id].deliveries[i];
+            self.nodes[rx.index()].phy.signal_start(&sig, now);
+            self.sync_cs(rx.index(), now);
         }
     }
 
-    fn on_signal_end(&mut self, rx: NodeId, tx_id: TxId, now: SimTime) {
+    fn on_signal_end(&mut self, tx_id: TxId, now: SimTime) {
+        let n = self.in_flight[&tx_id].deliveries.len();
+        for i in 0..n {
+            let (rx, _) = self.in_flight[&tx_id].deliveries[i];
+            self.signal_end_at(rx, tx_id, now);
+        }
+        let entry = self
+            .in_flight
+            .remove(&tx_id)
+            .expect("in-flight entry lives until its own signal end");
+        self.delivery_pool.put(entry.deliveries);
+    }
+
+    /// One receiver's share of a transmission's end: resolve the PHY
+    /// outcome, feed the MAC, re-sync carrier sense. Runs in station
+    /// order from [`World::on_signal_end`], exactly like the unbatched
+    /// per-receiver events did.
+    fn signal_end_at(&mut self, rx: NodeId, tx_id: TxId, now: SimTime) {
         let idx = rx.index();
         let outcome = self.nodes[idx].phy.signal_end(tx_id, now);
         let mut actions = self.mac_action_pool.get();
@@ -658,12 +739,6 @@ impl<S: TraceSink + Clone> World<S> {
                     }
                     self.nodes[idx].mac.on_rx_error(now, &mut actions);
                 }
-            }
-        }
-        if let Some(entry) = self.in_flight.get_mut(&tx_id) {
-            entry.remaining -= 1;
-            if entry.remaining == 0 {
-                self.in_flight.remove(&tx_id);
             }
         }
         self.apply_mac_actions(idx, actions, now);
@@ -804,8 +879,13 @@ impl<S: TraceSink + Clone> World<S> {
             events: self.sim.events_dispatched(),
             engine: EngineStats {
                 events: self.sim.events_dispatched(),
+                kinds: self.kind_counts,
                 queue_high_water: self.sim.queue_high_water(),
-                sim_elapsed: self.sim.now().saturating_duration_since(SimTime::ZERO),
+                // The accounted horizon (same `end` the airtime ledgers
+                // fold to), not the last event's timestamp: how far the
+                // run simulated must not depend on whether the final
+                // pending events happened to land before the boundary.
+                sim_elapsed: end.saturating_duration_since(SimTime::ZERO),
                 wall,
             },
         }

@@ -31,8 +31,20 @@ pub struct EventHandle {
 
 /// Heap entries carry only the scheduling key and a slot reference; the
 /// payload lives in the slab so cancellation can reclaim it immediately.
+///
+/// The full ordering key is `(time, class, rank, seq)`:
+///
+/// * `class` 0 is an ordinary event; class 1 is *trailing* (see
+///   [`EventQueue::push_trailing`]) and sorts after every ordinary event
+///   at the same instant.
+/// * `rank` is 0 for ordinary events. Trailing events store the bitwise
+///   complement of their scheduling instant, so among trailing events at
+///   the same firing instant the most recently scheduled fires first.
+/// * `seq` keeps same-key events FIFO.
 struct HeapEntry {
     time: SimTime,
+    class: u8,
+    rank: u64,
     seq: u64,
     slot: u32,
     generation: u32,
@@ -53,10 +65,13 @@ impl PartialOrd for HeapEntry {
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) wins.
+        // BinaryHeap is a max-heap; invert so the earliest
+        // (time, class, rank, seq) wins.
         other
             .time
             .cmp(&self.time)
+            .then_with(|| other.class.cmp(&self.class))
+            .then_with(|| other.rank.cmp(&self.rank))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -114,8 +129,38 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Pre-sizes the heap and the slab for at least `capacity` pending
+    /// events, so a caller with a known scale can keep the steady state
+    /// allocation-free even if its peak population occurs late.
+    pub fn reserve(&mut self, capacity: usize) {
+        self.heap.reserve(capacity.saturating_sub(self.heap.len()));
+        self.slots
+            .reserve(capacity.saturating_sub(self.slots.len()));
+        self.free.reserve(capacity.saturating_sub(self.free.len()));
+    }
+
     /// Schedules `event` at `time` and returns a cancellation handle.
     pub fn push(&mut self, time: SimTime, event: E) -> EventHandle {
+        self.push_keyed(time, 0, 0, event)
+    }
+
+    /// Schedules `event` at `time` in the **trailing class**: it pops
+    /// after every ordinary event scheduled for the same instant,
+    /// regardless of scheduling order.
+    ///
+    /// Among trailing events at the same firing instant, the one with the
+    /// latest `scheduled_at` pops first; ties (same scheduling instant)
+    /// stay FIFO. This mirrors what a self-rescheduling per-tick timer
+    /// chain would produce for its next tick: a chain (re-)armed more
+    /// recently was armed by an earlier-inserted event at the previous
+    /// tick, so it fires ahead of older chains — the property that lets a
+    /// coalesced multi-tick timer replace a per-tick chain without
+    /// perturbing same-instant ordering.
+    pub fn push_trailing(&mut self, time: SimTime, scheduled_at: SimTime, event: E) -> EventHandle {
+        self.push_keyed(time, 1, !scheduled_at.as_nanos(), event)
+    }
+
+    fn push_keyed(&mut self, time: SimTime, class: u8, rank: u64, event: E) -> EventHandle {
         let seq = self.next_seq;
         self.next_seq += 1;
         let slot = match self.free.pop() {
@@ -135,6 +180,8 @@ impl<E> EventQueue<E> {
         let generation = self.slots[slot as usize].generation;
         self.heap.push(HeapEntry {
             time,
+            class,
+            rank,
             seq,
             slot,
             generation,
@@ -321,6 +368,57 @@ mod tests {
         q.push(time + SimDuration::from_micros(1), "c");
         assert_eq!(q.pop().map(|(_, e)| e), Some("c"));
         assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+    }
+
+    #[test]
+    fn trailing_events_pop_after_ordinary_events_at_same_instant() {
+        let mut q = EventQueue::new();
+        // Trailing event scheduled FIRST still pops after ordinary events
+        // at its instant — even ones scheduled later.
+        q.push_trailing(t(100), t(0), "trailing");
+        q.push(t(100), "ordinary-1");
+        q.push(t(100), "ordinary-2");
+        q.push(t(50), "earlier");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(
+            order,
+            vec!["earlier", "ordinary-1", "ordinary-2", "trailing"]
+        );
+    }
+
+    #[test]
+    fn trailing_events_order_by_recency_then_fifo() {
+        let mut q = EventQueue::new();
+        // Same firing instant, different scheduling instants: the most
+        // recently scheduled trailing event pops first.
+        q.push_trailing(t(100), t(10), "old");
+        q.push_trailing(t(100), t(40), "new");
+        // Same scheduling instant: FIFO.
+        q.push_trailing(t(100), t(40), "new-2");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["new", "new-2", "old"]);
+    }
+
+    #[test]
+    fn trailing_events_cancel_like_ordinary_ones() {
+        let mut q = EventQueue::new();
+        let h = q.push_trailing(t(100), t(0), 1);
+        q.push(t(100), 2);
+        assert!(q.cancel(h));
+        assert!(!q.cancel(h));
+        assert_eq!(q.pop(), Some((t(100), 2)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn trailing_keeps_time_order_across_instants() {
+        let mut q = EventQueue::new();
+        q.push_trailing(t(10), t(0), "t10");
+        q.push(t(20), "o20");
+        // A trailing event at an earlier instant still precedes ordinary
+        // events at later instants.
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["t10", "o20"]);
     }
 
     #[test]

@@ -83,6 +83,22 @@ impl<E> Simulator<E> {
         self.queue.push(self.now, event)
     }
 
+    /// Schedules `event` after `delay` in the **trailing class**: at its
+    /// firing instant it pops after every ordinary event, and among
+    /// trailing events the most recently scheduled pops first (see
+    /// [`EventQueue::push_trailing`]). Used to coalesce per-tick timer
+    /// chains into one event without perturbing same-instant ordering.
+    pub fn schedule_in_trailing(&mut self, delay: SimDuration, event: E) -> EventHandle {
+        let at = self.now + delay;
+        self.queue.push_trailing(at, self.now, event)
+    }
+
+    /// Pre-sizes the pending-event set for at least `capacity` events
+    /// (see [`EventQueue::reserve`]).
+    pub fn reserve(&mut self, capacity: usize) {
+        self.queue.reserve(capacity);
+    }
+
     /// Cancels a pending event. Returns `true` if it was still pending.
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
         self.queue.cancel(handle)
@@ -168,6 +184,16 @@ mod tests {
         sim.schedule_now(3);
         assert_eq!(sim.pop().map(|(_, e)| e), Some(2));
         assert_eq!(sim.pop().map(|(_, e)| e), Some(3));
+    }
+
+    #[test]
+    fn trailing_events_fire_after_ordinary_same_instant_events() {
+        let mut sim = Simulator::new();
+        sim.schedule_in_trailing(SimDuration::from_micros(10), "trailing");
+        sim.schedule_at(SimTime::from_micros(10), "ordinary");
+        assert_eq!(sim.pop().map(|(_, e)| e), Some("ordinary"));
+        let (t, e) = sim.pop().expect("trailing event");
+        assert_eq!((t, e), (SimTime::from_micros(10), "trailing"));
     }
 
     #[test]

@@ -32,7 +32,13 @@ use crate::frame::{
 pub enum TimerKind {
     /// DIFS/EIFS deferral after the medium goes idle.
     Difs,
-    /// One backoff slot.
+    /// All but the final slot of the current backoff, coalesced into one
+    /// timer. The driver must schedule this in the simulator's *trailing*
+    /// class so it fires after every ordinary event at its instant —
+    /// exactly where the last tick of a per-slot chain would have sat.
+    /// Its expiry arms the final [`TimerKind::BackoffSlot`].
+    BackoffBulk,
+    /// The final backoff slot; its expiry transmits.
     BackoffSlot,
     /// Waiting for a CTS after sending an RTS.
     CtsTimeout,
@@ -130,6 +136,12 @@ pub struct DcfMac<P, S: TraceSink = NullSink> {
     contention: Contention,
     cw: u32,
     backoff_slots: Option<u32>,
+    /// When the current `Counting` phase started (backoff slots elapse on
+    /// a 20 µs grid anchored here — the lazy countdown's freeze arithmetic
+    /// divides against it instead of decrementing per slot).
+    counting_since: SimTime,
+    /// Slots the current `Counting` phase set out to count.
+    counting_total: u32,
     response: Option<(MacFrame<P>, PhyRate)>,
     response_txing: bool,
     nav_until: SimTime,
@@ -163,6 +175,8 @@ impl<P: Clone, S: TraceSink> DcfMac<P, S> {
             current: None,
             contention: Contention::Idle,
             backoff_slots: None,
+            counting_since: SimTime::ZERO,
+            counting_total: 0,
             response: None,
             response_txing: false,
             nav_until: SimTime::ZERO,
@@ -296,7 +310,7 @@ impl<P: Clone, S: TraceSink> DcfMac<P, S> {
     // --- carrier sense ----------------------------------------------------
 
     /// Physical carrier sense went busy.
-    pub fn on_channel_busy(&mut self, _now: SimTime, out: &mut Vec<MacAction<P>>) {
+    pub fn on_channel_busy(&mut self, now: SimTime, out: &mut Vec<MacAction<P>>) {
         self.phys_busy = true;
         match self.contention {
             Contention::Defer => {
@@ -306,6 +320,28 @@ impl<P: Clone, S: TraceSink> DcfMac<P, S> {
                 self.contention = Contention::WaitIdle;
             }
             Contention::Counting => {
+                // Lazy countdown freeze: slots elapse on the 20 µs grid
+                // anchored at `counting_since`; whole elapsed slots are
+                // recovered by integer division. A busy edge exactly on a
+                // grid tick lands *after* that tick's (virtual) decrement
+                // — a per-slot timer armed one slot earlier would have
+                // popped before any signal event inserted later — so the
+                // truncating division charges the boundary slot, matching
+                // the per-slot schedule's decrement-then-freeze order.
+                let slot = self.cfg.timing.slot.as_nanos();
+                let elapsed = now
+                    .saturating_duration_since(self.counting_since)
+                    .as_nanos()
+                    / slot;
+                let remaining = self.counting_total - elapsed as u32;
+                debug_assert!(
+                    remaining >= 1 && remaining <= self.counting_total,
+                    "freeze outside the counting window"
+                );
+                self.backoff_slots = Some(remaining);
+                out.push(MacAction::CancelTimer {
+                    kind: TimerKind::BackoffBulk,
+                });
                 out.push(MacAction::CancelTimer {
                     kind: TimerKind::BackoffSlot,
                 });
@@ -330,10 +366,16 @@ impl<P: Clone, S: TraceSink> DcfMac<P, S> {
             return;
         }
         if self.nav_until > now {
-            out.push(MacAction::StartTimer {
-                kind: TimerKind::NavEnd,
-                delay: self.nav_until - now,
-            });
+            // Only a station waiting to resume contention has anything to
+            // do when the NAV runs out; every path that later moves into
+            // `WaitIdle` under a standing NAV re-arms this wake-up itself
+            // (`try_start`, or the next idle edge through here).
+            if self.contention == Contention::WaitIdle {
+                out.push(MacAction::StartTimer {
+                    kind: TimerKind::NavEnd,
+                    delay: self.nav_until - now,
+                });
+            }
             return;
         }
         if self.contention == Contention::WaitIdle {
@@ -382,6 +424,7 @@ impl<P: Clone, S: TraceSink> DcfMac<P, S> {
     pub fn on_timer(&mut self, kind: TimerKind, now: SimTime, out: &mut Vec<MacAction<P>>) {
         match kind {
             TimerKind::Difs => self.on_difs_expired(now, out),
+            TimerKind::BackoffBulk => self.on_bulk_expired(out),
             TimerKind::BackoffSlot => self.on_slot_expired(now, out),
             TimerKind::CtsTimeout => self.on_response_timeout(Contention::WaitCts, now, out),
             TimerKind::AckTimeout => self.on_response_timeout(Contention::WaitAck, now, out),
@@ -389,10 +432,16 @@ impl<P: Clone, S: TraceSink> DcfMac<P, S> {
             TimerKind::SifsData => self.on_sifs_data(out),
             TimerKind::NavEnd => {
                 if self.nav_until > now {
-                    out.push(MacAction::StartTimer {
-                        kind: TimerKind::NavEnd,
-                        delay: self.nav_until - now,
-                    });
+                    // The NAV was extended after this timer was armed.
+                    // Re-arm only if the wake-up can still matter (idle
+                    // medium, contention waiting); any path that later
+                    // makes it matter re-arms it itself.
+                    if !self.phys_busy && self.contention == Contention::WaitIdle {
+                        out.push(MacAction::StartTimer {
+                            kind: TimerKind::NavEnd,
+                            delay: self.nav_until - now,
+                        });
+                    }
                 } else {
                     self.maybe_resume(now, out);
                 }
@@ -400,36 +449,51 @@ impl<P: Clone, S: TraceSink> DcfMac<P, S> {
         }
     }
 
-    fn on_difs_expired(&mut self, _now: SimTime, out: &mut Vec<MacAction<P>>) {
+    fn on_difs_expired(&mut self, now: SimTime, out: &mut Vec<MacAction<P>>) {
         debug_assert_eq!(self.contention, Contention::Defer);
         match self.backoff_slots {
             None | Some(0) => {
                 self.backoff_slots = None;
                 self.transmit_current(out);
             }
-            Some(_) => {
+            Some(n) => {
+                // Lazy countdown: instead of one timer per 20 µs slot,
+                // count the first n−1 slots with a single coalesced
+                // trailing timer and keep only the final, transmission-
+                // triggering slot as an ordinary timer (armed by the bulk
+                // expiry one slot ahead, so its queue position matches
+                // the position a per-slot chain's last re-arm would get).
                 self.contention = Contention::Counting;
-                out.push(MacAction::StartTimer {
-                    kind: TimerKind::BackoffSlot,
-                    delay: self.cfg.timing.slot,
-                });
+                self.counting_since = now;
+                self.counting_total = n;
+                if n == 1 {
+                    out.push(MacAction::StartTimer {
+                        kind: TimerKind::BackoffSlot,
+                        delay: self.cfg.timing.slot,
+                    });
+                } else {
+                    out.push(MacAction::StartTimer {
+                        kind: TimerKind::BackoffBulk,
+                        delay: self.cfg.timing.slot * (n - 1) as u64,
+                    });
+                }
             }
         }
     }
 
+    fn on_bulk_expired(&mut self, out: &mut Vec<MacAction<P>>) {
+        debug_assert_eq!(self.contention, Contention::Counting);
+        out.push(MacAction::StartTimer {
+            kind: TimerKind::BackoffSlot,
+            delay: self.cfg.timing.slot,
+        });
+    }
+
     fn on_slot_expired(&mut self, _now: SimTime, out: &mut Vec<MacAction<P>>) {
         debug_assert_eq!(self.contention, Contention::Counting);
-        let remaining = self.backoff_slots.expect("counting without slots") - 1;
-        if remaining == 0 {
-            self.backoff_slots = None;
-            self.transmit_current(out);
-        } else {
-            self.backoff_slots = Some(remaining);
-            out.push(MacAction::StartTimer {
-                kind: TimerKind::BackoffSlot,
-                delay: self.cfg.timing.slot,
-            });
-        }
+        debug_assert!(self.backoff_slots.is_some(), "counting without slots");
+        self.backoff_slots = None;
+        self.transmit_current(out);
     }
 
     fn on_response_timeout(
@@ -650,10 +714,21 @@ impl<P: Clone, S: TraceSink> DcfMac<P, S> {
                         },
                     );
                 }
-                out.push(MacAction::StartTimer {
-                    kind: TimerKind::NavEnd,
-                    delay: frame.duration,
-                });
+                if self.phys_busy {
+                    // Decoding implies the carrier was just busy: the
+                    // NavEnd wake-up is (re-)armed at the idle edge via
+                    // `maybe_resume` with the fresh expiry. Arming one
+                    // here would be immediate churn — drop any armed
+                    // (now short) timer instead of replacing it.
+                    out.push(MacAction::CancelTimer {
+                        kind: TimerKind::NavEnd,
+                    });
+                } else {
+                    out.push(MacAction::StartTimer {
+                        kind: TimerKind::NavEnd,
+                        delay: frame.duration,
+                    });
+                }
             }
             return;
         }
@@ -862,11 +937,36 @@ mod tests {
         out.clear();
         m.on_timer(TimerKind::Difs, at(1010), &mut out);
         // Either an immediate transmit (drew 0) or slot counting; with
-        // seed 3 the draw is nonzero, so expect a slot timer.
+        // seed 3 the draw is nonzero, so expect a countdown timer (the
+        // single bulk timer for n > 1 draws, the final slot for n == 1).
         assert!(
-            timer_delay(&out, TimerKind::BackoffSlot).is_some(),
+            timer_delay(&out, TimerKind::BackoffBulk).is_some()
+                || timer_delay(&out, TimerKind::BackoffSlot).is_some(),
             "post-backoff expected, got {out:?}"
         );
+    }
+
+    /// Drives a mac that just entered `Counting` through the coalesced
+    /// countdown (optional bulk timer, then the final slot timer) until it
+    /// transmits. `out` must hold the actions of the event that entered
+    /// counting; `t` is that event's time. Returns the transmit time.
+    fn pump_countdown(m: &mut DcfMac<u32>, out: &mut Vec<MacAction<u32>>, mut t: u64) -> u64 {
+        if transmitted(out).is_some() {
+            return t; // drew zero slots
+        }
+        if let Some(d) = timer_delay(out, TimerKind::BackoffBulk) {
+            assert_eq!(d.as_micros() % 20, 0, "bulk covers whole slots");
+            t += d.as_micros();
+            out.clear();
+            m.on_timer(TimerKind::BackoffBulk, at(t), out);
+        }
+        let d = timer_delay(out, TimerKind::BackoffSlot).expect("final slot timer");
+        assert_eq!(d.as_micros(), 20, "final timer is exactly one slot");
+        t += 20;
+        out.clear();
+        m.on_timer(TimerKind::BackoffSlot, at(t), out);
+        assert!(transmitted(out).is_some(), "countdown ends in a transmit");
+        t
     }
 
     #[test]
@@ -892,16 +992,15 @@ mod tests {
         m.on_rx_frame(ack, at(960), &mut out);
         out.clear();
         m.on_timer(TimerKind::Difs, at(1010), &mut out);
-        let mut t = 1010;
-        let mut fired = 0;
-        while transmitted(&out).is_none() {
-            assert!(timer_delay(&out, TimerKind::BackoffSlot).is_some());
-            out.clear();
-            t += 20;
-            m.on_timer(TimerKind::BackoffSlot, at(t), &mut out);
-            fired += 1;
-            assert!(fired < 32, "backoff should finish within CWmin slots");
-        }
+        // The drawn count is visible in the armed timer: n − 1 slots of
+        // bulk countdown (absent for n == 1) plus the final slot.
+        let n = match timer_delay(&out, TimerKind::BackoffBulk) {
+            Some(d) => d.as_micros() / 20 + 1,
+            None => 1,
+        };
+        assert!(n < 32, "backoff should finish within CWmin slots");
+        let t = pump_countdown(&mut m, &mut out, 1010);
+        assert_eq!(t, 1010 + 20 * n, "transmit lands on the drawn slot grid");
         assert_eq!(transmitted(&out).expect("frame").tag, 2);
     }
 
@@ -934,6 +1033,106 @@ mod tests {
         );
     }
 
+    /// Reads the drawn slot count out of the countdown timer armed by the
+    /// event whose actions are in `out` (bulk covers n − 1 slots; a lone
+    /// final slot timer means n == 1).
+    fn drawn_slots(out: &[MacAction<u32>]) -> u64 {
+        match timer_delay(out, TimerKind::BackoffBulk) {
+            Some(d) => d.as_micros() / 20 + 1,
+            None => {
+                assert!(
+                    timer_delay(out, TimerKind::BackoffSlot).is_some(),
+                    "not counting: {out:?}"
+                );
+                1
+            }
+        }
+    }
+
+    /// Builds a mac that has just entered `Counting` at t = 1010 µs with a
+    /// multi-slot draw (frame 1 sent and ACKed, frame 2 contending).
+    fn counting_mac() -> (DcfMac<u32>, Vec<MacAction<u32>>, u64) {
+        let mut m = mac(false);
+        let mut out = Vec::new();
+        m.enqueue(sdu(1), T0, &mut out);
+        m.enqueue(sdu(2), T0, &mut out);
+        out.clear();
+        m.on_timer(TimerKind::Difs, at(50), &mut out);
+        out.clear();
+        m.on_tx_end(at(700), &mut out);
+        let ack: MacFrame<u32> = MacFrame {
+            kind: FrameKind::Ack,
+            src: NodeId(1),
+            dst: NodeId(0),
+            duration: SimDuration::ZERO,
+            mpdu_bytes: ACK_BYTES,
+            tag: 0,
+            payload: None,
+        };
+        out.clear();
+        m.on_rx_frame(ack, at(960), &mut out);
+        out.clear();
+        m.on_timer(TimerKind::Difs, at(1010), &mut out);
+        let n = drawn_slots(&out);
+        assert!(
+            n >= 2,
+            "seed 3 must draw a multi-slot backoff here, got {n}"
+        );
+        (m, out, n)
+    }
+
+    #[test]
+    fn mid_slot_busy_charges_elapsed_whole_slots() {
+        let (mut m, mut out, n) = counting_mac();
+        // Busy 30 µs into the countdown: exactly one whole slot elapsed;
+        // the fraction of the second slot is not charged.
+        out.clear();
+        m.on_channel_busy(at(1040), &mut out);
+        assert!(out.iter().any(|a| matches!(
+            a,
+            MacAction::CancelTimer {
+                kind: TimerKind::BackoffBulk
+            }
+        )));
+        out.clear();
+        m.on_channel_idle(at(5000), &mut out);
+        out.clear();
+        m.on_timer(TimerKind::Difs, at(5050), &mut out);
+        assert_eq!(drawn_slots(&out), n - 1, "one elapsed slot charged");
+        let t = pump_countdown(&mut m, &mut out, 5050);
+        assert_eq!(t, 5050 + 20 * (n - 1));
+        assert_eq!(transmitted(&out).expect("frame").tag, 2);
+    }
+
+    #[test]
+    fn sub_slot_busy_charges_nothing() {
+        let (mut m, mut out, n) = counting_mac();
+        // Busy 10 µs in: no whole slot has elapsed, the full draw remains.
+        out.clear();
+        m.on_channel_busy(at(1020), &mut out);
+        out.clear();
+        m.on_channel_idle(at(5000), &mut out);
+        out.clear();
+        m.on_timer(TimerKind::Difs, at(5050), &mut out);
+        assert_eq!(drawn_slots(&out), n, "no slot charged before one elapses");
+    }
+
+    #[test]
+    fn busy_on_the_slot_grid_charges_the_boundary_slot() {
+        let (mut m, mut out, n) = counting_mac();
+        // In the eager schedule a slot timer armed one slot earlier pops
+        // before any same-instant busy edge (lower insertion seq), so a
+        // freeze landing exactly on the grid sees the boundary slot already
+        // counted. Truncating division agrees: 20 / 20 = 1.
+        out.clear();
+        m.on_channel_busy(at(1030), &mut out);
+        out.clear();
+        m.on_channel_idle(at(5000), &mut out);
+        out.clear();
+        m.on_timer(TimerKind::Difs, at(5050), &mut out);
+        assert_eq!(drawn_slots(&out), n - 1, "boundary slot charged");
+    }
+
     #[test]
     fn ack_timeout_retries_with_doubled_cw_then_drops() {
         let mut m = mac(false);
@@ -944,12 +1143,8 @@ mod tests {
         loop {
             out.clear();
             m.on_timer(TimerKind::Difs, at(now), &mut out);
-            // Count down any backoff slots.
-            while transmitted(&out).is_none() {
-                now += 20;
-                out.clear();
-                m.on_timer(TimerKind::BackoffSlot, at(now), &mut out);
-            }
+            // Count down any backoff via the coalesced timers.
+            now = pump_countdown(&mut m, &mut out, now);
             attempts += 1;
             now += 700;
             out.clear();

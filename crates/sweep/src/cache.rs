@@ -26,8 +26,11 @@ use crate::report::CellMetrics;
 use crate::spec::{CellKey, CellSpec};
 
 /// The cache entry format version. Bump on any change to the entry
-/// layout; old entries then read as misses.
-const FORMAT: &str = "dot11-sweep/v1";
+/// layout *or* to the engine-side numbers a cached cell carries (v1 → v2:
+/// timer coalescing and signal batching shrank `events` and
+/// `queue_high_water`; pre-coalescing entries must read as misses so
+/// sweeps never mix old and new engine counts).
+const FORMAT: &str = "dot11-sweep/v2";
 
 /// A directory of cached cell results (see module docs).
 #[derive(Debug, Clone)]

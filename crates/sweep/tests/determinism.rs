@@ -147,3 +147,27 @@ fn jobs_1_and_jobs_8_agree_and_warm_cache_simulates_nothing() {
     std::fs::remove_dir_all(&dir_serial).ok();
     std::fs::remove_dir_all(&dir_parallel).ok();
 }
+
+/// The smoke grid's total dispatched-event count is a tracked golden.
+///
+/// PR 4's timer coalescing + signal-delivery batching cut this grid from
+/// 248,758 events to 84,805 (2.93×). The pin has a small band so an
+/// innocent new timer doesn't trip it, but reintroducing per-slot
+/// backoff ticks or per-receiver signal events (which roughly triples
+/// the count) must fail loudly rather than silently eat the win back.
+#[test]
+fn smoke_grid_event_budget_is_pinned() {
+    const GOLDEN_EVENTS: u64 = 84_805;
+    const TOLERANCE: f64 = 0.05;
+
+    let report = run_sweep(&spec_32_cells(), &SweepOptions::serial()).expect("sweep");
+    let total: u64 = report.cells.iter().map(|c| c.metrics.events).sum();
+    let lo = (GOLDEN_EVENTS as f64 * (1.0 - TOLERANCE)) as u64;
+    let hi = (GOLDEN_EVENTS as f64 * (1.0 + TOLERANCE)) as u64;
+    assert!(
+        (lo..=hi).contains(&total),
+        "smoke grid dispatched {total} events, outside the pinned budget \
+         {GOLDEN_EVENTS} ± 5% [{lo}, {hi}] — if the change is a deliberate \
+         engine-schedule change, re-pin the golden and state the new count"
+    );
+}

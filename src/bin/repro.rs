@@ -468,15 +468,25 @@ fn run_instrumented_figures(cfg: ExpConfig, interval: SimDuration) -> Vec<Instru
 }
 
 fn engine_json(e: &EngineStats) -> String {
+    // The per-kind histogram makes event-budget regressions attributable:
+    // `kinds` sums to `events`, so a count creeping back up points straight
+    // at the timer or signal class responsible.
+    let kinds: Vec<String> = e
+        .kinds
+        .iter_named()
+        .iter()
+        .map(|(name, count)| format!("\"{name}\":{count}"))
+        .collect();
     format!(
         "{{\"events\":{},\"queue_high_water\":{},\"sim_elapsed_ns\":{},\"wall_ns\":{},\
-         \"speedup\":{:.1},\"events_per_sec\":{:.0}}}",
+         \"speedup\":{:.1},\"events_per_sec\":{:.0},\"kinds\":{{{}}}}}",
         e.events,
         e.queue_high_water,
         e.sim_elapsed.as_nanos(),
         e.wall.as_nanos(),
         e.speedup(),
-        e.events_per_sec()
+        e.events_per_sec(),
+        kinds.join(",")
     )
 }
 
