@@ -92,6 +92,7 @@ fn bench_medium_scatter(h: &Harness) {
             for _ in 0..FRAMES {
                 now_ns += 200_000; // one frame every 200 µs
                 let src = NodeId((now_ns / 200_000 % 4) as u32);
+                deliveries.clear(); // caller-owned, like World's pooled buffers
                 medium.transmit_into(
                     src,
                     radio.tx_power,

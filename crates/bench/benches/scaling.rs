@@ -1,0 +1,111 @@
+//! The `scaling` group: how per-frame cost scales with station count N.
+//!
+//! Saturated multihop chains at N ∈ {4, 16, 64, 256} stations (80 m
+//! pitch, 2 Mb/s — a reliable hop per the calibrated Table 3 ranges),
+//! plus the 256-station chain with audible-set culling disabled. The
+//! committed medians live in `BENCH_pr5.json`; CI gates `ns_per_event`,
+//! `sim_ns_per_wall_ns`, *and* `deliveries_per_frame` against it — the
+//! last is exact arithmetic over static audible sets (zero run-to-run
+//! noise), so it pins the culling structure itself while the wall-clock
+//! metrics run at a wide 100% tolerance (these whole-simulation
+//! macro-benches are far noisier than the hotpath micro-benches, and
+//! the regression the gate exists to catch is a +711% deliveries /
+//! >+270% wall swing):
+//!
+//! ```console
+//! cargo bench -p dot11-bench --bench scaling -- --json BENCH_pr5.json
+//! cargo bench -p dot11-bench --bench scaling -- --baseline BENCH_pr5.json --tolerance 100
+//! ```
+//!
+//! The headline comparison is `scaling/chain256` vs
+//! `scaling/chain256_full_fanout`: with culling, a transmission scatters
+//! to the ~50 stations inside the ~2 km audible horizon instead of all
+//! 255, so `deliveries_per_frame` (exact: Σ tx_frames·|audible set|,
+//! over frames) and the wall-time metrics improve together while the
+//! physics stays bit-identical (see `tests/culling.rs`).
+
+use desim::SimDuration;
+use dot11_adhoc::{Scenario, ScenarioBuilder, Traffic};
+use dot11_bench::Harness;
+use dot11_phy::{NodeId, PhyRate};
+
+/// An N-station saturated chain at 80 m pitch, 500 ms of simulated time.
+fn chain(n: u32, full_fanout: bool) -> Scenario {
+    let mut b = ScenarioBuilder::new(PhyRate::R2).chain(n, 80.0);
+    if full_fanout {
+        b = b.full_fanout();
+    }
+    b.seed(3)
+        .duration(SimDuration::from_millis(500))
+        .warmup(SimDuration::from_millis(100))
+        .flow(
+            0,
+            n - 1,
+            Traffic::SaturatedUdp {
+                payload_bytes: 512,
+                backlog: 10,
+            },
+        )
+        .build()
+}
+
+/// Per-station audible-set sizes — static for a run, so computed once
+/// from a throwaway world and folded into the report metrics.
+fn audible_counts(n: u32, full_fanout: bool) -> Vec<f64> {
+    let world = chain(n, full_fanout).into_world();
+    (0..n)
+        .map(|i| world.medium().audible_count(NodeId(i)) as f64)
+        .collect()
+}
+
+fn bench_chain(h: &Harness, n: u32, full_fanout: bool) {
+    let name = if full_fanout {
+        format!("scaling/chain{n}_full_fanout")
+    } else {
+        format!("scaling/chain{n}")
+    };
+    let audible = audible_counts(n, full_fanout);
+    let max_audible = audible.iter().cloned().fold(0.0f64, f64::max);
+    h.bench_metrics(
+        &name,
+        move || chain(n, full_fanout).run(),
+        move |report, median| {
+            let events = report.engine.events as f64;
+            let frames: f64 = report.nodes.iter().map(|nr| nr.phy.tx_frames as f64).sum();
+            // Exact per-receiver arrivals: each of a station's frames is
+            // delivered to its whole (static) audible set.
+            let deliveries: f64 = report
+                .nodes
+                .iter()
+                .map(|nr| nr.phy.tx_frames as f64 * audible[nr.node.index()])
+                .sum();
+            vec![
+                ("events".into(), events),
+                ("ns_per_event".into(), median.as_nanos() as f64 / events),
+                (
+                    "sim_ns_per_wall_ns".into(),
+                    report.engine.sim_elapsed.as_nanos() as f64 / median.as_nanos() as f64,
+                ),
+                ("frames".into(), frames),
+                (
+                    "deliveries_per_frame".into(),
+                    if frames > 0.0 {
+                        deliveries / frames
+                    } else {
+                        0.0
+                    },
+                ),
+                ("max_audible".into(), max_audible),
+            ]
+        },
+    );
+}
+
+fn main() {
+    let h = Harness::from_args();
+    for n in [4u32, 16, 64, 256] {
+        bench_chain(&h, n, false);
+    }
+    bench_chain(&h, 256, true);
+    h.finish();
+}

@@ -251,8 +251,10 @@ impl Harness {
             }
             std::process::exit(1);
         }
+        let gated: Vec<&str> = GATED_METRICS.iter().map(|&(name, _)| name).collect();
         println!(
-            "perf gate: no ns_per_event / sim_ns_per_wall_ns regression > {}% vs {}",
+            "perf gate: no {} regression > {}% vs {}",
+            gated.join(" / "),
             self.tolerance_pct,
             baseline.display()
         );
@@ -281,9 +283,17 @@ fn resolve_repo_path(path: &std::path::Path) -> PathBuf {
 /// direction. `ns_per_event` regresses *upward*; `sim_ns_per_wall_ns`
 /// (simulated nanoseconds covered per wall nanosecond — the end-to-end
 /// speed, which stays honest when a change shrinks the event count
-/// itself) regresses *downward*.
-pub const GATED_METRICS: [(&str, bool); 2] =
-    [("ns_per_event", true), ("sim_ns_per_wall_ns", false)];
+/// itself) regresses *downward*. `deliveries_per_frame` (reported by
+/// the scaling group) regresses *upward* and — unlike the two
+/// wall-clock metrics — is exact arithmetic over static audible sets,
+/// so any tolerance catches a structural fan-out regression with zero
+/// run-to-run noise. Benches that don't report a gated metric are
+/// simply not gated on it.
+pub const GATED_METRICS: [(&str, bool); 3] = [
+    ("ns_per_event", true),
+    ("sim_ns_per_wall_ns", false),
+    ("deliveries_per_frame", true),
+];
 
 /// Compares run records against a committed `BENCH_*.json`: for every
 /// benchmark present in both with a gated metric (see [`GATED_METRICS`]),
@@ -461,6 +471,26 @@ mod tests {
         assert!(regressions[0].contains("sim_ns_per_wall_ns 250.0 vs baseline 400.0"));
         // …and going faster never trips it.
         assert!(check_against_baseline(&[speed_record("a", 4000.0)], baseline, 25.0).is_empty());
+    }
+
+    #[test]
+    fn baseline_gate_watches_structural_fanout_metric() {
+        let baseline = "{\"version\":\"dot11-bench/v1\",\"benches\":[\
+             {\"name\":\"a\",\"median_ns\":1,\"min_ns\":1,\"iters\":1,\
+              \"metrics\":{\"deliveries_per_frame\":31.4}}]}";
+        let fanout = |v: f64| BenchRecord {
+            name: "a".into(),
+            median_ns: 1_000,
+            min_ns: 900,
+            iters: 10,
+            metrics: vec![("deliveries_per_frame".into(), v)],
+        };
+        // Identical (the metric is deterministic) passes at any tolerance…
+        assert!(check_against_baseline(&[fanout(31.4)], baseline, 100.0).is_empty());
+        // …losing the culling win (full fan-out) trips even a wide gate.
+        let regressions = check_against_baseline(&[fanout(255.0)], baseline, 100.0);
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].contains("deliveries_per_frame"));
     }
 
     #[test]

@@ -29,7 +29,7 @@
 //! evidently had (their Figure 7 sessions move megabits).
 
 use desim::SimDuration;
-use dot11_phy::{DayProfile, Db, LogDistance, MediumConfig, Meters};
+use dot11_phy::{CullPolicy, DayProfile, Db, DualSlope, LogDistance, MediumConfig, Meters};
 
 /// The calibrated path-loss model (see module docs).
 pub fn calibrated_path_loss() -> LogDistance {
@@ -40,13 +40,32 @@ pub fn calibrated_path_loss() -> LogDistance {
     }
 }
 
+/// The large-topology path-loss model: the calibrated log-distance model
+/// up to a 500 m breakpoint (bit-identical there — every paper-scale cell
+/// sits well inside it), then fourth-power roll-off, the far-field slope
+/// of the two-ray ground regime. The exponent-2.42 near model alone never
+/// reaches ~128 dB of extra loss within any earthly field, so without the
+/// far slope the audible-set culling in `Medium` would have an infinite
+/// horizon; with it, stations beyond a couple of kilometres fall below
+/// `noise_floor − CULL_MARGIN_DB` and drop out of the fan-out.
+pub fn calibrated_dual_slope() -> DualSlope {
+    DualSlope {
+        near: calibrated_path_loss(),
+        breakpoint: Meters(500.0),
+        far_exponent: 4.0,
+    }
+}
+
 /// A ready-to-use medium configuration: calibrated path loss, the given
-/// day profile, and the paper's τ = 1 µs propagation delay.
+/// day profile, the paper's τ = 1 µs propagation delay, and no culling
+/// (standalone `Medium` users have no TX power bound on record; `World`
+/// installs the radio-aware audible-set policy itself).
 pub fn calibrated_medium_config(day: DayProfile) -> MediumConfig {
     MediumConfig {
         path_loss: calibrated_path_loss().into(),
         day,
         propagation_delay: SimDuration::from_micros(1),
+        cull: CullPolicy::Full,
     }
 }
 

@@ -21,13 +21,13 @@
 //! assert!(report.flow(dot11_net::FlowId(0)).throughput_kbps > 1000.0);
 //! ```
 
-use desim::SimDuration;
+use desim::{SimDuration, SimRng};
 use dot11_mac::MacConfig;
 use dot11_net::{FlowId, StaticRoutes};
 use dot11_phy::{DayProfile, NodeId, PathLossModel, PhyRate, Position, RadioConfig};
 use dot11_trace::TraceSink;
 
-use crate::calib::calibrated_path_loss;
+use crate::calib::{calibrated_dual_slope, calibrated_path_loss};
 use crate::stats::RunReport;
 use crate::world::World;
 
@@ -85,6 +85,7 @@ pub struct Scenario {
     pub(crate) seed: u64,
     pub(crate) duration: SimDuration,
     pub(crate) warmup: SimDuration,
+    pub(crate) full_fanout: bool,
 }
 
 impl std::fmt::Debug for Scenario {
@@ -147,6 +148,7 @@ impl ScenarioBuilder {
                 seed: 1,
                 duration: SimDuration::from_secs(10),
                 warmup: SimDuration::from_secs(1),
+                full_fanout: false,
             },
             next_flow: 0,
         }
@@ -164,6 +166,81 @@ impl ScenarioBuilder {
         for &x in xs {
             self.scenario.positions.push(Position::on_line(x));
         }
+        self
+    }
+
+    /// Large-topology generator: `n` stations on the x-axis, `spacing_m`
+    /// apart, with chain routing installed and the dual-slope path-loss
+    /// model (bit-identical to the calibrated model inside its 500 m
+    /// breakpoint, fourth-power roll-off beyond — so distant chain
+    /// segments have a finite interference horizon and audible-set
+    /// culling has something to cull).
+    pub fn chain(mut self, n: u32, spacing_m: f64) -> ScenarioBuilder {
+        assert!(n >= 2, "a chain needs at least 2 stations");
+        for i in 0..n {
+            self.scenario
+                .positions
+                .push(Position::on_line(i as f64 * spacing_m));
+        }
+        self.scenario.routes = StaticRoutes::chain(n);
+        self.scenario.path_loss = calibrated_dual_slope().into();
+        self
+    }
+
+    /// Large-topology generator: `rows × cols` stations on a square grid
+    /// with `spacing_m` pitch, west→east next-hop routes installed along
+    /// each row, and the dual-slope path-loss model (see
+    /// [`ScenarioBuilder::chain`]). Station ids are row-major from 0.
+    pub fn grid(mut self, rows: u32, cols: u32, spacing_m: f64) -> ScenarioBuilder {
+        assert!(rows >= 1 && cols >= 2, "a grid needs at least 1×2 stations");
+        let mut routes = StaticRoutes::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                self.scenario.positions.push(Position {
+                    x: c as f64 * spacing_m,
+                    y: r as f64 * spacing_m,
+                });
+            }
+            // Row r's eastmost station is every row flow's destination;
+            // each hop forwards one station east.
+            let east = NodeId(r * cols + (cols - 1));
+            for c in 0..cols - 1 {
+                let at = NodeId(r * cols + c);
+                let next = NodeId(r * cols + c + 1);
+                routes.add(at, east, next);
+            }
+        }
+        self.scenario.routes = routes;
+        self.scenario.path_loss = calibrated_dual_slope().into();
+        self
+    }
+
+    /// Large-topology generator: `n` stations placed uniformly at random
+    /// on a disk of radius `radius_m` (area-uniform: `r = R√u`), from the
+    /// dedicated topology stream `topo_seed` — independent of the run
+    /// seed so the same field can be simulated under many channel seeds.
+    /// Uses the dual-slope path-loss model; installs no routes (add flows
+    /// between mutually audible stations, or [`ScenarioBuilder::routes`]).
+    pub fn random_disk(mut self, n: u32, radius_m: f64, topo_seed: u64) -> ScenarioBuilder {
+        let mut rng = SimRng::from_seed(topo_seed).substream(b"topology/disk");
+        for _ in 0..n {
+            let r = radius_m * rng.gen_f64().sqrt();
+            let theta = 2.0 * std::f64::consts::PI * rng.gen_f64();
+            self.scenario.positions.push(Position {
+                x: r * theta.cos(),
+                y: r * theta.sin(),
+            });
+        }
+        self.scenario.path_loss = calibrated_dual_slope().into();
+        self
+    }
+
+    /// Disables audible-set culling: every frame is delivered to all
+    /// other stations regardless of received power, as before PR 5. Used
+    /// by the A/B equivalence tests and the scaling benchmark's
+    /// full-fanout baseline.
+    pub fn full_fanout(mut self) -> ScenarioBuilder {
+        self.scenario.full_fanout = true;
         self
     }
 

@@ -16,7 +16,10 @@ use desim::{EventHandle, SimDuration, SimRng, SimTime, Simulator};
 use dot11_mac::{DcfMac, FrameKind, MacAction, MacFrame, MacSdu, TimerKind};
 use dot11_net::{CbrSource, SaturatedSource, TcpConfig};
 use dot11_net::{FlowId, Packet, Segment, StaticRoutes, TcpOutput, TcpReceiver, TcpSender};
-use dot11_phy::{Medium, MediumConfig, NodeId, PhyState, RxOutcomeKind, Shadowing, TxId, TxSignal};
+use dot11_phy::{
+    CullPolicy, Medium, MediumConfig, NodeId, PhyState, RxOutcomeKind, Shadowing, TxId, TxSignal,
+    CULL_MARGIN_DB,
+};
 use dot11_trace::{FrameClass, NullSink, RxErrorCause, TraceRecord, TraceSink};
 
 use crate::node::{Node, UdpSink};
@@ -183,9 +186,25 @@ impl<S: TraceSink + Clone> World<S> {
             seed,
             duration,
             warmup,
+            full_fanout,
         } = scenario;
         let master = SimRng::from_seed(seed);
         let shadowing = Shadowing::new(day.clone(), master.substream(b"shadowing"));
+        // Audible-set culling: the world knows every station transmits at
+        // the radio's (single) TX power, so it can bound each link's
+        // best-case received power at construction and skip receivers
+        // that can never rise above noise_floor − CULL_MARGIN_DB. On the
+        // paper-scale scenarios no link is culled (regression-tested), so
+        // reports are bit-identical with or without the policy.
+        let cull = if full_fanout {
+            CullPolicy::Full
+        } else {
+            CullPolicy::Audible {
+                tx_power: radio.tx_power,
+                noise_floor: radio.noise_floor,
+                margin: dot11_phy::Db(CULL_MARGIN_DB),
+            }
+        };
         let medium = Medium::new(
             positions.clone(),
             shadowing,
@@ -193,6 +212,7 @@ impl<S: TraceSink + Clone> World<S> {
                 path_loss,
                 day,
                 propagation_delay: desim::SimDuration::from_micros(1),
+                cull,
             },
         );
         let mut radio = radio;
@@ -225,13 +245,15 @@ impl<S: TraceSink + Clone> World<S> {
         sim.schedule_at(SimTime::ZERO + warmup, Event::MeasureStart);
         // Pre-warm the delivery pool: at most one in-flight transmission
         // per station (a keyed-up radio cannot start another), each
-        // scattering to at most n − 1 receivers. Sizing it up front keeps
-        // the steady state allocation-free even when the first deep
-        // overlap happens late in a run.
+        // scattering to at most max_audible_count() receivers — the
+        // audible sets shrink the pooled buffers along with the fan-out.
+        // Sizing it up front keeps the steady state allocation-free even
+        // when the first deep overlap happens late in a run.
         let mut delivery_pool = BufPool::new();
         let n_stations = nodes.len();
+        let delivery_capacity = medium.max_audible_count();
         for _ in 0..n_stations {
-            delivery_pool.put(Vec::with_capacity(n_stations));
+            delivery_pool.put(Vec::with_capacity(delivery_capacity));
         }
         let mut world = World {
             sim,
@@ -312,6 +334,13 @@ impl<S: TraceSink + Clone> World<S> {
             self.sink.finish(end);
         }
         self.report(wall_start.elapsed())
+    }
+
+    /// The assembled medium — lets tests and benchmarks inspect the
+    /// audible sets (e.g. assert that a paper scenario culled nothing, or
+    /// report the fan-out a topology actually produces).
+    pub fn medium(&self) -> &Medium {
+        &self.medium
     }
 
     /// Dispatches events until the next one would land after `end`.

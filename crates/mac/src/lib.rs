@@ -33,6 +33,8 @@
 //! assert!(matches!(out[0], MacAction::StartTimer { kind: TimerKind::Difs, .. }));
 //! ```
 
+#![warn(missing_docs)]
+
 mod arf;
 mod config;
 mod counters;

@@ -35,6 +35,8 @@
 //! assert_eq!(air.total().as_micros(), 192 + 1090); // 12000 bits / 11 Mb/s
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod ber;
 pub mod medium;
 pub mod pathloss;
@@ -46,11 +48,11 @@ pub mod state;
 pub mod units;
 
 pub use ber::{ber, packet_success_prob, Modulation};
-pub use medium::{Medium, MediumConfig, TxId, TxSignal};
-pub use pathloss::{FreeSpace, LogDistance, PathLoss, PathLossModel, TwoRayGround};
+pub use medium::{CullPolicy, Medium, MediumConfig, TxId, TxSignal, CULL_MARGIN_DB};
+pub use pathloss::{DualSlope, FreeSpace, LogDistance, PathLoss, PathLossModel, TwoRayGround};
 pub use plcp::{FrameAirtime, Preamble};
 pub use radio::RadioConfig;
 pub use rate::PhyRate;
-pub use shadowing::{DayProfile, Shadowing};
+pub use shadowing::{DayProfile, Shadowing, DEVIATION_BOUND_DB};
 pub use state::{Airtime, PhyIndication, PhyState, RxOutcome, RxOutcomeKind};
 pub use units::{Db, Dbm, Meters, MilliWatts, NodeId, Position};

@@ -19,6 +19,41 @@ use crate::units::{Db, Dbm, Meters, NodeId, Position};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TxId(pub u64);
 
+/// Default culling margin (dB) below the noise floor for
+/// [`CullPolicy::Audible`].
+///
+/// A link is kept whenever its *best-case* received power — TX power
+/// minus cached path loss minus [`DayProfile::min_excess`] — still clears
+/// `noise_floor − CULL_MARGIN_DB`. At 25 dB below a −96.6 dBm noise floor
+/// a culled signal is ≤ −121.6 dBm ≈ 7·10⁻¹³ mW, more than 300× below
+/// the weakest signal the PHY will ever carrier-sense (−101.5 dBm) and
+/// ~10⁻⁵ of the noise power that dominates every SINR denominator, so
+/// dropping it cannot flip a carrier-sense comparison or change a decode
+/// probability beyond the float's low bits (see ARCHITECTURE.md,
+/// "Audible sets & scaling", for the full soundness argument).
+pub const CULL_MARGIN_DB: f64 = 25.0;
+
+/// How [`Medium`] decides, at construction, which receivers each
+/// transmitter can possibly reach.
+#[derive(Debug, Clone, Copy)]
+pub enum CullPolicy {
+    /// Deliver every frame to all other stations — O(N) fan-out, the
+    /// pre-culling behaviour. Kept for A/B comparison and as the safe
+    /// default for hand-built media whose TX power is unknown.
+    Full,
+    /// Deliver only to receivers whose best-case received power clears
+    /// `noise_floor − margin`. Sound only if every transmission uses at
+    /// most `tx_power` (checked by a debug assertion on the hot path).
+    Audible {
+        /// Upper bound on the TX power any station will use.
+        tx_power: Dbm,
+        /// The receivers' thermal noise floor.
+        noise_floor: Dbm,
+        /// Safety margin below the noise floor (see [`CULL_MARGIN_DB`]).
+        margin: Db,
+    },
+}
+
 /// Static configuration of the medium.
 #[derive(Clone)]
 pub struct MediumConfig {
@@ -30,6 +65,8 @@ pub struct MediumConfig {
     /// Propagation delay applied uniformly (the paper's Table 1 lists
     /// τ = 1 µs).
     pub propagation_delay: SimDuration,
+    /// Audible-set culling policy applied when the link matrix is built.
+    pub cull: CullPolicy,
 }
 
 impl std::fmt::Debug for MediumConfig {
@@ -38,6 +75,7 @@ impl std::fmt::Debug for MediumConfig {
             .field("path_loss", &self.path_loss)
             .field("day", &self.day.name)
             .field("propagation_delay", &self.propagation_delay)
+            .field("cull", &self.cull)
             .finish()
     }
 }
@@ -80,11 +118,25 @@ pub struct Medium {
     /// pair — exactly the values `path_loss.path_loss(distance(tx, rx))`
     /// would produce, so cached and recomputed powers are bit-identical.
     links: Vec<(Meters, Db)>,
+    /// CSR layout of the per-transmitter audible sets: transmitter `t`'s
+    /// receivers are `audible[audible_offsets[t] .. audible_offsets[t+1]]`,
+    /// in station order, never containing `t` itself. Under
+    /// [`CullPolicy::Full`] this is simply "everyone else".
+    audible: Vec<NodeId>,
+    audible_offsets: Vec<u32>,
     next_tx: u64,
 }
 
 impl Medium {
     /// Creates a medium over the given station positions.
+    ///
+    /// Besides the deterministic link matrix, construction precomputes
+    /// each transmitter's **audible set** under `config.cull`: the
+    /// receivers whose best-case received power (TX power bound − cached
+    /// path loss − [`DayProfile::min_excess`]) clears
+    /// `noise_floor − margin`. [`Medium::transmit_into`] scatters only
+    /// over that list, making per-frame fan-out O(reachable) rather than
+    /// O(N).
     pub fn new(positions: Vec<Position>, shadowing: Shadowing, config: MediumConfig) -> Medium {
         let n = positions.len();
         let mut links = Vec::with_capacity(n * n);
@@ -94,11 +146,40 @@ impl Medium {
                 links.push((d, config.path_loss.path_loss(d)));
             }
         }
+        let min_excess = config.day.min_excess();
+        let mut audible = Vec::new();
+        let mut audible_offsets = Vec::with_capacity(n + 1);
+        audible_offsets.push(0u32);
+        for tx in 0..n {
+            for rx in 0..n {
+                if rx == tx {
+                    continue;
+                }
+                let keep = match config.cull {
+                    CullPolicy::Full => true,
+                    CullPolicy::Audible {
+                        tx_power,
+                        noise_floor,
+                        margin,
+                    } => {
+                        let (_, pl) = links[tx * n + rx];
+                        let best_case = tx_power - pl - min_excess;
+                        best_case.0 >= noise_floor.0 - margin.0
+                    }
+                };
+                if keep {
+                    audible.push(NodeId(rx as u32));
+                }
+            }
+            audible_offsets.push(audible.len() as u32);
+        }
         Medium {
             positions,
             shadowing,
             config,
             links,
+            audible,
+            audible_offsets,
             next_tx: 0,
         }
     }
@@ -133,6 +214,38 @@ impl Medium {
         self.config.propagation_delay
     }
 
+    /// The audible set of `tx`: the receivers `transmit_into` will
+    /// scatter to, in station order.
+    pub fn audible_set(&self, tx: NodeId) -> &[NodeId] {
+        let start = self.audible_offsets[tx.index()] as usize;
+        let end = self.audible_offsets[tx.index() + 1] as usize;
+        &self.audible[start..end]
+    }
+
+    /// Number of receivers in `tx`'s audible set.
+    pub fn audible_count(&self, tx: NodeId) -> usize {
+        self.audible_set(tx).len()
+    }
+
+    /// The largest audible set over all transmitters — the capacity a
+    /// delivery buffer needs so the steady-state path never reallocates.
+    pub fn max_audible_count(&self) -> usize {
+        (0..self.positions.len())
+            .map(|t| self.audible_count(NodeId(t as u32)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of directed links removed by the culling policy, out of
+    /// `n·(n−1)` total. Zero under [`CullPolicy::Full`] — and zero on all
+    /// paper-scale scenarios even under [`CullPolicy::Audible`], which is
+    /// what makes culling physics-invisible there (asserted by the
+    /// cull-exactness regression test).
+    pub fn culled_link_count(&self) -> usize {
+        let n = self.positions.len();
+        n * n.saturating_sub(1) - self.audible.len()
+    }
+
     /// Samples the received power on the directed link `tx → rx` at `now`
     /// given the transmitter's TX power: (cached) path loss plus the
     /// current shadowing state of that link.
@@ -143,10 +256,15 @@ impl Medium {
     }
 
     /// Launches a transmission at `now` from `source`, appending the
-    /// signal as it will appear at every *other* station (in station
-    /// order) to `deliveries`, powers sampled at launch (block-fading per
-    /// frame). The buffer is cleared first, so callers reuse one scratch
-    /// `Vec` across frames and the steady-state path never allocates.
+    /// signal as it will appear at every station in `source`'s audible
+    /// set (in station order) to `deliveries`, powers sampled at launch
+    /// (block-fading per frame).
+    ///
+    /// `deliveries` must arrive **empty** (debug-asserted): the old
+    /// per-frame `clear()`/`reserve()` is hoisted to the caller, which
+    /// sizes its pooled buffers once at construction via
+    /// [`Medium::max_audible_count`], so the steady-state path neither
+    /// clears nor allocates here.
     #[allow(clippy::too_many_arguments)] // the per-frame signature is flat on purpose
     pub fn transmit_into(
         &mut self,
@@ -158,18 +276,29 @@ impl Medium {
         now: SimTime,
         deliveries: &mut Vec<(NodeId, TxSignal)>,
     ) -> (TxId, FrameAirtime) {
+        debug_assert!(
+            deliveries.is_empty(),
+            "transmit_into expects an empty delivery buffer"
+        );
+        #[cfg(debug_assertions)]
+        if let CullPolicy::Audible {
+            tx_power: bound, ..
+        } = self.config.cull
+        {
+            debug_assert!(
+                tx_power.0 <= bound.0,
+                "transmit at {tx_power:?} exceeds the audible-set TX power bound {bound:?}"
+            );
+        }
         let tx_id = TxId(self.next_tx);
         self.next_tx += 1;
         let airtime = FrameAirtime::new(mpdu_bytes, rate, preamble);
         let starts_at = now + self.config.propagation_delay;
         let ends_at = starts_at + airtime.total();
-        deliveries.clear();
-        deliveries.reserve(self.positions.len().saturating_sub(1));
-        for idx in 0..self.positions.len() {
-            let rx = NodeId(idx as u32);
-            if rx == source {
-                continue;
-            }
+        let start = self.audible_offsets[source.index()] as usize;
+        let end = self.audible_offsets[source.index() + 1] as usize;
+        for i in start..end {
+            let rx = self.audible[i];
             let rx_power = self.rx_power(source, rx, tx_power, now);
             deliveries.push((
                 rx,
@@ -190,6 +319,8 @@ impl Medium {
 
     /// Allocating convenience form of [`Medium::transmit_into`] for tests
     /// and one-shot callers; the event loop uses the scratch-buffer form.
+    /// Delegates through the same audible-list path so the two forms
+    /// cannot drift.
     pub fn transmit(
         &mut self,
         source: NodeId,
@@ -232,6 +363,7 @@ mod tests {
                 path_loss: LogDistance::anchored_at_free_space_1m(3.0).into(),
                 day,
                 propagation_delay: SimDuration::from_micros(1),
+                cull: CullPolicy::Full,
             },
         )
     }
@@ -319,27 +451,17 @@ mod tests {
             }
         }
         // Two identically seeded media: transmit vs transmit_into agree
-        // bit-for-bit, scratch garbage notwithstanding.
+        // bit-for-bit. The caller owns clearing now, mirroring World's
+        // pooled-buffer discipline.
         let mut a = medium(positions.clone(), false);
         let mut b = medium(positions, false);
-        let mut scratch = vec![(
-            NodeId(9),
-            TxSignal {
-                tx_id: TxId(999),
-                source: NodeId(9),
-                rx_power: Dbm(0.0),
-                rate: PhyRate::R1,
-                mpdu_bytes: 1,
-                preamble: Preamble::Short,
-                starts_at: SimTime::ZERO,
-                ends_at: SimTime::ZERO,
-            },
-        )];
+        let mut scratch = Vec::new();
         for frame in 0..8u64 {
             let now = SimTime::from_micros(frame * 300);
             let src = NodeId((frame % 4) as u32);
             let (id_a, air_a, dels_a) =
                 a.transmit(src, Dbm(15.0), PhyRate::R11, 534, Preamble::Long, now);
+            scratch.clear();
             let (id_b, air_b) = b.transmit_into(
                 src,
                 Dbm(15.0),
@@ -357,6 +479,142 @@ mod tests {
                 assert_eq!(sig_a.rx_power.0.to_bits(), sig_b.rx_power.0.to_bits());
                 assert_eq!(sig_a.starts_at, sig_b.starts_at);
                 assert_eq!(sig_a.ends_at, sig_b.ends_at);
+            }
+        }
+    }
+
+    fn audible_medium(positions: Vec<Position>, margin: f64) -> Medium {
+        let day = DayProfile::clear();
+        Medium::new(
+            positions,
+            Shadowing::new(day.clone(), SimRng::from_seed(5)),
+            MediumConfig {
+                path_loss: LogDistance::anchored_at_free_space_1m(3.0).into(),
+                day,
+                propagation_delay: SimDuration::from_micros(1),
+                cull: CullPolicy::Audible {
+                    tx_power: Dbm(15.0),
+                    noise_floor: Dbm(-96.6),
+                    margin: Db(margin),
+                },
+            },
+        )
+    }
+
+    #[test]
+    fn audible_sets_cull_unreachable_receivers_only() {
+        // With exponent 3.0 the cull horizon at margin 25 dB sits where
+        // path loss exceeds 15 + 96.6 + 25 + 16 ≈ 152.6 dB → ~5.6 km.
+        // One station far beyond that, three well inside.
+        let positions = vec![
+            Position::on_line(0.0),
+            Position::on_line(50.0),
+            Position::on_line(100.0),
+            Position::on_line(50_000.0),
+        ];
+        let m = audible_medium(positions.clone(), CULL_MARGIN_DB);
+        // Near stations hear each other but not the far one.
+        assert_eq!(
+            m.audible_set(NodeId(0)),
+            &[NodeId(1), NodeId(2)],
+            "far station should be culled from 0's set"
+        );
+        assert_eq!(m.audible_set(NodeId(3)), &[] as &[NodeId]);
+        assert_eq!(m.audible_count(NodeId(1)), 2);
+        assert_eq!(m.max_audible_count(), 2);
+        // 12 directed links total; 6 involve the far station.
+        assert_eq!(m.culled_link_count(), 6);
+
+        // The full policy keeps everything.
+        let full = medium(positions, false);
+        assert_eq!(full.culled_link_count(), 0);
+        assert_eq!(full.max_audible_count(), 3);
+        assert_eq!(
+            full.audible_set(NodeId(0)),
+            &[NodeId(1), NodeId(2), NodeId(3)]
+        );
+    }
+
+    #[test]
+    fn transmit_scatters_over_audible_set_only() {
+        let positions = vec![
+            Position::on_line(0.0),
+            Position::on_line(50.0),
+            Position::on_line(50_000.0),
+        ];
+        let mut m = audible_medium(positions, CULL_MARGIN_DB);
+        let now = SimTime::from_millis(1);
+        let (_, _, deliveries) = m.transmit(
+            NodeId(0),
+            Dbm(15.0),
+            PhyRate::R2,
+            112 / 8,
+            Preamble::Long,
+            now,
+        );
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].0, NodeId(1));
+        // An isolated transmitter delivers to nobody.
+        let (_, _, empty) = m.transmit(
+            NodeId(2),
+            Dbm(15.0),
+            PhyRate::R2,
+            112 / 8,
+            Preamble::Long,
+            now,
+        );
+        assert!(empty.is_empty());
+    }
+
+    /// Culling must never perturb the powers of the links it keeps: the
+    /// kept deliveries of a culled medium are bit-identical to the same
+    /// links in a full-fanout medium with the same seed, because per-link
+    /// shadowing substreams are call-order independent.
+    #[test]
+    fn kept_links_are_bitwise_unaffected_by_culling() {
+        let positions = vec![
+            Position::on_line(0.0),
+            Position::on_line(60.0),
+            Position { x: 30.0, y: 40.0 },
+            Position::on_line(40_000.0),
+        ];
+        let day = DayProfile::clear();
+        let mk = |cull: CullPolicy| {
+            Medium::new(
+                positions.clone(),
+                Shadowing::new(day.clone(), SimRng::from_seed(11)),
+                MediumConfig {
+                    path_loss: LogDistance::anchored_at_free_space_1m(3.0).into(),
+                    day: day.clone(),
+                    propagation_delay: SimDuration::from_micros(1),
+                    cull,
+                },
+            )
+        };
+        let mut full = mk(CullPolicy::Full);
+        let mut culled = mk(CullPolicy::Audible {
+            tx_power: Dbm(15.0),
+            noise_floor: Dbm(-96.6),
+            margin: Db(CULL_MARGIN_DB),
+        });
+        assert!(culled.culled_link_count() > 0);
+        for frame in 0..6u64 {
+            let now = SimTime::from_micros(frame * 500);
+            let src = NodeId((frame % 3) as u32);
+            let (_, _, dels_full) =
+                full.transmit(src, Dbm(15.0), PhyRate::R11, 534, Preamble::Long, now);
+            let (_, _, dels_culled) =
+                culled.transmit(src, Dbm(15.0), PhyRate::R11, 534, Preamble::Long, now);
+            for (rx, sig) in &dels_culled {
+                let (_, sig_full) = dels_full
+                    .iter()
+                    .find(|(r, _)| r == rx)
+                    .expect("kept link present in full fan-out");
+                assert_eq!(
+                    sig.rx_power.0.to_bits(),
+                    sig_full.rx_power.0.to_bits(),
+                    "kept link {src:?}->{rx:?} perturbed by culling"
+                );
             }
         }
     }

@@ -118,6 +118,43 @@ impl PathLoss for LogDistance {
     }
 }
 
+/// Dual-slope log-distance loss: a near region that follows an inner
+/// [`LogDistance`] model up to `breakpoint`, then a steeper far region
+/// with exponent `far_exponent`, continuous at the breakpoint:
+///
+/// ```text
+/// PL(d) = near(d)                                   d ≤ breakpoint
+/// PL(d) = near(breakpoint) + 10 n_far log10(d/bp)   d > breakpoint
+/// ```
+///
+/// The large-topology scenario families use this model: within the
+/// breakpoint it is *bit-identical* to the calibrated near model (so the
+/// physics of any paper-scale cell is untouched), while the far region's
+/// fourth-power-style roll-off gives distant stations a finite horizon —
+/// the precondition for the audible-set culling in [`crate::Medium`] to
+/// actually cull anything on a multi-kilometre chain.
+#[derive(Debug, Clone, Copy)]
+pub struct DualSlope {
+    /// The model used verbatim inside the breakpoint.
+    pub near: LogDistance,
+    /// Distance at which the slope steepens.
+    pub breakpoint: Meters,
+    /// Path-loss exponent beyond the breakpoint.
+    pub far_exponent: f64,
+}
+
+impl PathLoss for DualSlope {
+    fn path_loss(&self, distance: Meters) -> Db {
+        let d = clamp_distance(distance);
+        if d <= self.breakpoint.0 {
+            self.near.path_loss(Meters(d))
+        } else {
+            Db(self.near.path_loss(self.breakpoint).0
+                + 10.0 * self.far_exponent * (d / self.breakpoint.0).log10())
+        }
+    }
+}
+
 /// Two-ray ground-reflection model with a free-space near region — the
 /// model ns-2 used for its 250 m default range, kept as the "simulative
 /// tools" baseline the paper argues against.
@@ -193,6 +230,8 @@ pub enum PathLossModel {
     FreeSpace(FreeSpace),
     /// Log-distance loss (the calibrated outdoor model).
     LogDistance(LogDistance),
+    /// Dual-slope log-distance loss (the large-topology model).
+    DualSlope(DualSlope),
     /// Two-ray ground reflection (the ns-2 comparison baseline).
     TwoRayGround(TwoRayGround),
 }
@@ -202,6 +241,7 @@ impl PathLoss for PathLossModel {
         match self {
             PathLossModel::FreeSpace(m) => m.path_loss(distance),
             PathLossModel::LogDistance(m) => m.path_loss(distance),
+            PathLossModel::DualSlope(m) => m.path_loss(distance),
             PathLossModel::TwoRayGround(m) => m.path_loss(distance),
         }
     }
@@ -216,6 +256,12 @@ impl From<FreeSpace> for PathLossModel {
 impl From<LogDistance> for PathLossModel {
     fn from(m: LogDistance) -> PathLossModel {
         PathLossModel::LogDistance(m)
+    }
+}
+
+impl From<DualSlope> for PathLossModel {
+    fn from(m: DualSlope) -> PathLossModel {
+        PathLossModel::DualSlope(m)
     }
 }
 
@@ -238,11 +284,50 @@ mod tests {
         }
     }
 
+    fn dual_slope() -> DualSlope {
+        DualSlope {
+            near: LogDistance::anchored_at_free_space_1m(2.42),
+            breakpoint: Meters(500.0),
+            far_exponent: 4.0,
+        }
+    }
+
     #[test]
     fn all_models_monotone_in_distance() {
         monotone(&FreeSpace::at_2_4_ghz());
         monotone(&LogDistance::anchored_at_free_space_1m(3.0));
+        monotone(&dual_slope());
         monotone(&TwoRayGround::ns2_default());
+    }
+
+    #[test]
+    fn dual_slope_matches_near_model_bitwise_inside_breakpoint() {
+        let ds = dual_slope();
+        for d in [0.5, 1.0, 25.0, 80.0, 250.0, 499.9, 500.0] {
+            assert_eq!(
+                ds.path_loss(Meters(d)).0.to_bits(),
+                ds.near.path_loss(Meters(d)).0.to_bits(),
+                "near region must be bit-identical at {d} m"
+            );
+        }
+    }
+
+    #[test]
+    fn dual_slope_continuous_at_breakpoint_and_steeper_beyond() {
+        let ds = dual_slope();
+        let just_below = ds.path_loss(Meters(499.999)).0;
+        let just_above = ds.path_loss(Meters(500.001)).0;
+        assert!(
+            (just_above - just_below).abs() < 0.01,
+            "discontinuity at breakpoint"
+        );
+        let d1 = ds.path_loss(Meters(1000.0)).0;
+        let d2 = ds.path_loss(Meters(10_000.0)).0;
+        assert!(
+            (d2 - d1 - 40.0).abs() < 1e-9,
+            "far slope should be 40 dB/decade, got {}",
+            d2 - d1
+        );
     }
 
     #[test]
@@ -309,12 +394,14 @@ mod tests {
 
     #[test]
     fn enum_dispatch_matches_direct_calls_bitwise() {
-        let cases: [(PathLossModel, &dyn PathLoss); 3] = [
+        let ds = dual_slope();
+        let cases: [(PathLossModel, &dyn PathLoss); 4] = [
             (FreeSpace::at_2_4_ghz().into(), &FreeSpace::at_2_4_ghz()),
             (
                 LogDistance::anchored_at_free_space_1m(2.42).into(),
                 &LogDistance::anchored_at_free_space_1m(2.42),
             ),
+            (ds.into(), &ds),
             (
                 TwoRayGround::ns2_default().into(),
                 &TwoRayGround::ns2_default(),

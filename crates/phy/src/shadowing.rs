@@ -26,6 +26,21 @@ use desim::{SimDuration, SimRng, SimTime};
 
 use crate::units::{Db, Meters, NodeId};
 
+/// Hard bound on the total random deviation (slow + fast, dB) a single
+/// [`Shadowing::sample`] may return around the profile's `extra_loss`.
+///
+/// The deviation is clamped at *read time*; the underlying AR(1)/slow
+/// state evolves unclamped, so trajectories are unchanged and only the
+/// astronomically rare excursion is truncated. For every shipped profile
+/// the combined σ is at most ≈2.9 dB, putting the bound past 5.5σ —
+/// P(hit) < 2·10⁻⁸ per sample, far below one expected hit across all
+/// golden runs. What the clamp buys is a *strict* link-budget bound: the
+/// received power on a link can never exceed
+/// `tx_power − path_loss − extra_loss + DEVIATION_BOUND_DB`, which is
+/// what makes the audible-set culling in [`crate::Medium`] sound rather
+/// than merely probabilistic (see `ARCHITECTURE.md`, "Audible sets").
+pub const DEVIATION_BOUND_DB: f64 = 16.0;
+
 /// Weather/epoch profile for a measurement day.
 ///
 /// # Example
@@ -96,6 +111,21 @@ impl DayProfile {
             coherence: SimDuration::from_millis(300),
             sigma_full_distance: Meters(75.0),
             seed_salt: 0,
+        }
+    }
+
+    /// Lower bound (dB) on the excess loss any [`Shadowing::sample`] call
+    /// under this profile can ever return, i.e. the *best case* for a
+    /// receiver. With both sigmas zero the sample short-circuits to
+    /// exactly `extra_loss`; otherwise the read-time clamp guarantees the
+    /// random deviation never exceeds [`DEVIATION_BOUND_DB`] in the
+    /// receiver's favour. [`crate::Medium`] uses this to build sound
+    /// audible sets.
+    pub fn min_excess(&self) -> Db {
+        if self.sigma_slow.0 == 0.0 && self.sigma_fast.0 == 0.0 {
+            self.extra_loss
+        } else {
+            Db(self.extra_loss.0 - DEVIATION_BOUND_DB)
         }
     }
 }
@@ -177,7 +207,9 @@ impl Shadowing {
             state.fast_db = rho * state.fast_db + rng.gen_normal(0.0, innov.max(0.0));
             state.at = now;
         }
-        Db(self.profile.extra_loss.0 + state.slow_db + state.fast_db)
+        let deviation =
+            (state.slow_db + state.fast_db).clamp(-DEVIATION_BOUND_DB, DEVIATION_BOUND_DB);
+        Db(self.profile.extra_loss.0 + deviation)
     }
 }
 
@@ -336,6 +368,54 @@ mod tests {
             (very_far - far).abs() < 0.4,
             "variance saturates: {far:.2} vs {very_far:.2}"
         );
+    }
+
+    #[test]
+    fn deviation_is_hard_bounded_for_every_profile() {
+        for profile in [DayProfile::clear(), DayProfile::rainy()] {
+            let extra = profile.extra_loss.0;
+            let mut s = process(profile, 13);
+            for i in 0..5000u32 {
+                let v = s
+                    .sample(
+                        NodeId(i),
+                        NodeId(i + 50_000),
+                        Meters(200.0),
+                        SimTime::from_secs(3),
+                    )
+                    .0;
+                assert!(
+                    (v - extra).abs() <= DEVIATION_BOUND_DB,
+                    "deviation {v} escaped the ±{DEVIATION_BOUND_DB} dB bound"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn min_excess_bounds_every_sample_from_below() {
+        for profile in [
+            DayProfile::clear(),
+            DayProfile::rainy(),
+            DayProfile::still(),
+        ] {
+            let floor = profile.min_excess().0;
+            let mut s = process(profile, 17);
+            for i in 0..2000u32 {
+                let v = s
+                    .sample(
+                        NodeId(i),
+                        NodeId(i + 20_000),
+                        Meters(150.0),
+                        SimTime::from_secs(1),
+                    )
+                    .0;
+                assert!(v >= floor, "sample {v} fell below min_excess {floor}");
+            }
+        }
+        assert_eq!(DayProfile::still().min_excess().0, 0.0);
+        assert_eq!(DayProfile::clear().min_excess().0, -DEVIATION_BOUND_DB);
+        assert_eq!(DayProfile::rainy().min_excess().0, 4.0 - DEVIATION_BOUND_DB);
     }
 
     #[test]

@@ -42,6 +42,42 @@ pub enum SweepScenario {
         /// Access scheme.
         scheme: AccessScheme,
     },
+    /// Large topology: an `n`-station chain with `spacing_m` pitch, chain
+    /// routing, dual-slope path loss, and one saturated UDP flow end to
+    /// end (PR 5's scaling family).
+    Chain {
+        /// Number of stations.
+        n: u32,
+        /// Inter-station spacing, meters.
+        spacing_m: f64,
+        /// NIC data rate.
+        rate: PhyRate,
+    },
+    /// Large topology: a `rows × cols` grid with `spacing_m` pitch,
+    /// west→east row routes, and one saturated UDP flow per row.
+    Grid {
+        /// Grid rows.
+        rows: u32,
+        /// Grid columns.
+        cols: u32,
+        /// Grid pitch, meters.
+        spacing_m: f64,
+        /// NIC data rate.
+        rate: PhyRate,
+    },
+    /// Large topology: `n` stations uniform on a disk of `radius_m`
+    /// (field drawn from `topo_seed`, independent of the run seed), with
+    /// three saturated UDP flows between the first six stations.
+    RandomDisk {
+        /// Number of stations (≥ 6).
+        n: u32,
+        /// Disk radius, meters.
+        radius_m: f64,
+        /// Seed of the dedicated topology stream.
+        topo_seed: u64,
+        /// NIC data rate.
+        rate: PhyRate,
+    },
 }
 
 fn rate_kbps(rate: PhyRate) -> u32 {
@@ -99,6 +135,33 @@ impl SweepScenario {
                 transport_tag(transport),
                 scheme_tag(scheme)
             ),
+            SweepScenario::Chain { n, spacing_m, rate } => {
+                format!("chain/{}x{}m/{}k/udp", n, spacing_m, rate_kbps(rate))
+            }
+            SweepScenario::Grid {
+                rows,
+                cols,
+                spacing_m,
+                rate,
+            } => format!(
+                "grid/{}x{}x{}m/{}k/udp",
+                rows,
+                cols,
+                spacing_m,
+                rate_kbps(rate)
+            ),
+            SweepScenario::RandomDisk {
+                n,
+                radius_m,
+                topo_seed,
+                rate,
+            } => format!(
+                "disk/{}@{}m/t{}/{}k/udp",
+                n,
+                radius_m,
+                topo_seed,
+                rate_kbps(rate)
+            ),
         }
     }
 
@@ -128,6 +191,36 @@ impl SweepScenario {
                 h.write_f64(distance_m);
                 h.write_str(transport_tag(transport));
                 h.write_str(scheme_tag(scheme));
+            }
+            SweepScenario::Chain { n, spacing_m, rate } => {
+                h.write_str("chain");
+                h.write_u32(n);
+                h.write_f64(spacing_m);
+                h.write_u32(rate_kbps(rate));
+            }
+            SweepScenario::Grid {
+                rows,
+                cols,
+                spacing_m,
+                rate,
+            } => {
+                h.write_str("grid");
+                h.write_u32(rows);
+                h.write_u32(cols);
+                h.write_f64(spacing_m);
+                h.write_u32(rate_kbps(rate));
+            }
+            SweepScenario::RandomDisk {
+                n,
+                radius_m,
+                topo_seed,
+                rate,
+            } => {
+                h.write_str("random_disk");
+                h.write_u32(n);
+                h.write_f64(radius_m);
+                h.write_u64(topo_seed);
+                h.write_u32(rate_kbps(rate));
             }
         }
     }
@@ -169,6 +262,67 @@ impl SweepScenario {
                     .warmup(params.warmup)
                     .flow(0, 1, traffic)
                     .build()
+            }
+            SweepScenario::Chain { n, spacing_m, rate } => ScenarioBuilder::new(rate)
+                .chain(n, spacing_m)
+                .seed(seed)
+                .duration(params.duration)
+                .warmup(params.warmup)
+                .flow(
+                    0,
+                    n - 1,
+                    Traffic::SaturatedUdp {
+                        payload_bytes: 512,
+                        backlog: 10,
+                    },
+                )
+                .build(),
+            SweepScenario::Grid {
+                rows,
+                cols,
+                spacing_m,
+                rate,
+            } => {
+                let mut b = ScenarioBuilder::new(rate)
+                    .grid(rows, cols, spacing_m)
+                    .seed(seed)
+                    .duration(params.duration)
+                    .warmup(params.warmup);
+                for r in 0..rows {
+                    b = b.flow(
+                        r * cols,
+                        r * cols + cols - 1,
+                        Traffic::SaturatedUdp {
+                            payload_bytes: 512,
+                            backlog: 10,
+                        },
+                    );
+                }
+                b.build()
+            }
+            SweepScenario::RandomDisk {
+                n,
+                radius_m,
+                topo_seed,
+                rate,
+            } => {
+                assert!(n >= 6, "random_disk needs ≥ 6 stations for its flows");
+                let mut b = ScenarioBuilder::new(rate)
+                    .random_disk(n, radius_m, topo_seed)
+                    .seed(seed)
+                    .duration(params.duration)
+                    .warmup(params.warmup);
+                for (src, dst) in [(0, 1), (2, 3), (4, 5)] {
+                    b = b.flow(
+                        src,
+                        dst,
+                        Traffic::SaturatedUdp {
+                            payload_bytes: 512,
+                            backlog: 10,
+                        },
+                    );
+                }
+                b.build()
             }
         }
     }
@@ -428,5 +582,134 @@ mod tests {
         };
         let report = cell.scenario.build(cell.params, cell.seed).run();
         assert!(report.flow(dot11_net::FlowId(0)).throughput_kbps > 100.0);
+    }
+
+    #[test]
+    fn large_topology_names_are_stable() {
+        let cases = [
+            (
+                SweepScenario::Chain {
+                    n: 16,
+                    spacing_m: 80.0,
+                    rate: PhyRate::R2,
+                },
+                "chain/16x80m/2000k/udp",
+            ),
+            (
+                SweepScenario::Grid {
+                    rows: 4,
+                    cols: 4,
+                    spacing_m: 80.0,
+                    rate: PhyRate::R2,
+                },
+                "grid/4x4x80m/2000k/udp",
+            ),
+            (
+                SweepScenario::RandomDisk {
+                    n: 20,
+                    radius_m: 120.0,
+                    topo_seed: 7,
+                    rate: PhyRate::R2,
+                },
+                "disk/20@120m/t7/2000k/udp",
+            ),
+        ];
+        for (scenario, name) in cases {
+            assert_eq!(scenario.name(), name);
+        }
+    }
+
+    #[test]
+    fn large_topology_keys_separate_every_dimension() {
+        let base = SweepScenario::Chain {
+            n: 16,
+            spacing_m: 80.0,
+            rate: PhyRate::R2,
+        };
+        let variants = [
+            base,
+            SweepScenario::Chain {
+                n: 17,
+                spacing_m: 80.0,
+                rate: PhyRate::R2,
+            },
+            SweepScenario::Chain {
+                n: 16,
+                spacing_m: 81.0,
+                rate: PhyRate::R2,
+            },
+            // Same 16 stations, 80 m pitch — but arranged as a grid.
+            SweepScenario::Grid {
+                rows: 2,
+                cols: 8,
+                spacing_m: 80.0,
+                rate: PhyRate::R2,
+            },
+            SweepScenario::Grid {
+                rows: 8,
+                cols: 2,
+                spacing_m: 80.0,
+                rate: PhyRate::R2,
+            },
+            SweepScenario::RandomDisk {
+                n: 16,
+                radius_m: 80.0,
+                topo_seed: 1,
+                rate: PhyRate::R2,
+            },
+            SweepScenario::RandomDisk {
+                n: 16,
+                radius_m: 80.0,
+                topo_seed: 2,
+                rate: PhyRate::R2,
+            },
+        ];
+        let keys: Vec<_> = variants
+            .iter()
+            .map(|&scenario| {
+                CellSpec {
+                    scenario,
+                    seed: 1,
+                    params: params(),
+                }
+                .key()
+            })
+            .collect();
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j], "cells {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn built_chain_and_disk_scenarios_run() {
+        let params = RunParams {
+            duration: SimDuration::from_millis(400),
+            warmup: SimDuration::from_millis(100),
+        };
+        // A 4-station chain moves end-to-end traffic over its static route.
+        let chain = SweepScenario::Chain {
+            n: 4,
+            spacing_m: 80.0,
+            rate: PhyRate::R2,
+        };
+        let report = chain.build(params, 5).run();
+        assert!(report.flow(dot11_net::FlowId(0)).delivered_packets > 0);
+        // A random disk's three single-hop flows all move packets: with
+        // only 40 m radius every pair is mutually audible.
+        let disk = SweepScenario::RandomDisk {
+            n: 6,
+            radius_m: 40.0,
+            topo_seed: 3,
+            rate: PhyRate::R2,
+        };
+        let report = disk.build(params, 5).run();
+        for flow in 0..3 {
+            assert!(
+                report.flow(dot11_net::FlowId(flow)).delivered_packets > 0,
+                "disk flow {flow} starved"
+            );
+        }
     }
 }

@@ -54,6 +54,105 @@ fn cell_keys_are_golden() {
     assert_eq!(two.key().to_string(), "318b8d2cd6f5d809");
 }
 
+/// The large-topology recipes added in PR 5 hash to stable keys too —
+/// and none of the pre-existing keys above moved, so old cache dirs stay
+/// valid (new variants only append new encode tags).
+#[test]
+fn large_topology_cell_keys_are_golden() {
+    let params = RunParams {
+        duration: SimDuration::from_millis(300),
+        warmup: SimDuration::from_millis(100),
+    };
+    let expected = [
+        (
+            SweepScenario::Chain {
+                n: 16,
+                spacing_m: 80.0,
+                rate: PhyRate::R2,
+            },
+            "chain/16x80m/2000k/udp",
+            "8eeecc6f5ea617bd",
+        ),
+        (
+            SweepScenario::Chain {
+                n: 64,
+                spacing_m: 80.0,
+                rate: PhyRate::R2,
+            },
+            "chain/64x80m/2000k/udp",
+            "3790e8eb37c877ed",
+        ),
+        (
+            SweepScenario::Grid {
+                rows: 4,
+                cols: 4,
+                spacing_m: 80.0,
+                rate: PhyRate::R2,
+            },
+            "grid/4x4x80m/2000k/udp",
+            "ae9b17e8b293d9b5",
+        ),
+        (
+            SweepScenario::RandomDisk {
+                n: 20,
+                radius_m: 120.0,
+                topo_seed: 7,
+                rate: PhyRate::R2,
+            },
+            "disk/20@120m/t7/2000k/udp",
+            "888ffc032b3f6f4a",
+        ),
+    ];
+    for (scenario, label, key) in expected {
+        let cell = CellSpec {
+            scenario,
+            seed: 1,
+            params,
+        };
+        assert_eq!(cell.group_label(), label);
+        assert_eq!(
+            cell.key().to_string(),
+            key,
+            "stable hash of {label} moved — existing caches are invalidated"
+        );
+    }
+}
+
+/// The chain16 family honours the same determinism contracts as the
+/// paper cells: jobs-1 and jobs-8 reports byte-identical, warm cache
+/// simulates nothing.
+#[test]
+fn chain16_sweep_is_deterministic_and_caches() {
+    let spec = SweepSpec::new(RunParams {
+        duration: SimDuration::from_millis(300),
+        warmup: SimDuration::from_millis(100),
+    })
+    .scenario(SweepScenario::Chain {
+        n: 16,
+        spacing_m: 80.0,
+        rate: PhyRate::R2,
+    })
+    .seeds(1..=2);
+    let dir = fresh_dir("chain16");
+    let serial = run_sweep(&spec, &SweepOptions::serial()).expect("serial chain sweep");
+    let opts = SweepOptions {
+        jobs: 8,
+        cache_dir: Some(dir.clone()),
+    };
+    let parallel = run_sweep(&spec, &opts).expect("parallel chain sweep");
+    assert_eq!(parallel.engine.simulated, 2);
+    assert_eq!(
+        serial.deterministic_json(),
+        parallel.deterministic_json(),
+        "chain16 report depends on the worker count"
+    );
+    let warm = run_sweep(&spec, &opts).expect("warm chain sweep");
+    assert_eq!(warm.engine.simulated, 0);
+    assert_eq!(warm.engine.cached, 2);
+    assert_eq!(warm.deterministic_json(), serial.deterministic_json());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// 8 scenario recipes × 4 seeds = 32 cells, kept short (300 ms sims) so
 /// the whole test runs in seconds.
 fn spec_32_cells() -> SweepSpec {

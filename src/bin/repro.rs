@@ -182,8 +182,8 @@ struct SweepArgs {
 fn sweep_usage(msg: &str) -> ! {
     eprintln!("repro sweep: {msg}");
     eprintln!(
-        "usage: repro sweep [--scenarios fig7,fig9,fig11,fig12] [--seeds A..B|N] \
-         [--jobs N] [--cache-dir <dir>] [--json <path>] [--quick] \
+        "usage: repro sweep [--scenarios fig7,fig9,fig11,fig12,chain16,chain64,grid16,disk20] \
+         [--seeds A..B|N] [--jobs N] [--cache-dir <dir>] [--json <path>] [--quick] \
          [--duration <interval>] [--warmup <interval>]"
     );
     std::process::exit(2);
@@ -199,11 +199,37 @@ fn parse_seed_range(s: &str) -> Option<std::ops::RangeInclusive<u64>> {
 }
 
 fn parse_scenario_group(name: &str) -> Option<Vec<dot11_sweep::SweepScenario>> {
+    use dot11_sweep::SweepScenario;
     match name {
-        "fig7" => Some(dot11_sweep::SweepScenario::figure(7)),
-        "fig9" => Some(dot11_sweep::SweepScenario::figure(9)),
-        "fig11" => Some(dot11_sweep::SweepScenario::figure(11)),
-        "fig12" => Some(dot11_sweep::SweepScenario::figure(12)),
+        "fig7" => Some(SweepScenario::figure(7)),
+        "fig9" => Some(SweepScenario::figure(9)),
+        "fig11" => Some(SweepScenario::figure(11)),
+        "fig12" => Some(SweepScenario::figure(12)),
+        // Large-topology families (PR 5): multi-hop chains/grids at 80 m
+        // pitch (a reliable 2 Mb/s hop per the calibrated Table 3 ranges)
+        // and a 20-station random field.
+        "chain16" => Some(vec![SweepScenario::Chain {
+            n: 16,
+            spacing_m: 80.0,
+            rate: PhyRate::R2,
+        }]),
+        "chain64" => Some(vec![SweepScenario::Chain {
+            n: 64,
+            spacing_m: 80.0,
+            rate: PhyRate::R2,
+        }]),
+        "grid16" => Some(vec![SweepScenario::Grid {
+            rows: 4,
+            cols: 4,
+            spacing_m: 80.0,
+            rate: PhyRate::R2,
+        }]),
+        "disk20" => Some(vec![SweepScenario::RandomDisk {
+            n: 20,
+            radius_m: 120.0,
+            topo_seed: 7,
+            rate: PhyRate::R2,
+        }]),
         _ => None,
     }
 }
@@ -230,7 +256,8 @@ fn parse_sweep_args(args: Vec<String>) -> SweepArgs {
                 for name in v.split(',') {
                     let group = parse_scenario_group(name).unwrap_or_else(|| {
                         sweep_usage(&format!(
-                            "unknown scenario {name:?} (try fig7, fig9, fig11, fig12)"
+                            "unknown scenario {name:?} (try fig7, fig9, fig11, fig12, \
+                             chain16, chain64, grid16, disk20)"
                         ))
                     });
                     out.scenarios.push((name.to_owned(), group));
