@@ -1,0 +1,167 @@
+//! The `profile` group: the engine profiler's cost and its findings.
+//!
+//! Two jobs:
+//!
+//! 1. **Overhead gate (in-process).** The probe trait mirrors
+//!    `TraceSink`'s zero-cost contract: a `NoProbe` world must compile to
+//!    the same hot loop as before the instrumentation existed. The gate
+//!    times the same four-station cell twice — probes compiled out
+//!    (`NoProbe`) and probes compiled in but disarmed (`WallProbe::off`)
+//!    — and **exits non-zero** if the two ns/event figures differ by more
+//!    than the standard bench tolerance (25%). Either direction failing
+//!    means the monomorphization story broke.
+//!
+//! 2. **Attribution benches.** `profile/chain256_probed` runs the
+//!    N-scaling headline case with an armed probe and reports the
+//!    per-kind wall-time totals as metrics (`kind_ns_*`, `phase_ns_*`),
+//!    asserting that the kind scopes attribute ≥ 95% of the run's wall
+//!    time — the number that explains *where* the 431 → 3,004 ns/event
+//!    growth of `BENCH_pr5.json` goes as N scales. The committed medians
+//!    live in `BENCH_pr6.json`:
+//!
+//! ```console
+//! cargo bench -p dot11-bench --bench profile -- --json BENCH_pr6.json
+//! cargo bench -p dot11-bench --bench profile -- --baseline BENCH_pr6.json --tolerance 100
+//! ```
+
+use desim::{SimDuration, WallProbe};
+use dot11_adhoc::analytic::AccessScheme;
+use dot11_adhoc::experiments::four_station::{self, FourStationLayout, SessionTransport};
+use dot11_adhoc::world::PROBE_SCOPES;
+use dot11_adhoc::{RunReport, Scenario, ScenarioBuilder, Traffic};
+use dot11_bench::{bench_config, Harness};
+use dot11_phy::PhyRate;
+use dot11_trace::NullSink;
+
+/// The overhead-gate workload: the Figure 7 UDP/basic cell at the bench
+/// config — the same contended four-station traffic the `four_station`
+/// group times.
+fn cell() -> Scenario {
+    four_station::scenario(
+        bench_config(),
+        PhyRate::R11,
+        FourStationLayout::AsymmetricAt11,
+        SessionTransport::Udp,
+        AccessScheme::Basic,
+    )
+}
+
+/// The attribution workload: the 256-station saturated chain from the
+/// `scaling` group (80 m pitch, 2 Mb/s, 500 ms).
+fn chain256() -> Scenario {
+    ScenarioBuilder::new(PhyRate::R2)
+        .chain(256, 80.0)
+        .seed(3)
+        .duration(SimDuration::from_millis(500))
+        .warmup(SimDuration::from_millis(100))
+        .flow(
+            0,
+            255,
+            Traffic::SaturatedUdp {
+                payload_bytes: 512,
+                backlog: 10,
+            },
+        )
+        .build()
+}
+
+fn ns_per_event(report: &RunReport, median: std::time::Duration) -> Vec<(String, f64)> {
+    let events = report.engine.events as f64;
+    vec![
+        ("events".into(), events),
+        ("ns_per_event".into(), median.as_nanos() as f64 / events),
+        (
+            "sim_ns_per_wall_ns".into(),
+            report.engine.sim_elapsed.as_nanos() as f64 / median.as_nanos() as f64,
+        ),
+    ]
+}
+
+/// Pulls `ns_per_event` out of a finished record by bench name.
+fn recorded_ns_per_event(h: &Harness, name: &str) -> Option<f64> {
+    h.records()
+        .iter()
+        .find(|r| r.name == name)
+        .and_then(|r| r.metrics.iter().find(|(k, _)| k == "ns_per_event"))
+        .map(|&(_, v)| v)
+}
+
+const GATE_TOLERANCE_PCT: f64 = 25.0;
+
+fn main() {
+    let h = Harness::from_args();
+
+    // --- 1. overhead gate: compiled-out vs compiled-in-but-disarmed ---
+    h.bench_metrics(
+        "profile/four_station_compiled_out",
+        || cell().run(),
+        ns_per_event,
+    );
+    h.bench_metrics(
+        "profile/four_station_probe_off",
+        || cell().run_probed(NullSink, WallProbe::off(&PROBE_SCOPES)),
+        ns_per_event,
+    );
+    if let (Some(out), Some(off)) = (
+        recorded_ns_per_event(&h, "profile/four_station_compiled_out"),
+        recorded_ns_per_event(&h, "profile/four_station_probe_off"),
+    ) {
+        let ratio = out.max(off) / out.min(off).max(f64::MIN_POSITIVE);
+        if ratio > 1.0 + GATE_TOLERANCE_PCT / 100.0 {
+            eprintln!(
+                "PROBE OVERHEAD GATE: compiled-out {out:.1} ns/event vs disarmed \
+                 {off:.1} ns/event differ {:.0}% (> {GATE_TOLERANCE_PCT}%) — \
+                 the Probe monomorphization is no longer zero-cost",
+                (ratio - 1.0) * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "probe overhead gate: compiled-out {out:.1} vs disarmed {off:.1} ns/event \
+             ({:+.1}%, tolerance {GATE_TOLERANCE_PCT}%)",
+            (off / out - 1.0) * 100.0
+        );
+    }
+
+    // --- 2. attribution: armed probe over the chain256 headline case ---
+    h.bench_metrics(
+        "profile/chain256_probed",
+        || chain256().run_probed(NullSink, WallProbe::new(&PROBE_SCOPES)),
+        |report, median| {
+            let frac = report
+                .engine
+                .attributed_fraction()
+                .expect("armed probe attributes");
+            assert!(
+                frac >= 0.95,
+                "kind scopes attribute only {:.1}% of chain256 wall time (need >= 95%)",
+                100.0 * frac
+            );
+            let profile = report.engine.profile.as_ref().expect("armed probe reports");
+            let mut m = ns_per_event(report, median);
+            m.push(("attributed_pct".into(), 100.0 * frac));
+            // Per-scope wall-time totals and per-visit means for the last
+            // iteration. Kind scopes partition the dispatch loop;
+            // phase_* scopes overlap it — never sum the two families.
+            for s in &profile.scopes {
+                let key = if s.name.starts_with("phase_") {
+                    format!("{}_ns", s.name)
+                } else {
+                    format!("kind_ns_{}", s.name)
+                };
+                m.push((key, s.total_ns as f64));
+                if s.count > 0 {
+                    let mean_key = if s.name.starts_with("phase_") {
+                        format!("{}_mean_ns", s.name)
+                    } else {
+                        format!("kind_mean_ns_{}", s.name)
+                    };
+                    m.push((mean_key, s.mean_ns()));
+                }
+            }
+            m
+        },
+    );
+
+    h.finish();
+}

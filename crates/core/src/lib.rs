@@ -28,6 +28,8 @@
 //! assert!((mbps - 3.06).abs() < 0.005);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod analytic;
 pub mod calib;
 pub mod experiments;

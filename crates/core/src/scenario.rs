@@ -122,6 +122,22 @@ impl Scenario {
     pub fn run_with<S: TraceSink + Clone>(self, sink: S) -> RunReport {
         self.into_world_with(sink).run()
     }
+
+    /// Builds the world with both a trace sink and a timing probe (see
+    /// [`World::with_probe`]).
+    pub fn into_world_probed<S: TraceSink + Clone, P: desim::Probe>(
+        self,
+        sink: S,
+        probe: P,
+    ) -> World<S, P> {
+        World::with_probe(self, sink, probe)
+    }
+
+    /// Builds and runs to completion with a timing probe attached; an
+    /// armed probe's histogram lands in `RunReport.engine.profile`.
+    pub fn run_probed<S: TraceSink + Clone, P: desim::Probe>(self, sink: S, probe: P) -> RunReport {
+        self.into_world_probed(sink, probe).run()
+    }
 }
 
 /// Fluent constructor for [`Scenario`].

@@ -129,7 +129,7 @@ impl EventKindCounts {
 
 /// Engine self-instrumentation for one run: how hard the simulator worked
 /// and how fast it went relative to simulated time.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct EngineStats {
     /// Events dispatched by the simulator.
     pub events: u64,
@@ -141,6 +141,10 @@ pub struct EngineStats {
     pub sim_elapsed: SimDuration,
     /// Wall-clock time the run took.
     pub wall: std::time::Duration,
+    /// Per-scope wall-time histogram, present only when the world ran
+    /// with an armed [`desim::Probe`] (see
+    /// [`PROBE_SCOPES`](crate::world::PROBE_SCOPES) for the scope table).
+    pub profile: Option<desim::ProbeReport>,
 }
 
 impl EngineStats {
@@ -164,6 +168,30 @@ impl EngineStats {
         } else {
             0.0
         }
+    }
+
+    /// Wall nanoseconds the profiler attributed to per-event-kind scopes
+    /// (the dispatch-loop partition — phase scopes overlap these and are
+    /// excluded). `None` without an armed probe.
+    pub fn attributed_ns(&self) -> Option<u64> {
+        let profile = self.profile.as_ref()?;
+        Some(
+            self.kinds
+                .iter_named()
+                .iter()
+                .filter_map(|(name, _)| profile.scope(name))
+                .map(|s| s.total_ns)
+                .sum(),
+        )
+    }
+
+    /// Fraction of the run's wall clock attributed to per-kind scopes
+    /// (0 when the wall clock did not observably advance). `None` without
+    /// an armed probe.
+    pub fn attributed_fraction(&self) -> Option<f64> {
+        let attributed = self.attributed_ns()? as f64;
+        let wall = self.wall.as_nanos() as f64;
+        Some(if wall > 0.0 { attributed / wall } else { 0.0 })
     }
 }
 
@@ -339,6 +367,7 @@ mod tests {
                 queue_high_water: 7,
                 sim_elapsed: SimDuration::from_secs(10),
                 wall: std::time::Duration::from_millis(20),
+                profile: None,
             },
         }
     }
@@ -430,8 +459,44 @@ mod tests {
             queue_high_water: 1,
             sim_elapsed: SimDuration::from_secs(1),
             wall: std::time::Duration::ZERO,
+            profile: None,
         };
         assert_eq!(e.speedup(), 0.0);
         assert_eq!(e.events_per_sec(), 0.0);
+        assert_eq!(e.attributed_ns(), None);
+        assert_eq!(e.attributed_fraction(), None);
+    }
+
+    #[test]
+    fn attribution_sums_kind_scopes_only() {
+        let kinds = EventKindCounts {
+            signal_start: 2,
+            ..EventKindCounts::default()
+        };
+        let scope = |name, total_ns| desim::ScopeStats {
+            name,
+            count: 1,
+            total_ns,
+            min_ns: total_ns,
+            max_ns: total_ns,
+        };
+        let e = EngineStats {
+            events: 2,
+            kinds,
+            queue_high_water: 1,
+            sim_elapsed: SimDuration::from_secs(1),
+            wall: std::time::Duration::from_nanos(200),
+            profile: Some(desim::ProbeReport {
+                scopes: vec![
+                    scope("signal_start", 120),
+                    scope("mac_difs", 30),
+                    // Phase scopes overlap the kind partition and must not
+                    // double-count into the attributed total.
+                    scope("phase_scatter", 999),
+                ],
+            }),
+        };
+        assert_eq!(e.attributed_ns(), Some(150));
+        assert!((e.attributed_fraction().expect("probed") - 0.75).abs() < 1e-12);
     }
 }

@@ -12,7 +12,7 @@
 
 use std::collections::HashMap;
 
-use desim::{EventHandle, SimDuration, SimRng, SimTime, Simulator};
+use desim::{EventHandle, NoProbe, Probe, SimDuration, SimRng, SimTime, Simulator};
 use dot11_mac::{DcfMac, FrameKind, MacAction, MacFrame, MacSdu, TimerKind};
 use dot11_net::{CbrSource, SaturatedSource, TcpConfig};
 use dot11_net::{FlowId, Packet, Segment, StaticRoutes, TcpOutput, TcpReceiver, TcpSender};
@@ -97,6 +97,48 @@ pub enum Event {
     MeasureStart,
 }
 
+/// The profiler's scope table: one scope per [`Event`] kind (indices
+/// `0..16`, matching
+/// [`EventKindCounts::iter_named`](crate::stats::EventKindCounts::iter_named)
+/// order so per-scope counts can be cross-checked against the kind
+/// histogram), then the hot-path phase scopes.
+///
+/// Kind scopes partition the dispatch loop: each popped event's handling
+/// is charged to exactly one. Phase scopes are *inclusive sub-regions*
+/// nested inside kind scopes and may overlap each other (a MAC action
+/// that transmits charges its scatter to both `phase_mac_actions` and
+/// `phase_scatter`), so they explain where kind time goes but do not sum
+/// with it.
+pub const PROBE_SCOPES: [&str; 20] = [
+    "flow_start",
+    "signal_start",
+    "signal_end",
+    "tx_air_end",
+    "mac_difs",
+    "mac_backoff_bulk",
+    "mac_backoff_slot",
+    "mac_cts_timeout",
+    "mac_ack_timeout",
+    "mac_sifs_response",
+    "mac_sifs_data",
+    "mac_nav_end",
+    "rto_timer",
+    "delack_timer",
+    "cbr_tick",
+    "measure_start",
+    "phase_scatter",
+    "phase_arrival_scan",
+    "phase_ber_eval",
+    "phase_mac_actions",
+];
+
+/// Phase-scope indices into [`PROBE_SCOPES`] (the kind scopes occupy
+/// `0..16`).
+const SCOPE_SCATTER: usize = 16;
+const SCOPE_ARRIVAL_SCAN: usize = 17;
+const SCOPE_BER_EVAL: usize = 18;
+const SCOPE_MAC_ACTIONS: usize = 19;
+
 struct InFlight {
     frame: MacFrame<Packet>,
     /// Per-receiver signals, in station order. Walked by the batched
@@ -136,12 +178,20 @@ impl<T> BufPool<T> {
 /// Generic over a [`TraceSink`]; the default [`NullSink`] compiles every
 /// emission site away. Pass a real sink (usually a
 /// [`dot11_trace::SharedSink`], which is `Clone`) via
-/// [`World::with_sink`] to observe the run.
-pub struct World<S: TraceSink + Clone = NullSink> {
+/// [`World::with_sink`] to observe the run. Likewise generic over a
+/// [`Probe`]; the default [`NoProbe`] compiles the timing scopes away,
+/// and [`World::with_probe`] accepts an armed [`desim::WallProbe`] over
+/// [`PROBE_SCOPES`] to measure where the engine's wall time goes.
+pub struct World<S: TraceSink + Clone = NullSink, P: Probe = NoProbe> {
     sim: Simulator<Event>,
     medium: Medium,
     nodes: Vec<Node<S>>,
     sink: S,
+    probe: P,
+    /// Recursion depth of `apply_mac_actions`: only the outermost call
+    /// records the `phase_mac_actions` scope, so nested action cascades
+    /// are not double-counted.
+    mac_actions_depth: u32,
     flows: Vec<FlowSpec>,
     in_flight: HashMap<TxId, InFlight>,
     mac_timers: HashMap<(u32, TimerKind), EventHandle>,
@@ -175,6 +225,15 @@ impl<S: TraceSink + Clone> World<S> {
     /// Assembles a world from a scenario, wiring `sink` through every
     /// layer (PHY, MAC, TCP, and the world's own frame/flow events).
     pub fn with_sink(scenario: Scenario, sink: S) -> World<S> {
+        World::with_probe(scenario, sink, NoProbe)
+    }
+}
+
+impl<S: TraceSink + Clone, P: Probe> World<S, P> {
+    /// Assembles a world from a scenario with both a trace sink and a
+    /// timing probe (usually a [`desim::WallProbe`] over
+    /// [`PROBE_SCOPES`]).
+    pub fn with_probe(scenario: Scenario, sink: S, probe: P) -> World<S, P> {
         let Scenario {
             positions,
             radio,
@@ -260,6 +319,8 @@ impl<S: TraceSink + Clone> World<S> {
             medium,
             nodes,
             sink,
+            probe,
+            mac_actions_depth: 0,
             flows,
             in_flight: HashMap::new(),
             mac_timers: HashMap::new(),
@@ -353,8 +414,38 @@ impl<S: TraceSink + Clone> World<S> {
             if t > end {
                 break;
             }
+            let tick = self.probe.tick();
             let (now, ev) = self.sim.pop().expect("peeked event");
+            let scope = Self::kind_scope(&ev);
             self.handle(now, ev);
+            self.probe.record(scope, tick);
+        }
+    }
+
+    /// Maps an event to its profiler scope index — the same order as
+    /// [`EventKindCounts::iter_named`] and the head of [`PROBE_SCOPES`]
+    /// (cross-checked by the `probe_scope_counts_match_kind_histogram`
+    /// integration test).
+    fn kind_scope(ev: &Event) -> usize {
+        match ev {
+            Event::FlowStart { .. } => 0,
+            Event::SignalStart { .. } => 1,
+            Event::SignalEnd { .. } => 2,
+            Event::TxAirEnd { .. } => 3,
+            Event::MacTimer { kind, .. } => match kind {
+                TimerKind::Difs => 4,
+                TimerKind::BackoffBulk => 5,
+                TimerKind::BackoffSlot => 6,
+                TimerKind::CtsTimeout => 7,
+                TimerKind::AckTimeout => 8,
+                TimerKind::SifsResponse => 9,
+                TimerKind::SifsData => 10,
+                TimerKind::NavEnd => 11,
+            },
+            Event::RtoTimer { .. } => 12,
+            Event::DelackTimer { .. } => 13,
+            Event::CbrTick { .. } => 14,
+            Event::MeasureStart => 15,
         }
     }
 
@@ -605,6 +696,9 @@ impl<S: TraceSink + Clone> World<S> {
     // --- MAC/PHY plumbing ----------------------------------------------------
 
     fn apply_mac_actions(&mut self, idx: usize, mut actions: Vec<MacAction<Packet>>, now: SimTime) {
+        let tick = self.probe.tick();
+        let outermost = self.mac_actions_depth == 0;
+        self.mac_actions_depth += 1;
         for action in actions.drain(..) {
             match action {
                 MacAction::Transmit { frame, rate } => {
@@ -638,6 +732,10 @@ impl<S: TraceSink + Clone> World<S> {
             }
         }
         self.mac_action_pool.put(actions);
+        self.mac_actions_depth -= 1;
+        if outermost {
+            self.probe.record(SCOPE_MAC_ACTIONS, tick);
+        }
     }
 
     fn start_transmission(
@@ -652,6 +750,7 @@ impl<S: TraceSink + Clone> World<S> {
         // Scatter into a pooled buffer; it rides inside the `InFlight`
         // entry until the transmission's SignalEnd returns it.
         let mut deliveries = self.delivery_pool.get();
+        let tick = self.probe.tick();
         let (tx_id, airtime) = self.medium.transmit_into(
             source,
             radio.tx_power,
@@ -661,6 +760,7 @@ impl<S: TraceSink + Clone> World<S> {
             now,
             &mut deliveries,
         );
+        self.probe.record(SCOPE_SCATTER, tick);
         let until = now + airtime.total();
         if S::ENABLED {
             self.sink.record(
@@ -708,7 +808,11 @@ impl<S: TraceSink + Clone> World<S> {
         let n = self.in_flight[&tx_id].deliveries.len();
         for i in 0..n {
             let (rx, sig) = self.in_flight[&tx_id].deliveries[i];
+            // Scope only the PHY arrival bookkeeping: `sync_cs` may
+            // cascade into MAC actions, which time themselves.
+            let tick = self.probe.tick();
             self.nodes[rx.index()].phy.signal_start(&sig, now);
+            self.probe.record(SCOPE_ARRIVAL_SCAN, tick);
             self.sync_cs(rx.index(), now);
         }
     }
@@ -732,7 +836,11 @@ impl<S: TraceSink + Clone> World<S> {
     /// per-receiver events did.
     fn signal_end_at(&mut self, rx: NodeId, tx_id: TxId, now: SimTime) {
         let idx = rx.index();
+        // `signal_end` is where interference integration and BER
+        // evaluation happen — the per-receiver decode cost.
+        let tick = self.probe.tick();
         let outcome = self.nodes[idx].phy.signal_end(tx_id, now);
+        self.probe.record(SCOPE_BER_EVAL, tick);
         let mut actions = self.mac_action_pool.get();
         if let Some(out) = outcome {
             match out.kind {
@@ -821,10 +929,12 @@ impl<S: TraceSink + Clone> World<S> {
     }
 
     fn report(&mut self, wall: std::time::Duration) -> RunReport {
-        // Fold the tail span into each station's airtime ledger.
+        // Fold the tail span into each station's airtime ledgers (the
+        // PHY's radio-state split and the MAC's defer refinement).
         let end = (SimTime::ZERO + self.duration).max(self.sim.now());
         for n in &mut self.nodes {
             n.phy.account_airtime(end);
+            n.mac.account_airtime(end);
         }
         let window = (self.duration - self.warmup).as_secs_f64();
         let flows = self
@@ -891,13 +1001,27 @@ impl<S: TraceSink + Clone> World<S> {
         let nodes = self
             .nodes
             .iter()
-            .map(|n| NodeReport {
-                node: n.id,
-                mac: n.mac.counters(),
-                phy: n.phy.counters(),
-                arf: n.mac.arf_counters(),
-                final_data_rate: n.mac.current_data_rate(),
-                airtime: n.phy.airtime(),
+            .map(|n| {
+                // Merge the MAC's defer ledger into the PHY's airtime
+                // split: the five refinement categories partition the
+                // PHY's idle share (bit-exactly — asserted by the
+                // airtime conservation tests), giving the exhaustive
+                // channel-state accounting in one struct.
+                let mut airtime = n.phy.airtime();
+                let ledger = n.mac.airtime_ledger();
+                airtime.nav_ns = ledger.nav_ns;
+                airtime.difs_ns = ledger.difs_ns;
+                airtime.backoff_ns = ledger.backoff_ns;
+                airtime.frozen_ns = ledger.frozen_ns;
+                airtime.quiet_ns = ledger.quiet_ns;
+                NodeReport {
+                    node: n.id,
+                    mac: n.mac.counters(),
+                    phy: n.phy.counters(),
+                    arf: n.mac.arf_counters(),
+                    final_data_rate: n.mac.current_data_rate(),
+                    airtime,
+                }
             })
             .collect();
         RunReport {
@@ -916,12 +1040,13 @@ impl<S: TraceSink + Clone> World<S> {
                 // pending events happened to land before the boundary.
                 sim_elapsed: end.saturating_duration_since(SimTime::ZERO),
                 wall,
+                profile: self.probe.report(),
             },
         }
     }
 }
 
-impl<S: TraceSink + Clone> std::fmt::Debug for World<S> {
+impl<S: TraceSink + Clone, P: Probe> std::fmt::Debug for World<S, P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("World")
             .field("stations", &self.nodes.len())

@@ -32,11 +32,13 @@
 
 #![warn(missing_docs)]
 
+mod probe;
 mod queue;
 mod rng;
 mod sim;
 mod time;
 
+pub use probe::{NoProbe, Probe, ProbeReport, ScopeStats, WallProbe};
 pub use queue::{EventHandle, EventQueue};
 pub use rng::SimRng;
 pub use sim::Simulator;

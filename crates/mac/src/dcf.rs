@@ -24,6 +24,7 @@ use crate::counters::MacCounters;
 use crate::frame::{
     FrameKind, MacFrame, MacSdu, ACK_BYTES, CTS_BYTES, DATA_HEADER_BYTES, RTS_BYTES,
 };
+use crate::ledger::{DeferCat, DeferLedger};
 
 /// Timers the MAC asks the driver to run on its behalf.
 ///
@@ -150,6 +151,7 @@ pub struct DcfMac<P, S: TraceSink = NullSink> {
     last_tag: HashMap<NodeId, u64>,
     arf: ArfState,
     counters: MacCounters,
+    ledger: DeferLedger,
 }
 
 impl<P: Clone> DcfMac<P> {
@@ -184,6 +186,7 @@ impl<P: Clone, S: TraceSink> DcfMac<P, S> {
             eifs_pending: false,
             last_tag: HashMap::new(),
             counters: MacCounters::default(),
+            ledger: DeferLedger::default(),
         }
     }
 
@@ -200,6 +203,38 @@ impl<P: Clone, S: TraceSink> DcfMac<P, S> {
     /// Cumulative counters.
     pub fn counters(&self) -> MacCounters {
         self.counters
+    }
+
+    /// The defer ledger accumulated so far (see [`DeferLedger`]); call
+    /// [`DcfMac::account_airtime`] first to fold in the span since the
+    /// last event.
+    pub fn airtime_ledger(&self) -> DeferLedger {
+        self.ledger
+    }
+
+    /// Charges the span since the last event to the standing category —
+    /// the run-end fold that makes the ledger cover the full horizon.
+    pub fn account_airtime(&mut self, now: SimTime) {
+        self.ledger.charge(now);
+    }
+
+    /// Re-derives the ledger category from the post-event state (see
+    /// [`DeferCat`] for the precedence). Runs after every public entry
+    /// point's body, paired with the `charge` that ran before it.
+    fn ledger_reclass(&mut self, now: SimTime) {
+        self.ledger.set_cat(if self.phys_busy {
+            DeferCat::Off
+        } else if self.contention == Contention::WaitIdle && self.backoff_slots.is_some() {
+            DeferCat::Frozen
+        } else if self.contention == Contention::Defer {
+            DeferCat::Difs
+        } else if self.contention == Contention::Counting {
+            DeferCat::Backoff
+        } else if self.nav_until > now {
+            DeferCat::Nav(self.nav_until)
+        } else {
+            DeferCat::Quiet
+        });
     }
 
     /// MSDUs waiting behind the head-of-line frame.
@@ -288,6 +323,13 @@ impl<P: Clone, S: TraceSink> DcfMac<P, S> {
     /// Accepts an MSDU for transmission. Returns `false` (and counts a
     /// queue drop) if the interface queue is full.
     pub fn enqueue(&mut self, sdu: MacSdu<P>, now: SimTime, out: &mut Vec<MacAction<P>>) -> bool {
+        self.ledger.charge(now);
+        let accepted = self.enqueue_inner(sdu, now, out);
+        self.ledger_reclass(now);
+        accepted
+    }
+
+    fn enqueue_inner(&mut self, sdu: MacSdu<P>, now: SimTime, out: &mut Vec<MacAction<P>>) -> bool {
         if self.current.is_none() {
             self.current = Some(Pending { sdu, failures: 0 });
             if self.contention == Contention::Idle {
@@ -311,6 +353,12 @@ impl<P: Clone, S: TraceSink> DcfMac<P, S> {
 
     /// Physical carrier sense went busy.
     pub fn on_channel_busy(&mut self, now: SimTime, out: &mut Vec<MacAction<P>>) {
+        self.ledger.charge(now);
+        self.on_channel_busy_inner(now, out);
+        self.ledger_reclass(now);
+    }
+
+    fn on_channel_busy_inner(&mut self, now: SimTime, out: &mut Vec<MacAction<P>>) {
         self.phys_busy = true;
         match self.contention {
             Contention::Defer => {
@@ -353,8 +401,10 @@ impl<P: Clone, S: TraceSink> DcfMac<P, S> {
 
     /// Physical carrier sense went idle.
     pub fn on_channel_idle(&mut self, now: SimTime, out: &mut Vec<MacAction<P>>) {
+        self.ledger.charge(now);
         self.phys_busy = false;
         self.maybe_resume(now, out);
+        self.ledger_reclass(now);
     }
 
     fn medium_busy(&self, now: SimTime) -> bool {
@@ -422,6 +472,12 @@ impl<P: Clone, S: TraceSink> DcfMac<P, S> {
 
     /// A previously armed timer fired.
     pub fn on_timer(&mut self, kind: TimerKind, now: SimTime, out: &mut Vec<MacAction<P>>) {
+        self.ledger.charge(now);
+        self.on_timer_inner(kind, now, out);
+        self.ledger_reclass(now);
+    }
+
+    fn on_timer_inner(&mut self, kind: TimerKind, now: SimTime, out: &mut Vec<MacAction<P>>) {
         match kind {
             TimerKind::Difs => self.on_difs_expired(now, out),
             TimerKind::BackoffBulk => self.on_bulk_expired(out),
@@ -616,6 +672,12 @@ impl<P: Clone, S: TraceSink> DcfMac<P, S> {
 
     /// Our PHY finished putting the current frame on the air.
     pub fn on_tx_end(&mut self, now: SimTime, out: &mut Vec<MacAction<P>>) {
+        self.ledger.charge(now);
+        self.on_tx_end_inner(now, out);
+        self.ledger_reclass(now);
+    }
+
+    fn on_tx_end_inner(&mut self, now: SimTime, out: &mut Vec<MacAction<P>>) {
         if self.response_txing {
             self.response_txing = false;
             return;
@@ -697,6 +759,12 @@ impl<P: Clone, S: TraceSink> DcfMac<P, S> {
 
     /// A frame was decoded by our PHY (whoever it was addressed to).
     pub fn on_rx_frame(&mut self, frame: MacFrame<P>, now: SimTime, out: &mut Vec<MacAction<P>>) {
+        self.ledger.charge(now);
+        self.on_rx_frame_inner(frame, now, out);
+        self.ledger_reclass(now);
+    }
+
+    fn on_rx_frame_inner(&mut self, frame: MacFrame<P>, now: SimTime, out: &mut Vec<MacAction<P>>) {
         // A correctly received frame clears any pending EIFS penalty.
         self.eifs_pending = false;
         if !frame.addressed_to(self.id) && !frame.is_broadcast() {
@@ -831,8 +899,10 @@ impl<P: Clone, S: TraceSink> DcfMac<P, S> {
     /// The standard responds with EIFS instead of DIFS for the next
     /// deferral — ablation D3 turns this off via
     /// [`MacConfig::eifs_enabled`].
-    pub fn on_rx_error(&mut self, _now: SimTime, _out: &mut Vec<MacAction<P>>) {
+    pub fn on_rx_error(&mut self, now: SimTime, _out: &mut Vec<MacAction<P>>) {
+        self.ledger.charge(now);
         self.eifs_pending = true;
+        self.ledger_reclass(now);
     }
 }
 

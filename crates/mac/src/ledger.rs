@@ -1,0 +1,189 @@
+//! The per-station defer ledger: where MAC-idle time goes.
+//!
+//! The PHY's airtime ledger splits the run horizon into tx / rx-locked /
+//! carrier-busy / idle by radio state alone. This module refines the
+//! *idle* share with what the MAC was doing while the radio heard
+//! nothing: deferring under a NAV reservation, running down DIFS/EIFS,
+//! counting backoff slots, holding a frozen backoff, or genuinely quiet.
+//! Together the two ledgers give the exhaustive channel-state accounting
+//! the paper's airtime arguments need (who actually got to count down,
+//! who sat behind a reservation).
+//!
+//! The ledger is charged incrementally: every public [`DcfMac`] entry
+//! point first charges the span since the previous entry to the category
+//! that held over it, then re-derives the category from the post-event
+//! state. One category is special-cased: a NAV reservation expires at a
+//! known instant but — for a station with nothing to send — without any
+//! event, so a [`DeferCat::Nav`] span that crosses its expiry is split at
+//! the boundary instead of being charged whole.
+//!
+//! Every nanosecond lands in exactly one category, and the categories
+//! marked *off* mirror the PHY's non-idle time exactly (the MAC learns of
+//! every carrier edge at the timestamp it happens), so
+//! `off_ns == tx_ns + rx_ns + busy_ns` and the remaining five categories
+//! partition the PHY's `idle_ns` — both bit-exactly, which the
+//! `airtime` integration tests assert on the golden scenarios.
+//!
+//! [`DcfMac`]: crate::DcfMac
+
+use desim::SimTime;
+
+/// The category a span of MAC time is charged to.
+///
+/// Precedence (first match wins) when re-deriving after an event:
+/// carrier busy ▸ frozen backoff ▸ DIFS/EIFS ▸ backoff counting ▸
+/// NAV defer ▸ quiet. A station in DIFS or backoff never holds an active
+/// NAV (reservations are only learned while the carrier is busy, which
+/// cancels both), so the ordering of `Difs`/`Backoff` against `Nav` is
+/// documentation more than arbitration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DeferCat {
+    /// The radio is transmitting, locked on a frame, or sensing energy:
+    /// the PHY ledger owns the detail; the MAC only totals it.
+    Off,
+    /// Backoff frozen: slots drawn, medium reserved (NAV) while the
+    /// carrier itself is idle.
+    Frozen,
+    /// DIFS/EIFS deferral running.
+    Difs,
+    /// Backoff slots counting down.
+    Backoff,
+    /// Idle carrier but a standing NAV reservation until the given
+    /// instant; a charge crossing that instant splits there.
+    Nav(SimTime),
+    /// Nothing to do: no carrier, no reservation, no pending frame work.
+    Quiet,
+}
+
+/// Accumulated MAC-side airtime, nanoseconds per category (the module
+/// docs in `ledger.rs` describe the accounting discipline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeferLedger {
+    /// Time the carrier was non-idle (the PHY's tx + rx + busy).
+    pub off_ns: u64,
+    /// NAV deferral on an idle carrier.
+    pub nav_ns: u64,
+    /// DIFS/EIFS deferral.
+    pub difs_ns: u64,
+    /// Backoff slots counting down.
+    pub backoff_ns: u64,
+    /// Backoff frozen under a NAV reservation.
+    pub frozen_ns: u64,
+    /// None of the above: truly idle.
+    pub quiet_ns: u64,
+    mark: SimTime,
+    cat: DeferCat,
+}
+
+impl Default for DeferLedger {
+    fn default() -> DeferLedger {
+        DeferLedger {
+            off_ns: 0,
+            nav_ns: 0,
+            difs_ns: 0,
+            backoff_ns: 0,
+            frozen_ns: 0,
+            quiet_ns: 0,
+            mark: SimTime::ZERO,
+            cat: DeferCat::Quiet,
+        }
+    }
+}
+
+impl DeferLedger {
+    /// Charges the span since the previous charge to the standing
+    /// category and advances the mark. A NAV span that crosses its known
+    /// expiry is split: reservation time up to the expiry, quiet after.
+    pub(crate) fn charge(&mut self, now: SimTime) {
+        let span = now.saturating_duration_since(self.mark).as_nanos();
+        match self.cat {
+            DeferCat::Off => self.off_ns += span,
+            DeferCat::Frozen => self.frozen_ns += span,
+            DeferCat::Difs => self.difs_ns += span,
+            DeferCat::Backoff => self.backoff_ns += span,
+            DeferCat::Nav(until) => {
+                if until >= now {
+                    self.nav_ns += span;
+                } else {
+                    let reserved = until.saturating_duration_since(self.mark).as_nanos();
+                    self.nav_ns += reserved;
+                    self.quiet_ns += span - reserved;
+                    // The reservation is spent; without this the next
+                    // charge would split again at a stale boundary.
+                    self.cat = DeferCat::Quiet;
+                }
+            }
+            DeferCat::Quiet => self.quiet_ns += span,
+        }
+        self.mark = now;
+    }
+
+    /// Sets the category that holds from the last charge onward.
+    pub(crate) fn set_cat(&mut self, cat: DeferCat) {
+        self.cat = cat;
+    }
+
+    /// Sum over every category: the horizon this ledger has accounted.
+    pub fn total_ns(&self) -> u64 {
+        self.off_ns + self.nav_ns + self.difs_ns + self.backoff_ns + self.frozen_ns + self.quiet_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn charges_span_to_standing_category() {
+        let mut l = DeferLedger::default();
+        l.charge(at(10)); // quiet 10 µs
+        l.set_cat(DeferCat::Difs);
+        l.charge(at(60)); // difs 50 µs
+        l.set_cat(DeferCat::Backoff);
+        l.charge(at(100)); // backoff 40 µs
+        l.set_cat(DeferCat::Off);
+        l.charge(at(700)); // off 600 µs
+        assert_eq!(l.quiet_ns, 10_000);
+        assert_eq!(l.difs_ns, 50_000);
+        assert_eq!(l.backoff_ns, 40_000);
+        assert_eq!(l.off_ns, 600_000);
+        assert_eq!(l.total_ns(), 700_000);
+    }
+
+    #[test]
+    fn nav_span_splits_at_expiry() {
+        let mut l = DeferLedger::default();
+        l.set_cat(DeferCat::Nav(at(100)));
+        // Next event only at 250 µs: 100 µs reserved, 150 µs quiet.
+        l.charge(at(250));
+        assert_eq!(l.nav_ns, 100_000);
+        assert_eq!(l.quiet_ns, 150_000);
+        // The stale boundary must not split again.
+        l.charge(at(300));
+        assert_eq!(l.quiet_ns, 200_000);
+        assert_eq!(l.total_ns(), 300_000);
+    }
+
+    #[test]
+    fn nav_span_ending_at_expiry_is_all_reserved() {
+        let mut l = DeferLedger::default();
+        l.set_cat(DeferCat::Nav(at(100)));
+        l.charge(at(100));
+        assert_eq!(l.nav_ns, 100_000);
+        assert_eq!(l.quiet_ns, 0);
+    }
+
+    #[test]
+    fn frozen_and_zero_spans() {
+        let mut l = DeferLedger::default();
+        l.set_cat(DeferCat::Frozen);
+        l.charge(at(40));
+        l.charge(at(40)); // zero-length re-charge at the same instant
+        assert_eq!(l.frozen_ns, 40_000);
+        assert_eq!(l.total_ns(), 40_000);
+    }
+}

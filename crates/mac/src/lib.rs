@@ -40,6 +40,7 @@ mod config;
 mod counters;
 mod dcf;
 mod frame;
+mod ledger;
 mod timing;
 
 pub use arf::{ArfConfig, ArfCounters, ArfState};
@@ -49,4 +50,5 @@ pub use dcf::{DcfMac, MacAction, TimerKind};
 pub use frame::{
     FrameKind, MacFrame, MacSdu, ACK_BYTES, BROADCAST, CTS_BYTES, DATA_HEADER_BYTES, RTS_BYTES,
 };
+pub use ledger::DeferLedger;
 pub use timing::MacTiming;

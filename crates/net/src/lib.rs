@@ -20,6 +20,8 @@
 //! Packets carry byte *counts*, not byte contents: the simulator needs
 //! airtime and header arithmetic, never payload data.
 
+#![warn(missing_docs)]
+
 pub mod app;
 pub mod packet;
 pub mod route;

@@ -29,8 +29,9 @@ use crate::spec::{CellKey, CellSpec};
 /// layout *or* to the engine-side numbers a cached cell carries (v1 → v2:
 /// timer coalescing and signal batching shrank `events` and
 /// `queue_high_water`; pre-coalescing entries must read as misses so
-/// sweeps never mix old and new engine counts).
-const FORMAT: &str = "dot11-sweep/v2";
+/// sweeps never mix old and new engine counts; v2 → v3: entries gained
+/// the `chan_util`/`tx_util` airtime fractions, which v2 files lack).
+const FORMAT: &str = "dot11-sweep/v3";
 
 /// A directory of cached cell results (see module docs).
 #[derive(Debug, Clone)]
@@ -74,6 +75,8 @@ impl RunCache {
             flows_kbps: json::get_f64_array(metrics, "flows_kbps")?,
             loss_rates: json::get_f64_array(metrics, "loss_rates")?,
             fairness: json::get_f64(metrics, "fairness")?,
+            chan_util: json::get_f64(metrics, "chan_util")?,
+            tx_util: json::get_f64(metrics, "tx_util")?,
             events: json::get_f64(metrics, "events")? as u64,
             queue_high_water: json::get_f64(metrics, "queue_high_water")? as u64,
             sim_elapsed_ns: json::get_f64(metrics, "sim_elapsed_ns")? as u64,
@@ -141,6 +144,8 @@ mod tests {
             flows_kbps: vec![599.03680000001, 2714.0],
             loss_rates: vec![0.25, 0.0],
             fairness: 0.7512341,
+            chan_util: 0.84218750000001,
+            tx_util: 0.2109375,
             events: 123_456_789,
             queue_high_water: 77,
             sim_elapsed_ns: 20_000_000_000,

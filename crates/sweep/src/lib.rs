@@ -47,11 +47,13 @@
 
 mod cache;
 pub mod json;
+mod progress;
 mod report;
 mod runner;
 mod spec;
 
 pub use cache::RunCache;
+pub use progress::ProgressSink;
 pub use report::{CellMetrics, CellOutcome, GroupReport, SweepEngine, SweepReport, WorkerStats};
 pub use runner::{run_sweep, SweepOptions};
 pub use spec::{CellKey, CellSpec, RunParams, SweepScenario, SweepSpec};

@@ -1,0 +1,188 @@
+//! Live sweep telemetry: a JSONL progress stream.
+//!
+//! A [`ProgressSink`] is an optional, shared (thread-safe) destination
+//! the sweep runner narrates into while it works: one `sweep_start` line
+//! after the cache pass, one `run_start`/`run_finish` pair per simulated
+//! cell (emitted by whichever worker claimed it), and one `sweep_finish`
+//! line with per-worker utilization. Each line is a self-contained JSON
+//! object whose first key is `"event"`, so a consumer can `tail -f` the
+//! stream and dispatch on that key alone.
+//!
+//! The stream is *telemetry*, not results: it carries wall-clock numbers
+//! and worker interleavings that legitimately differ between runs. The
+//! deterministic side of a sweep ([`SweepReport::deterministic_json`]
+//! [`crate::SweepReport::deterministic_json`]) is unaffected by whether a
+//! sink is attached, and write errors are deliberately swallowed — a full
+//! disk on the telemetry path must never fail the sweep.
+
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::report::{fmt_f64, WorkerStats};
+
+/// A thread-safe JSONL telemetry destination (see module docs).
+pub struct ProgressSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for ProgressSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressSink").finish_non_exhaustive()
+    }
+}
+
+/// Events per wall-clock second, `null`-safe for zero wall time.
+fn events_per_sec(events: u64, wall: Duration) -> String {
+    let secs = wall.as_secs_f64();
+    if secs > 0.0 {
+        fmt_f64(events as f64 / secs)
+    } else {
+        "null".to_string()
+    }
+}
+
+impl ProgressSink {
+    /// Wraps any writer (a file, stderr, a pipe, a test buffer).
+    pub fn new(out: Box<dyn Write + Send>) -> ProgressSink {
+        ProgressSink {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// A sink writing to standard error — the conventional choice when
+    /// standard output must stay machine-readable.
+    pub fn stderr() -> ProgressSink {
+        ProgressSink::new(Box::new(std::io::stderr()))
+    }
+
+    /// Writes one line and flushes so `tail -f` consumers see it
+    /// immediately. Errors are swallowed (telemetry must not fail runs).
+    fn emit(&self, line: &str) {
+        let mut out = self.out.lock().expect("progress sink poisoned");
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+
+    /// The sweep is about to fan out: total cells, how many the cache
+    /// already served, how many remain, and the worker count.
+    pub(crate) fn sweep_start(&self, cells: usize, cached: usize, pending: usize, jobs: usize) {
+        self.emit(&format!(
+            "{{\"event\":\"sweep_start\",\"cells\":{cells},\"cached\":{cached},\
+             \"pending\":{pending},\"jobs\":{jobs}}}"
+        ));
+    }
+
+    /// A worker claimed a cell and is about to simulate it.
+    pub(crate) fn run_start(&self, worker: usize, key: &str, scenario: &str, seed: u64) {
+        self.emit(&format!(
+            "{{\"event\":\"run_start\",\"worker\":{worker},\"cell\":\"{key}\",\
+             \"scenario\":\"{scenario}\",\"seed\":{seed}}}"
+        ));
+    }
+
+    /// A worker finished a cell: events dispatched, wall time inside
+    /// `World::run`, and the resulting events/s.
+    pub(crate) fn run_finish(&self, worker: usize, key: &str, events: u64, wall: Duration) {
+        self.emit(&format!(
+            "{{\"event\":\"run_finish\",\"worker\":{worker},\"cell\":\"{key}\",\
+             \"events\":{events},\"wall_ns\":{},\"events_per_sec\":{}}}",
+            wall.as_nanos(),
+            events_per_sec(events, wall)
+        ));
+    }
+
+    /// The sweep is done: totals plus one utilization entry per worker
+    /// (busy time inside `World::run` over sweep wall time).
+    pub(crate) fn sweep_finish(
+        &self,
+        wall: Duration,
+        simulated: usize,
+        cached: usize,
+        events: u64,
+        workers: &[WorkerStats],
+    ) {
+        let per_worker: Vec<String> = workers
+            .iter()
+            .map(|w| {
+                format!(
+                    "{{\"worker\":{},\"cells\":{},\"events\":{},\"busy_ns\":{},\
+                     \"utilization\":{}}}",
+                    w.worker,
+                    w.cells,
+                    w.events,
+                    w.busy.as_nanos(),
+                    fmt_f64(w.utilization(wall))
+                )
+            })
+            .collect();
+        self.emit(&format!(
+            "{{\"event\":\"sweep_finish\",\"wall_ns\":{},\"simulated\":{simulated},\
+             \"cached\":{cached},\"events\":{events},\"events_per_sec\":{},\
+             \"workers\":[{}]}}",
+            wall.as_nanos(),
+            events_per_sec(events, wall),
+            per_worker.join(",")
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    /// A writer the test can read back after the sink is done with it.
+    #[derive(Clone, Default)]
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn emits_one_json_object_per_event() {
+        let buf = Shared::default();
+        let sink = ProgressSink::new(Box::new(buf.clone()));
+        sink.sweep_start(4, 1, 3, 2);
+        sink.run_start(0, "abc123", "udp-basic-11mb", 7);
+        sink.run_finish(0, "abc123", 1000, Duration::from_millis(2));
+        sink.sweep_finish(
+            Duration::from_millis(10),
+            3,
+            1,
+            3000,
+            &[WorkerStats {
+                worker: 0,
+                cells: 3,
+                events: 3000,
+                busy: Duration::from_millis(5),
+            }],
+        );
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "{text}");
+        assert!(lines[0].starts_with("{\"event\":\"sweep_start\",\"cells\":4,\"cached\":1"));
+        assert!(lines[1].contains("\"scenario\":\"udp-basic-11mb\",\"seed\":7"));
+        assert!(lines[2].contains("\"events\":1000,\"wall_ns\":2000000"));
+        assert!(lines[2].contains("\"events_per_sec\":500000"));
+        assert!(lines[3].contains("\"utilization\":0.5"));
+        for line in lines {
+            assert!(
+                crate::json::parse(line).is_ok(),
+                "every telemetry line parses as JSON: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_wall_time_emits_null_rate() {
+        assert_eq!(events_per_sec(10, Duration::ZERO), "null");
+    }
+}

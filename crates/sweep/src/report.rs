@@ -41,6 +41,13 @@ pub struct CellMetrics {
     pub loss_rates: Vec<f64>,
     /// Jain's fairness index over the cell's flows.
     pub fairness: f64,
+    /// Mean over stations of the channel-utilization fraction (share of
+    /// the run each station saw the channel non-idle: own tx, locked rx,
+    /// or carrier busy). From the airtime ledger — deterministic physics,
+    /// so it caches and compares like the throughputs.
+    pub chan_util: f64,
+    /// Mean over stations of the transmitting share of the run.
+    pub tx_util: f64,
     /// Events the simulator dispatched.
     pub events: u64,
     /// Event-queue high-water mark.
@@ -54,10 +61,23 @@ impl CellMetrics {
     /// wall-clock side of [`dot11_adhoc::EngineStats`], which may not be
     /// cached or compared).
     pub fn from_report(report: &RunReport) -> CellMetrics {
+        let stations = report.nodes.len().max(1) as f64;
         CellMetrics {
             flows_kbps: report.flows.iter().map(|f| f.throughput_kbps).collect(),
             loss_rates: report.flows.iter().map(|f| f.loss_rate).collect(),
             fairness: report.fairness(),
+            chan_util: report
+                .nodes
+                .iter()
+                .map(|n| n.airtime.channel_utilization())
+                .sum::<f64>()
+                / stations,
+            tx_util: report
+                .nodes
+                .iter()
+                .map(|n| n.airtime.tx_fraction())
+                .sum::<f64>()
+                / stations,
             events: report.engine.events,
             queue_high_water: report.engine.queue_high_water as u64,
             sim_elapsed_ns: report.engine.sim_elapsed.as_nanos(),
@@ -75,10 +95,13 @@ impl CellMetrics {
         let losses: Vec<String> = self.loss_rates.iter().map(|&v| fmt_f64(v)).collect();
         format!(
             "{{\"flows_kbps\":[{}],\"loss_rates\":[{}],\"fairness\":{},\
+             \"chan_util\":{},\"tx_util\":{},\
              \"events\":{},\"queue_high_water\":{},\"sim_elapsed_ns\":{}}}",
             flows.join(","),
             losses.join(","),
             fmt_f64(self.fairness),
+            fmt_f64(self.chan_util),
+            fmt_f64(self.tx_util),
             self.events,
             self.queue_high_water,
             self.sim_elapsed_ns
@@ -113,6 +136,9 @@ pub struct GroupReport {
     pub total_kbps: Summary,
     /// Fairness-index summary over seeds.
     pub fairness: Summary,
+    /// Channel-utilization summary over seeds (station-mean non-idle
+    /// share per cell, from [`CellMetrics::chan_util`]).
+    pub chan_util: Summary,
 }
 
 impl GroupReport {
@@ -145,12 +171,13 @@ impl GroupReport {
         let flows: Vec<String> = self.flows_kbps.iter().map(Self::summary_json).collect();
         format!(
             "{{\"label\":\"{}\",\"seeds\":[{}],\"flows_kbps\":[{}],\
-             \"total_kbps\":{},\"fairness\":{}}}",
+             \"total_kbps\":{},\"fairness\":{},\"chan_util\":{}}}",
             self.label,
             seeds.join(","),
             flows.join(","),
             Self::summary_json(&self.total_kbps),
-            Self::summary_json(&self.fairness)
+            Self::summary_json(&self.fairness),
+            Self::summary_json(&self.chan_util)
         )
     }
 }
@@ -295,12 +322,14 @@ impl SweepReport {
                     .collect();
                 let totals: Vec<f64> = members.iter().map(|c| c.metrics.total_kbps()).collect();
                 let fairness: Vec<f64> = members.iter().map(|c| c.metrics.fairness).collect();
+                let chan_util: Vec<f64> = members.iter().map(|c| c.metrics.chan_util).collect();
                 groups.push(GroupReport {
                     label,
                     seeds: members.iter().map(|c| c.spec.seed).collect(),
                     flows_kbps,
                     total_kbps: Summary::of(&totals).expect("non-empty"),
                     fairness: Summary::of(&fairness).expect("non-empty"),
+                    chan_util: Summary::of(&chan_util).expect("non-empty"),
                 });
             }
         }
@@ -368,6 +397,8 @@ mod tests {
             metrics: CellMetrics {
                 loss_rates: kbps.iter().map(|_| 0.0).collect(),
                 fairness: 1.0,
+                chan_util: 0.5,
+                tx_util: 0.25,
                 events: 100,
                 queue_high_water: 5,
                 sim_elapsed_ns: 1_000_000_000,
@@ -401,6 +432,8 @@ mod tests {
             flows_kbps: vec![599.0368, 2714.125],
             loss_rates: vec![0.1, 0.0],
             fairness: 0.7512341,
+            chan_util: 0.8421875,
+            tx_util: 0.2109375,
             events: 12345,
             queue_high_water: 77,
             sim_elapsed_ns: 20_000_000_000,
@@ -411,6 +444,10 @@ mod tests {
             "{json}"
         );
         assert!(json.contains("\"fairness\":0.7512341"), "{json}");
+        assert!(
+            json.contains("\"chan_util\":0.8421875,\"tx_util\":0.2109375"),
+            "{json}"
+        );
     }
 
     #[test]

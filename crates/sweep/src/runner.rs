@@ -14,15 +14,18 @@
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use desim::SimDuration;
 
 use crate::cache::RunCache;
+use crate::progress::ProgressSink;
 use crate::report::{CellMetrics, CellOutcome, SweepEngine, SweepReport, WorkerStats};
 use crate::spec::SweepSpec;
 
-/// How a sweep executes: worker count and (optional) run cache.
+/// How a sweep executes: worker count, (optional) run cache, and
+/// (optional) live telemetry.
 #[derive(Debug, Clone)]
 pub struct SweepOptions {
     /// Worker threads. Clamped to ≥ 1; also clamped down to the number
@@ -30,6 +33,9 @@ pub struct SweepOptions {
     pub jobs: usize,
     /// Run-cache directory; `None` disables caching.
     pub cache_dir: Option<PathBuf>,
+    /// Live JSONL telemetry destination; `None` runs silently. Shared by
+    /// `Arc` because every worker thread narrates into it.
+    pub progress: Option<Arc<ProgressSink>>,
 }
 
 impl SweepOptions {
@@ -38,6 +44,7 @@ impl SweepOptions {
         SweepOptions {
             jobs: 1,
             cache_dir: None,
+            progress: None,
         }
     }
 
@@ -46,12 +53,19 @@ impl SweepOptions {
         SweepOptions {
             jobs,
             cache_dir: None,
+            progress: None,
         }
     }
 
     /// Sets the cache directory.
     pub fn cache(mut self, dir: impl Into<PathBuf>) -> SweepOptions {
         self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Attaches a live telemetry sink.
+    pub fn progress(mut self, sink: Arc<ProgressSink>) -> SweepOptions {
+        self.progress = Some(sink);
         self
     }
 }
@@ -62,6 +76,7 @@ impl Default for SweepOptions {
         SweepOptions {
             jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
             cache_dir: None,
+            progress: None,
         }
     }
 }
@@ -103,6 +118,10 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> std::io::Result<Sweep
         }
     }
     let cached = cells.len() - pending.len();
+    let progress = opts.progress.as_deref();
+    if let Some(p) = progress {
+        p.sweep_start(cells.len(), cached, pending.len(), opts.jobs.max(1));
+    }
 
     // Phase 2: fan the pending cells out across workers.
     let jobs = opts.jobs.max(1).min(pending.len().max(1));
@@ -126,8 +145,15 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> std::io::Result<Sweep
                             let n = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(&idx) = pending.get(n) else { break };
                             let cell = cells[idx];
+                            let key = cell.key().to_string();
+                            if let Some(p) = progress {
+                                p.run_start(w, &key, &cell.group_label(), cell.seed);
+                            }
                             let report = cell.scenario.build(cell.params, cell.seed).run();
                             let metrics = CellMetrics::from_report(&report);
+                            if let Some(p) = progress {
+                                p.run_finish(w, &key, report.engine.events, report.engine.wall);
+                            }
                             stats.cells += 1;
                             stats.events += report.engine.events;
                             stats.busy += report.engine.wall;
@@ -175,12 +201,16 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> std::io::Result<Sweep
         .map(|o| o.expect("every cell either cached or simulated"))
         .collect();
     let groups = SweepReport::group(&cells);
+    let wall = start.elapsed();
+    if let Some(p) = progress {
+        p.sweep_finish(wall, simulated, cached, events, &workers);
+    }
     Ok(SweepReport {
         groups,
         cells,
         engine: SweepEngine {
             jobs,
-            wall: start.elapsed(),
+            wall,
             simulated,
             cached,
             sim_elapsed: SimDuration::from_nanos(sim_ns),
@@ -237,6 +267,45 @@ mod tests {
         assert_eq!(report.engine.workers.len(), 2);
         let worked: usize = report.engine.workers.iter().map(|w| w.cells).sum();
         assert_eq!(worked, 2);
+    }
+
+    #[test]
+    fn progress_stream_narrates_without_touching_determinism() {
+        use crate::progress::ProgressSink;
+        use std::io::Write;
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct Buf(Arc<Mutex<Vec<u8>>>);
+        impl Write for Buf {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let spec = tiny_spec(1..=3);
+        let silent = run_sweep(&spec, &SweepOptions::serial()).expect("sweep");
+        let buf = Buf::default();
+        let opts =
+            SweepOptions::serial().progress(Arc::new(ProgressSink::new(Box::new(buf.clone()))));
+        let loud = run_sweep(&spec, &opts).expect("sweep");
+        assert_eq!(
+            silent.deterministic_json(),
+            loud.deterministic_json(),
+            "telemetry must not perturb results"
+        );
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // sweep_start + (run_start + run_finish) × 3 cells + sweep_finish.
+        assert_eq!(lines.len(), 8, "{text}");
+        assert!(lines[0].contains("\"event\":\"sweep_start\""));
+        assert_eq!(text.matches("\"event\":\"run_start\"").count(), 3);
+        assert_eq!(text.matches("\"event\":\"run_finish\"").count(), 3);
+        assert!(lines[7].contains("\"event\":\"sweep_finish\""));
     }
 
     #[test]

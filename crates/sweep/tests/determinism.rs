@@ -138,6 +138,7 @@ fn chain16_sweep_is_deterministic_and_caches() {
     let opts = SweepOptions {
         jobs: 8,
         cache_dir: Some(dir.clone()),
+        progress: None,
     };
     let parallel = run_sweep(&spec, &opts).expect("parallel chain sweep");
     assert_eq!(parallel.engine.simulated, 2);
@@ -199,6 +200,7 @@ fn jobs_1_and_jobs_8_agree_and_warm_cache_simulates_nothing() {
     let serial_opts = SweepOptions {
         jobs: 1,
         cache_dir: Some(dir_serial.clone()),
+        progress: None,
     };
     let serial = run_sweep(&spec, &serial_opts).expect("serial sweep");
     assert_eq!(serial.engine.simulated, 32);
@@ -208,6 +210,7 @@ fn jobs_1_and_jobs_8_agree_and_warm_cache_simulates_nothing() {
     let parallel_opts = SweepOptions {
         jobs: 8,
         cache_dir: Some(dir_parallel.clone()),
+        progress: None,
     };
     let parallel = run_sweep(&spec, &parallel_opts).expect("parallel sweep");
     assert_eq!(parallel.engine.simulated, 32);

@@ -77,6 +77,22 @@ fn main() {
             pct(a.idle_ns),
         );
     }
+    // The idle share decomposed by *why* the station was silent — the
+    // ledger's MAC-refined states (they sum to the idle column above).
+    println!("\n  station |  nav |  difs | backoff | frozen | quiet  (% of run)");
+    for n in &report.nodes {
+        let a = n.airtime;
+        let pct = |ns: u64| 100.0 * ns as f64 / a.total_ns().max(1) as f64;
+        println!(
+            "  {:>7} | {:>4.1} | {:>5.1} | {:>7.1} | {:>6.1} | {:>5.1}",
+            n.node.to_string(),
+            pct(a.nav_ns),
+            pct(a.difs_ns),
+            pct(a.backoff_ns),
+            pct(a.frozen_ns),
+            pct(a.quiet_ns),
+        );
+    }
     // The paper plots throughput versus *time*, not just window averages:
     // the traced interval series reproduces those curves. A bar is ~250 kb/s.
     let rows = sink.take().into_rows();

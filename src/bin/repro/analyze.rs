@@ -1,0 +1,389 @@
+//! `repro analyze` — post-mortem of a `--trace` JSONL stream.
+//!
+//! Reads the per-event trace the simulator wrote (one JSON object per
+//! MAC/PHY/TCP event, see `dot11-trace`) and aggregates the two things
+//! the raw stream is worst at showing directly:
+//!
+//! * **per-station retry chains** — how many times each station had to
+//!   re-arm a frame before it got through (or gave up), summarized as
+//!   chain count / mean / max;
+//! * **collision attribution** — each `collision` event is matched
+//!   against the frames on the air at that instant (reconstructed from
+//!   `frame_tx_start` + `air_ns` intervals), so the report names the
+//!   *pairs of transmitters* whose frames overlapped instead of just
+//!   counting victims.
+
+use dot11_sweep::json::{self, JsonValue};
+
+/// Slack added to a frame's on-air interval when matching collisions,
+/// covering propagation delay (sub-µs at the paper's ranges) between a
+/// transmitter's clock and the victim's arrival timestamp.
+const PROP_SLACK_NS: u64 = 2_000;
+
+/// One parsed trace line — only the fields the analyzer uses.
+struct Ev {
+    t: u64,
+    ev: String,
+    node: Option<u32>,
+    kind: Option<String>,
+    retry: Option<u32>,
+    slots: Option<u32>,
+    cw: Option<u32>,
+    air_ns: Option<u64>,
+}
+
+fn field_u32(obj: &[(String, JsonValue)], name: &str) -> Option<u32> {
+    json::get_f64(obj, name).map(|v| v as u32)
+}
+
+fn parse_line(line: &str) -> Option<Ev> {
+    let value = json::parse(line).ok()?;
+    let obj = value.as_object()?;
+    Some(Ev {
+        t: json::get_f64(obj, "t")? as u64,
+        ev: json::get_str(obj, "ev")?.to_owned(),
+        node: field_u32(obj, "node"),
+        kind: json::get_str(obj, "kind").map(str::to_owned),
+        retry: field_u32(obj, "retry"),
+        slots: field_u32(obj, "slots"),
+        cw: field_u32(obj, "cw"),
+        air_ns: json::get_f64(obj, "air_ns").map(|v| v as u64),
+    })
+}
+
+/// Per-station aggregates.
+#[derive(Debug, Clone, Default)]
+struct StationStats {
+    tx_data: u64,
+    tx_ctrl: u64,
+    air_ns: u64,
+    rx_ok: u64,
+    rx_err: u64,
+    collisions: u64,
+    eifs: u64,
+    queue_drops: u64,
+    backoffs: u64,
+    backoff_slots: u64,
+    cw_max_seen: u32,
+    retries: u64,
+    /// Closed retry chains: the final retry count each unlucky frame
+    /// reached before success or drop.
+    chains: Vec<u32>,
+    /// High-water retry of the chain currently open (0 = none).
+    open_chain: u32,
+}
+
+impl StationStats {
+    fn note_retry(&mut self, retry: u32) {
+        self.retries += 1;
+        // `retry` counts up within one frame's lifetime; a reset to 1
+        // means the previous frame's chain ended and a new one began.
+        if retry <= self.open_chain {
+            self.chains.push(self.open_chain);
+        }
+        self.open_chain = retry;
+    }
+
+    fn close_chain(&mut self) {
+        if self.open_chain > 0 {
+            self.chains.push(self.open_chain);
+            self.open_chain = 0;
+        }
+    }
+
+    fn mean_chain(&self) -> f64 {
+        if self.chains.is_empty() {
+            return 0.0;
+        }
+        self.chains.iter().map(|&c| c as u64).sum::<u64>() as f64 / self.chains.len() as f64
+    }
+
+    fn max_chain(&self) -> u32 {
+        self.chains.iter().copied().max().unwrap_or(0)
+    }
+
+    fn mean_backoff(&self) -> f64 {
+        if self.backoffs == 0 {
+            return 0.0;
+        }
+        self.backoff_slots as f64 / self.backoffs as f64
+    }
+}
+
+/// The full analysis of one trace.
+#[derive(Debug, Default)]
+pub struct TraceAnalysis {
+    lines: u64,
+    skipped: u64,
+    horizon_ns: u64,
+    stations: Vec<StationStats>,
+    /// `(tx a, tx b) -> overlapping-frame collision count`, a < b.
+    pair_counts: Vec<((u32, u32), u64)>,
+    /// Collisions with no reconstructable overlap (e.g. victim was
+    /// itself transmitting and only one frame was on the air).
+    unattributed: u64,
+}
+
+impl TraceAnalysis {
+    fn station(&mut self, node: u32) -> &mut StationStats {
+        let idx = node as usize;
+        if idx >= self.stations.len() {
+            self.stations.resize(idx + 1, StationStats::default());
+        }
+        &mut self.stations[idx]
+    }
+
+    fn count_pair(&mut self, a: u32, b: u32) {
+        let key = (a.min(b), a.max(b));
+        match self.pair_counts.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, n)) => *n += 1,
+            None => self.pair_counts.push((key, 1)),
+        }
+    }
+
+    /// Parses and aggregates a whole JSONL stream.
+    pub fn from_jsonl(text: &str) -> TraceAnalysis {
+        let mut a = TraceAnalysis::default();
+        // Frames currently (or recently) on the air: (tx node, start, end).
+        let mut on_air: Vec<(u32, u64, u64)> = Vec::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            a.lines += 1;
+            let Some(ev) = parse_line(line) else {
+                a.skipped += 1;
+                continue;
+            };
+            a.horizon_ns = a.horizon_ns.max(ev.t);
+            on_air.retain(|&(_, _, end)| end + PROP_SLACK_NS >= ev.t);
+            let node = ev.node.unwrap_or(0);
+            match ev.ev.as_str() {
+                "frame_tx_start" => {
+                    let air = ev.air_ns.unwrap_or(0);
+                    on_air.push((node, ev.t, ev.t + air));
+                    let s = a.station(node);
+                    s.air_ns += air;
+                    if ev.kind.as_deref() == Some("data") {
+                        s.tx_data += 1;
+                    } else {
+                        s.tx_ctrl += 1;
+                    }
+                }
+                "frame_rx_ok" => a.station(node).rx_ok += 1,
+                "frame_rx_err" => a.station(node).rx_err += 1,
+                "collision" => {
+                    a.station(node).collisions += 1;
+                    // Reconstruct which transmissions overlapped at the
+                    // victim: every frame on the air at `t` except the
+                    // victim's own.
+                    let others: Vec<u32> = on_air
+                        .iter()
+                        .filter(|&&(tx, start, end)| {
+                            tx != node && start <= ev.t && ev.t <= end + PROP_SLACK_NS
+                        })
+                        .map(|&(tx, _, _)| tx)
+                        .collect();
+                    if others.len() >= 2 {
+                        // Every pair of frames simultaneously audible at
+                        // the victim shares the blame.
+                        for i in 0..others.len() {
+                            for j in (i + 1)..others.len() {
+                                a.count_pair(others[i], others[j]);
+                            }
+                        }
+                    } else {
+                        a.unattributed += 1;
+                    }
+                }
+                "backoff_chosen" => {
+                    let s = a.station(node);
+                    s.backoffs += 1;
+                    s.backoff_slots += u64::from(ev.slots.unwrap_or(0));
+                    s.cw_max_seen = s.cw_max_seen.max(ev.cw.unwrap_or(0));
+                }
+                "frame_retry" => a.station(node).note_retry(ev.retry.unwrap_or(1)),
+                "eifs_defer" => a.station(node).eifs += 1,
+                "queue_drop" => a.station(node).queue_drops += 1,
+                _ => {}
+            }
+        }
+        for s in &mut a.stations {
+            s.close_chain();
+        }
+        a.pair_counts
+            .sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+        a
+    }
+
+    /// Renders the human-readable report.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== TRACE ANALYSIS — {} events over {:.3} s ({} unparseable) ==",
+            self.lines,
+            self.horizon_ns as f64 / 1e9,
+            self.skipped
+        );
+        let _ = writeln!(
+            out,
+            "{:>7} | {:>7} {:>6} | {:>8} | {:>6} {:>6} | {:>9} | {:>14} | {:>10} | {:>5}",
+            "station",
+            "data",
+            "ctrl",
+            "air (ms)",
+            "rx ok",
+            "rx err",
+            "collision",
+            "retry chains",
+            "mean/max",
+            "eifs"
+        );
+        for (i, s) in self.stations.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{:>7} | {:>7} {:>6} | {:>8.1} | {:>6} {:>6} | {:>9} | {:>5} ({:>4} rt) | {:>4.1} / {:>3} | {:>5}",
+                i,
+                s.tx_data,
+                s.tx_ctrl,
+                s.air_ns as f64 / 1e6,
+                s.rx_ok,
+                s.rx_err,
+                s.collisions,
+                s.chains.len(),
+                s.retries,
+                s.mean_chain(),
+                s.max_chain(),
+                s.eifs
+            );
+        }
+        let _ = writeln!(out, "\nbackoff behaviour:");
+        for (i, s) in self.stations.iter().enumerate() {
+            if s.backoffs > 0 {
+                let _ = writeln!(
+                    out,
+                    "  station {i}: {} draws, mean {:.1} slots, cw reached {}{}",
+                    s.backoffs,
+                    s.mean_backoff(),
+                    s.cw_max_seen,
+                    if s.queue_drops > 0 {
+                        format!(", {} queue drops", s.queue_drops)
+                    } else {
+                        String::new()
+                    }
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "\ncollision attribution (overlapping transmitter pairs):"
+        );
+        if self.pair_counts.is_empty() {
+            let _ = writeln!(out, "  none attributable");
+        }
+        for ((x, y), n) in self.pair_counts.iter().take(10) {
+            let _ = writeln!(out, "  stations {x} <-> {y}: {n} overlap collisions");
+        }
+        if self.unattributed > 0 {
+            let _ = writeln!(
+                out,
+                "  ({} collision events had < 2 reconstructable overlapping frames)",
+                self.unattributed
+            );
+        }
+        out
+    }
+}
+
+/// Entry point for `repro analyze <trace.jsonl>`.
+pub fn analyze_main(args: Vec<String>) {
+    let path = match args.as_slice() {
+        [p] => p.clone(),
+        _ => {
+            eprintln!("usage: repro analyze <trace.jsonl>");
+            eprintln!("  (produce a trace with: repro --quick --trace <path>)");
+            std::process::exit(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("repro analyze: reading {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", TraceAnalysis::from_jsonl(&text).render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_chains_split_on_reset() {
+        let trace = "\
+{\"t\":1,\"ev\":\"frame_retry\",\"node\":0,\"retry\":1}
+{\"t\":2,\"ev\":\"frame_retry\",\"node\":0,\"retry\":2}
+{\"t\":3,\"ev\":\"frame_retry\",\"node\":0,\"retry\":3}
+{\"t\":4,\"ev\":\"frame_retry\",\"node\":0,\"retry\":1}
+{\"t\":5,\"ev\":\"frame_retry\",\"node\":1,\"retry\":1}
+";
+        let a = TraceAnalysis::from_jsonl(trace);
+        assert_eq!(a.stations[0].chains, vec![3, 1], "chain of 3, then open 1");
+        assert_eq!(a.stations[0].retries, 4);
+        assert_eq!(a.stations[1].chains, vec![1]);
+    }
+
+    #[test]
+    fn collisions_attribute_to_overlapping_transmitters() {
+        // Stations 1 and 2 both on the air when station 0 reports the
+        // collision; station 3's frame ended long before.
+        let trace = "\
+{\"t\":1000,\"ev\":\"frame_tx_start\",\"node\":3,\"kind\":\"data\",\"dst\":0,\"bytes\":512,\"rate_kbps\":11000,\"air_ns\":500}
+{\"t\":10000,\"ev\":\"frame_tx_start\",\"node\":1,\"kind\":\"data\",\"dst\":0,\"bytes\":512,\"rate_kbps\":11000,\"air_ns\":400000}
+{\"t\":10500,\"ev\":\"frame_tx_start\",\"node\":2,\"kind\":\"rts\",\"dst\":0,\"bytes\":20,\"rate_kbps\":2000,\"air_ns\":272000}
+{\"t\":10700,\"ev\":\"collision\",\"node\":0}
+";
+        let a = TraceAnalysis::from_jsonl(trace);
+        assert_eq!(a.pair_counts, vec![((1, 2), 1)]);
+        assert_eq!(a.unattributed, 0);
+        assert_eq!(a.stations[0].collisions, 1);
+        assert_eq!(a.stations[1].tx_data, 1);
+        assert_eq!(a.stations[2].tx_ctrl, 1);
+    }
+
+    #[test]
+    fn lone_transmitter_collision_is_unattributed() {
+        let trace = "\
+{\"t\":100,\"ev\":\"frame_tx_start\",\"node\":1,\"kind\":\"data\",\"dst\":2,\"bytes\":512,\"rate_kbps\":11000,\"air_ns\":400000}
+{\"t\":200,\"ev\":\"collision\",\"node\":1}
+";
+        let a = TraceAnalysis::from_jsonl(trace);
+        assert!(a.pair_counts.is_empty());
+        assert_eq!(a.unattributed, 1);
+    }
+
+    #[test]
+    fn garbage_lines_are_counted_not_fatal() {
+        let a = TraceAnalysis::from_jsonl("not json\n{\"t\":5,\"ev\":\"collision\",\"node\":0}\n");
+        assert_eq!(a.lines, 2);
+        assert_eq!(a.skipped, 1);
+        assert_eq!(a.stations[0].collisions, 1);
+    }
+
+    #[test]
+    fn render_names_top_pairs() {
+        let trace = "\
+{\"t\":10,\"ev\":\"frame_tx_start\",\"node\":1,\"kind\":\"data\",\"dst\":0,\"bytes\":512,\"rate_kbps\":11000,\"air_ns\":1000}
+{\"t\":20,\"ev\":\"frame_tx_start\",\"node\":2,\"kind\":\"data\",\"dst\":0,\"bytes\":512,\"rate_kbps\":11000,\"air_ns\":1000}
+{\"t\":30,\"ev\":\"collision\",\"node\":0}
+";
+        let out = TraceAnalysis::from_jsonl(trace).render();
+        assert!(
+            out.contains("stations 1 <-> 2: 1 overlap collisions"),
+            "{out}"
+        );
+    }
+}

@@ -110,10 +110,19 @@ fn parse_interval(s: &str) -> Option<SimDuration> {
     Some(SimDuration::from_nanos(ns.round() as u64))
 }
 
+mod analyze;
+
 fn main() {
-    if std::env::args().nth(1).as_deref() == Some("sweep") {
-        sweep_main(std::env::args().skip(2).collect());
-        return;
+    match std::env::args().nth(1).as_deref() {
+        Some("sweep") => {
+            sweep_main(std::env::args().skip(2).collect());
+            return;
+        }
+        Some("analyze") => {
+            analyze::analyze_main(std::env::args().skip(2).collect());
+            return;
+        }
+        _ => {}
     }
     let opts = parse_args();
     let cfg = if opts.quick {
@@ -176,6 +185,7 @@ struct SweepArgs {
     jobs: usize,
     cache_dir: Option<String>,
     json: Option<String>,
+    progress: Option<String>,
     params: dot11_sweep::RunParams,
 }
 
@@ -183,8 +193,8 @@ fn sweep_usage(msg: &str) -> ! {
     eprintln!("repro sweep: {msg}");
     eprintln!(
         "usage: repro sweep [--scenarios fig7,fig9,fig11,fig12,chain16,chain64,grid16,disk20] \
-         [--seeds A..B|N] [--jobs N] [--cache-dir <dir>] [--json <path>] [--quick] \
-         [--duration <interval>] [--warmup <interval>]"
+         [--seeds A..B|N] [--jobs N] [--cache-dir <dir>] [--json <path>] \
+         [--progress <path|->] [--quick] [--duration <interval>] [--warmup <interval>]"
     );
     std::process::exit(2);
 }
@@ -241,6 +251,7 @@ fn parse_sweep_args(args: Vec<String>) -> SweepArgs {
         jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
         cache_dir: None,
         json: None,
+        progress: None,
         params: dot11_sweep::RunParams::full(),
     };
     let mut duration = None;
@@ -291,6 +302,12 @@ fn parse_sweep_args(args: Vec<String>) -> SweepArgs {
                     args.next()
                         .unwrap_or_else(|| sweep_usage("--json needs a path")),
                 );
+            }
+            "--progress" => {
+                out.progress =
+                    Some(args.next().unwrap_or_else(|| {
+                        sweep_usage("--progress needs a path (or - for stderr)")
+                    }));
             }
             "--quick" => quick = true,
             "--duration" => {
@@ -357,9 +374,26 @@ fn sweep_main(args: Vec<String>) {
         args.seeds.start(),
         args.seeds.end()
     );
+    let progress = args.progress.as_deref().map(|dest| {
+        let sink = if dest == "-" {
+            // Stderr keeps stdout machine-comparable (the smoke tests
+            // md5 it) while still letting `2>` capture the stream.
+            dot11_sweep::ProgressSink::stderr()
+        } else {
+            match std::fs::File::create(dest) {
+                Ok(f) => dot11_sweep::ProgressSink::new(Box::new(f)),
+                Err(e) => {
+                    eprintln!("repro sweep: opening progress stream {dest}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        };
+        std::sync::Arc::new(sink)
+    });
     let opts = dot11_sweep::SweepOptions {
         jobs: args.jobs,
         cache_dir: args.cache_dir.clone().map(Into::into),
+        progress,
     };
     let report = match dot11_sweep::run_sweep(&spec, &opts) {
         Ok(r) => r,
@@ -386,8 +420,13 @@ fn fmt_summary_kbps(s: &dot11_adhoc::Summary) -> String {
 
 fn print_sweep_report(report: &dot11_sweep::SweepReport) {
     println!(
-        "{:<42} | {:>3} | {:>14} | {:>14} | {:>9} | fairness",
-        "scenario (kb/s, mean ± 95% CI over seeds)", "n", "session 1", "session 2", "imbalance"
+        "{:<42} | {:>3} | {:>14} | {:>14} | {:>9} | {:>11} | chan util",
+        "scenario (kb/s, mean ± 95% CI over seeds)",
+        "n",
+        "session 1",
+        "session 2",
+        "imbalance",
+        "fairness"
     );
     for g in &report.groups {
         let s2 = g
@@ -400,14 +439,15 @@ fn print_sweep_report(report: &dot11_sweep::SweepReport) {
             .map(|r| format!("{r:>8.2}x"))
             .unwrap_or_else(|| format!("{:>9}", "—"));
         println!(
-            "{:<42} | {:>3} | {} | {} | {} | {:>5.2} ± {:.2}",
+            "{:<42} | {:>3} | {} | {} | {} | {:>5.2} ± {:.2} | {:>5.1}%",
             g.label,
             g.total_kbps.n,
             fmt_summary_kbps(&g.flows_kbps[0]),
             s2,
             imbalance,
             g.fairness.mean,
-            g.fairness.ci95
+            g.fairness.ci95,
+            100.0 * g.chan_util.mean
         );
     }
     let e = &report.engine;
@@ -470,8 +510,15 @@ fn run_instrumented_figures(cfg: ExpConfig, interval: SimDuration) -> Vec<Instru
             for transport in [SessionTransport::Udp, SessionTransport::Tcp] {
                 for scheme in [AccessScheme::Basic, AccessScheme::RtsCts] {
                     let sink = SharedSink::new(IntervalMetricsSink::new(interval));
+                    // The instrumented path arms the wall-clock profiler:
+                    // the per-kind timing lands in the JSON `engine`
+                    // objects without touching physics (probe callbacks
+                    // only read the monotonic clock).
                     let report = four_station::scenario(cfg, rate, layout, transport, scheme)
-                        .run_with(sink.clone());
+                        .run_probed(
+                            sink.clone(),
+                            desim::WallProbe::new(&dot11_adhoc::world::PROBE_SCOPES),
+                        );
                     cells.push(InstrumentedCell {
                         cell: FourStationCell {
                             transport,
@@ -504,9 +551,35 @@ fn engine_json(e: &EngineStats) -> String {
         .iter()
         .map(|(name, count)| format!("\"{name}\":{count}"))
         .collect();
+    // When a profiler was armed, its per-scope wall-time breakdown rides
+    // along: `scopes` carries every named scope (kind scopes partition
+    // the dispatch loop; `phase_*` scopes are overlapping sub-regions —
+    // don't sum them with the kinds), and `attributed_pct` is the share
+    // of total wall time the kind scopes explain.
+    let profile = match (&e.profile, e.attributed_fraction()) {
+        (Some(p), Some(frac)) => {
+            let scopes: Vec<String> = p
+                .scopes
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{{\"name\":\"{}\",\"count\":{},\"total_ns\":{},\
+                         \"min_ns\":{},\"max_ns\":{}}}",
+                        s.name, s.count, s.total_ns, s.min_ns, s.max_ns
+                    )
+                })
+                .collect();
+            format!(
+                ",\"profile\":{{\"attributed_pct\":{:.1},\"scopes\":[{}]}}",
+                100.0 * frac,
+                scopes.join(",")
+            )
+        }
+        _ => String::new(),
+    };
     format!(
         "{{\"events\":{},\"queue_high_water\":{},\"sim_elapsed_ns\":{},\"wall_ns\":{},\
-         \"speedup\":{:.1},\"events_per_sec\":{:.0},\"kinds\":{{{}}}}}",
+         \"speedup\":{:.1},\"events_per_sec\":{:.0},\"kinds\":{{{}}}{profile}}}",
         e.events,
         e.queue_high_water,
         e.sim_elapsed.as_nanos(),
