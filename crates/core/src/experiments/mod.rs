@@ -21,13 +21,15 @@
 //! Extensions (not in the paper, motivated by its §1–2):
 //! [`arf::arf_sweep`] compares dynamic rate switching against the fixed
 //! rates; [`multihop::chain_throughput`] composes the single-hop
-//! building block into forwarding chains.
+//! building block into forwarding chains; [`hidden::hidden_triple`] is
+//! the classic hidden-terminal collapse-and-recovery study.
 
 pub mod arf;
 pub mod figure2;
 pub mod figure3;
 pub mod figure4;
 pub mod four_station;
+pub mod hidden;
 pub mod multihop;
 pub mod table3;
 

@@ -3,6 +3,7 @@
 use dot11_phy::{PhyRate, Preamble};
 
 use crate::arf::ArfConfig;
+use crate::policy::BackoffConfig;
 use crate::timing::MacTiming;
 
 /// Configuration of one station's DCF MAC.
@@ -36,6 +37,9 @@ pub struct MacConfig {
     /// test-bed pinned the NIC rate; enabling this reproduces what
     /// shipping firmware did instead.
     pub arf: ArfConfig,
+    /// Contention-window policy. Defaults to binary exponential backoff
+    /// ([`BackoffConfig::Beb`]), the paper's Table 1 behaviour.
+    pub backoff: BackoffConfig,
 }
 
 impl MacConfig {
@@ -54,6 +58,7 @@ impl MacConfig {
             preamble: Preamble::Long,
             eifs_enabled: true,
             arf: ArfConfig::disabled(),
+            backoff: BackoffConfig::Beb,
         }
     }
 
@@ -67,6 +72,35 @@ impl MacConfig {
     /// starting from the configured data rate.
     pub fn with_arf(mut self) -> MacConfig {
         self.arf = ArfConfig::classic();
+        self
+    }
+
+    /// The same configuration under a different backoff policy.
+    pub fn with_backoff(mut self, backoff: BackoffConfig) -> MacConfig {
+        self.backoff = backoff;
+        self
+    }
+
+    /// The same configuration with the contention-window bounds moved —
+    /// the CWmin/CWmax sensitivity axis (Siddik et al.,
+    /// arXiv:2206.12615). `cw_min` must be ≥ 1 and ≤ `cw_max`.
+    pub fn with_cw(mut self, cw_min: u32, cw_max: u32) -> MacConfig {
+        self.timing = self.timing.with_cw(cw_min, cw_max);
+        self
+    }
+
+    /// The same configuration with different retry limits
+    /// (dot11ShortRetryLimit / dot11LongRetryLimit).
+    pub fn with_retry_limits(mut self, short: u32, long: u32) -> MacConfig {
+        self.short_retry_limit = short;
+        self.long_retry_limit = long;
+        self
+    }
+
+    /// The same configuration with a different slot time. DIFS is
+    /// re-derived as `SIFS + 2·slot`, as the standard defines it.
+    pub fn with_slot_us(mut self, slot_us: u32) -> MacConfig {
+        self.timing = self.timing.with_slot_us(slot_us);
         self
     }
 }

@@ -25,6 +25,7 @@ use crate::frame::{
     FrameKind, MacFrame, MacSdu, ACK_BYTES, CTS_BYTES, DATA_HEADER_BYTES, RTS_BYTES,
 };
 use crate::ledger::{DeferCat, DeferLedger};
+use crate::policy::{AnyPolicy, BackoffPolicy};
 
 /// Timers the MAC asks the driver to run on its behalf.
 ///
@@ -136,6 +137,9 @@ pub struct DcfMac<P, S: TraceSink = NullSink> {
     current: Option<Pending<P>>,
     contention: Contention,
     cw: u32,
+    /// Contention-window policy (instantiated from `cfg.backoff`). Sets
+    /// `cw` at the two re-draw points; never draws randomness itself.
+    policy: AnyPolicy,
     backoff_slots: Option<u32>,
     /// When the current `Counting` phase started (backoff slots elapse on
     /// a 20 µs grid anchored here — the lazy countdown's freeze arithmetic
@@ -169,6 +173,7 @@ impl<P: Clone, S: TraceSink> DcfMac<P, S> {
         DcfMac {
             id,
             cw: cfg.timing.cw_min,
+            policy: cfg.backoff.instantiate(),
             arf: ArfState::new(cfg.arf, cfg.data_rate),
             cfg,
             rng,
@@ -584,7 +589,7 @@ impl<P: Clone, S: TraceSink> DcfMac<P, S> {
         if failures >= limit {
             self.complete_current(false, now, out);
         } else {
-            self.cw = (self.cw * 2).min(self.cfg.timing.cw_max);
+            self.cw = self.policy.on_failure(self.cw, &self.cfg.timing);
             let slots = self.rng.gen_range_u32(0, self.cw);
             self.backoff_slots = Some(slots);
             if S::ENABLED {
@@ -728,11 +733,12 @@ impl<P: Clone, S: TraceSink> DcfMac<P, S> {
             dst: cur.sdu.dst,
             success,
         });
-        // Post-transmission backoff: the CW resets and a fresh backoff is
-        // drawn whether the frame succeeded or was dropped. This is what
-        // charges the paper's Eq. (1) its CWmin/2 slots per packet even
-        // with a single saturated sender.
-        self.cw = self.cfg.timing.cw_min;
+        // Post-transmission backoff: the CW is re-set by the policy (BEB
+        // resets to CWmin) and a fresh backoff is drawn whether the frame
+        // succeeded or was dropped. This is what charges the paper's
+        // Eq. (1) its CWmin/2 slots per packet even with a single
+        // saturated sender.
+        self.cw = self.policy.on_complete(self.cw, success, &self.cfg.timing);
         let slots = self.rng.gen_range_u32(0, self.cw);
         self.backoff_slots = Some(slots);
         if S::ENABLED {

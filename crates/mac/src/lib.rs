@@ -41,6 +41,7 @@ mod counters;
 mod dcf;
 mod frame;
 mod ledger;
+mod policy;
 mod timing;
 
 pub use arf::{ArfConfig, ArfCounters, ArfState};
@@ -51,4 +52,5 @@ pub use frame::{
     FrameKind, MacFrame, MacSdu, ACK_BYTES, BROADCAST, CTS_BYTES, DATA_HEADER_BYTES, RTS_BYTES,
 };
 pub use ledger::DeferLedger;
+pub use policy::{AnyPolicy, BackoffConfig, BackoffPolicy, Beb, CtAdapt, CtAdaptConfig, FixedCw};
 pub use timing::MacTiming;

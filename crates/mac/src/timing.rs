@@ -39,6 +39,26 @@ impl MacTiming {
         }
     }
 
+    /// The same timing with the contention-window bounds moved — the
+    /// sweep layer's CW axis. Panics if `cw_min` is 0 or above `cw_max`.
+    pub fn with_cw(mut self, cw_min: u32, cw_max: u32) -> MacTiming {
+        assert!(cw_min >= 1, "CWmin must be at least 1 slot");
+        assert!(cw_min <= cw_max, "CWmin must not exceed CWmax");
+        self.cw_min = cw_min;
+        self.cw_max = cw_max;
+        self
+    }
+
+    /// The same timing with a different slot, re-deriving
+    /// `DIFS = SIFS + 2·slot` (802.11-1999 §9.2.10). Panics on a zero
+    /// slot.
+    pub fn with_slot_us(mut self, slot_us: u32) -> MacTiming {
+        assert!(slot_us >= 1, "slot must be at least 1 µs");
+        self.slot = SimDuration::from_micros(u64::from(slot_us));
+        self.difs = self.sifs + self.slot * 2;
+        self
+    }
+
     /// Extended interframe space used after a frame is sensed but not
     /// decoded: `SIFS + DIFS + T_ACK` at the lowest basic rate
     /// (802.11-1999 §9.2.3.4).

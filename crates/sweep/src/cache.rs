@@ -2,8 +2,8 @@
 //!
 //! Every finished cell persists as one JSON line in
 //! `<cache_dir>/<cell-key>.json`, where the filename is the cell's
-//! [`CellKey`](crate::CellKey) — a stable hash of (scenario, seed, run
-//! params). A re-run looks the key up before simulating: cache hits cost
+//! [`CellKey`] — a stable hash of (scenario, MAC axis,
+//! seed, run params). A re-run looks the key up before simulating: cache hits cost
 //! one file read, and a fully warm sweep simulates **zero** worlds.
 //!
 //! Invariants the determinism tests pin:
@@ -30,8 +30,11 @@ use crate::spec::{CellKey, CellSpec};
 /// timer coalescing and signal batching shrank `events` and
 /// `queue_high_water`; pre-coalescing entries must read as misses so
 /// sweeps never mix old and new engine counts; v2 → v3: entries gained
-/// the `chan_util`/`tx_util` airtime fractions, which v2 files lack).
-const FORMAT: &str = "dot11-sweep/v3";
+/// the `chan_util`/`tx_util` airtime fractions, which v2 files lack;
+/// v3 → v4: cell keys and group labels picked up the MAC axis —
+/// policy/CW/retry/slot — so pre-axis entries must not serve axis-aware
+/// lookups).
+const FORMAT: &str = "dot11-sweep/v4";
 
 /// A directory of cached cell results (see module docs).
 #[derive(Debug, Clone)]
@@ -125,12 +128,13 @@ impl RunCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{RunParams, SweepScenario};
+    use crate::spec::{MacAxis, RunParams, SweepScenario};
     use desim::SimDuration;
 
     fn spec() -> CellSpec {
         CellSpec {
             scenario: SweepScenario::figure(7)[0],
+            mac: MacAxis::table1(),
             seed: 42,
             params: RunParams {
                 duration: SimDuration::from_secs(1),
@@ -186,6 +190,14 @@ mod tests {
         cache.store(&s, &m, 1).expect("store");
         let other = CellSpec { seed: 43, ..s };
         assert!(cache.load(&other).is_none());
+        let other_axis = CellSpec {
+            mac: MacAxis {
+                cw_min: 8,
+                ..MacAxis::table1()
+            },
+            ..s
+        };
+        assert!(cache.load(&other_axis).is_none(), "axis is part of the key");
         std::fs::remove_dir_all(cache.dir()).ok();
     }
 

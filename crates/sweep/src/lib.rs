@@ -56,4 +56,4 @@ pub use cache::RunCache;
 pub use progress::ProgressSink;
 pub use report::{CellMetrics, CellOutcome, GroupReport, SweepEngine, SweepReport, WorkerStats};
 pub use runner::{run_sweep, SweepOptions};
-pub use spec::{CellKey, CellSpec, RunParams, SweepScenario, SweepSpec};
+pub use spec::{CellKey, CellSpec, MacAxis, RunParams, SweepScenario, SweepSpec};

@@ -10,8 +10,9 @@
 //!
 //! The stream is *telemetry*, not results: it carries wall-clock numbers
 //! and worker interleavings that legitimately differ between runs. The
-//! deterministic side of a sweep ([`SweepReport::deterministic_json`]
-//! [`crate::SweepReport::deterministic_json`]) is unaffected by whether a
+//! deterministic side of a sweep
+//! ([`SweepReport::deterministic_json`](crate::SweepReport::deterministic_json))
+//! is unaffected by whether a
 //! sink is attached, and write errors are deliberately swallowed — a full
 //! disk on the telemetry path must never fail the sweep.
 

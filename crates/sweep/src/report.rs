@@ -380,11 +380,12 @@ impl SweepReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{RunParams, SweepScenario};
+    use crate::spec::{MacAxis, RunParams, SweepScenario};
 
     fn outcome(scenario: SweepScenario, seed: u64, kbps: Vec<f64>) -> CellOutcome {
         let spec = CellSpec {
             scenario,
+            mac: MacAxis::table1(),
             seed,
             params: RunParams {
                 duration: SimDuration::from_secs(1),

@@ -149,7 +149,7 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> std::io::Result<Sweep
                             if let Some(p) = progress {
                                 p.run_start(w, &key, &cell.group_label(), cell.seed);
                             }
-                            let report = cell.scenario.build(cell.params, cell.seed).run();
+                            let report = cell.build().run();
                             let metrics = CellMetrics::from_report(&report);
                             if let Some(p) = progress {
                                 p.run_finish(w, &key, report.engine.events, report.engine.wall);

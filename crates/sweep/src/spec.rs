@@ -9,9 +9,10 @@
 use desim::SimDuration;
 use dot11_adhoc::analytic::AccessScheme;
 use dot11_adhoc::experiments::four_station::{self, FourStationLayout, SessionTransport};
-use dot11_adhoc::experiments::ExpConfig;
+use dot11_adhoc::experiments::{hidden, ExpConfig};
 use dot11_adhoc::hash::StableHasher;
 use dot11_adhoc::{Scenario, ScenarioBuilder, Traffic};
+use dot11_mac::{BackoffConfig, MacConfig};
 use dot11_phy::PhyRate;
 
 /// One scenario recipe a sweep can run.
@@ -77,6 +78,18 @@ pub enum SweepScenario {
         topo_seed: u64,
         /// NIC data rate.
         rate: PhyRate,
+    },
+    /// The hidden-terminal triple: two mutually inaudible saturated
+    /// senders aimed at one middle receiver
+    /// ([`hidden::hidden_triple`]), with the access scheme as the
+    /// collapse-and-recovery axis.
+    HiddenTriple {
+        /// NIC data rate (the proven geometry is at 2 Mb/s).
+        rate: PhyRate,
+        /// Access scheme — `Basic` collapses, `RtsCts` recovers.
+        scheme: AccessScheme,
+        /// UDP payload per datagram, bytes.
+        payload_bytes: u32,
     },
 }
 
@@ -162,6 +175,16 @@ impl SweepScenario {
                 topo_seed,
                 rate_kbps(rate)
             ),
+            SweepScenario::HiddenTriple {
+                rate,
+                scheme,
+                payload_bytes,
+            } => format!(
+                "hidden3/{}B/{}k/udp/{}",
+                payload_bytes,
+                rate_kbps(rate),
+                scheme_tag(scheme)
+            ),
         }
     }
 
@@ -221,6 +244,16 @@ impl SweepScenario {
                 h.write_f64(radius_m);
                 h.write_u64(topo_seed);
                 h.write_u32(rate_kbps(rate));
+            }
+            SweepScenario::HiddenTriple {
+                rate,
+                scheme,
+                payload_bytes,
+            } => {
+                h.write_str("hidden_triple");
+                h.write_u32(rate_kbps(rate));
+                h.write_str(scheme_tag(scheme));
+                h.write_u32(payload_bytes);
             }
         }
     }
@@ -324,6 +357,18 @@ impl SweepScenario {
                 }
                 b.build()
             }
+            SweepScenario::HiddenTriple {
+                rate,
+                scheme,
+                payload_bytes,
+            } => {
+                let cfg = ExpConfig {
+                    seed,
+                    duration: params.duration,
+                    warmup: params.warmup,
+                };
+                hidden::hidden_triple(cfg, rate, scheme, payload_bytes)
+            }
         }
     }
 
@@ -353,6 +398,128 @@ impl SweepScenario {
             }
         }
         v
+    }
+
+    /// The hidden-terminal pair of cells — basic access (collapse) and
+    /// RTS/CTS (recovery) — at 2 Mb/s with the paper's 512 B payload.
+    pub fn hidden3() -> Vec<SweepScenario> {
+        [AccessScheme::Basic, AccessScheme::RtsCts]
+            .into_iter()
+            .map(|scheme| SweepScenario::HiddenTriple {
+                rate: PhyRate::R2,
+                scheme,
+                payload_bytes: 512,
+            })
+            .collect()
+    }
+}
+
+/// One point of the MAC-parameter grid: a backoff policy plus the
+/// sweepable Table 1 constants. Plain `Copy` data — workers copy cells
+/// across threads, and the axis is hashed into every [`CellKey`].
+///
+/// The default ([`MacAxis::table1`]) is physics-neutral: applying it to
+/// a scenario reproduces the pre-axis behaviour bit for bit, so sweeps
+/// that never mention the axis keep their golden results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MacAxis {
+    /// Contention-window policy.
+    pub policy: BackoffConfig,
+    /// CWmin, slots.
+    pub cw_min: u32,
+    /// CWmax, slots.
+    pub cw_max: u32,
+    /// dot11ShortRetryLimit.
+    pub short_retry: u32,
+    /// dot11LongRetryLimit.
+    pub long_retry: u32,
+    /// Slot time, µs (DIFS re-derives as SIFS + 2·slot).
+    pub slot_us: u32,
+}
+
+impl MacAxis {
+    /// The paper's Table 1 defaults under binary exponential backoff —
+    /// the identity axis.
+    pub fn table1() -> MacAxis {
+        MacAxis {
+            policy: BackoffConfig::Beb,
+            cw_min: 32,
+            cw_max: 1024,
+            short_retry: 7,
+            long_retry: 4,
+            slot_us: 20,
+        }
+    }
+
+    /// Whether this is the identity axis.
+    pub fn is_table1(&self) -> bool {
+        *self == MacAxis::table1()
+    }
+
+    /// A compact label of the dimensions that differ from Table 1
+    /// (empty for the identity axis), e.g. `"fixed64/cw8-1024"`.
+    pub fn label(&self) -> String {
+        let def = MacAxis::table1();
+        let mut parts: Vec<String> = Vec::new();
+        match self.policy {
+            BackoffConfig::Beb => {}
+            BackoffConfig::FixedCw(cw) => parts.push(format!("fixed{cw}")),
+            BackoffConfig::CtAdapt(c) => {
+                let d = dot11_mac::CtAdaptConfig::default();
+                if c == d {
+                    parts.push("ctadapt".to_string());
+                } else {
+                    parts.push(format!("ctadapt(t{},g{},w{})", c.target, c.gain, c.window));
+                }
+            }
+        }
+        if (self.cw_min, self.cw_max) != (def.cw_min, def.cw_max) {
+            parts.push(format!("cw{}-{}", self.cw_min, self.cw_max));
+        }
+        if (self.short_retry, self.long_retry) != (def.short_retry, def.long_retry) {
+            parts.push(format!("retry{}-{}", self.short_retry, self.long_retry));
+        }
+        if self.slot_us != def.slot_us {
+            parts.push(format!("slot{}us", self.slot_us));
+        }
+        parts.join("/")
+    }
+
+    /// Feeds the axis into a stable hasher (part of every cell key).
+    pub fn encode(&self, h: &mut StableHasher) {
+        match self.policy {
+            BackoffConfig::Beb => h.write_str("beb"),
+            BackoffConfig::FixedCw(cw) => {
+                h.write_str("fixed");
+                h.write_u32(cw);
+            }
+            BackoffConfig::CtAdapt(c) => {
+                h.write_str("ctadapt");
+                h.write_f64(c.target);
+                h.write_f64(c.gain);
+                h.write_u32(c.window);
+            }
+        }
+        h.write_u32(self.cw_min);
+        h.write_u32(self.cw_max);
+        h.write_u32(self.short_retry);
+        h.write_u32(self.long_retry);
+        h.write_u32(self.slot_us);
+    }
+
+    /// Applies the axis to a scenario's MAC configuration.
+    pub fn apply(&self, mac: &mut MacConfig) {
+        mac.backoff = self.policy;
+        *mac = mac
+            .with_cw(self.cw_min, self.cw_max)
+            .with_retry_limits(self.short_retry, self.long_retry)
+            .with_slot_us(self.slot_us);
+    }
+}
+
+impl Default for MacAxis {
+    fn default() -> MacAxis {
+        MacAxis::table1()
     }
 }
 
@@ -402,11 +569,14 @@ impl std::fmt::Display for CellKey {
     }
 }
 
-/// One unit of sweep work: a scenario recipe at one seed.
+/// One unit of sweep work: a scenario recipe at one MAC-axis point and
+/// one seed.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CellSpec {
     /// The scenario recipe.
     pub scenario: SweepScenario,
+    /// The MAC-parameter/policy point this cell runs under.
+    pub mac: MacAxis,
     /// The master seed of this run.
     pub seed: u64,
     /// Run length and warm-up.
@@ -414,42 +584,84 @@ pub struct CellSpec {
 }
 
 impl CellSpec {
-    /// The cell's content hash over (format version, scenario, seed,
-    /// params). The version tag is bumped whenever the *meaning* of a
-    /// cached result changes, invalidating old cache dirs wholesale.
+    /// The cell's content hash over (format version, scenario, MAC axis,
+    /// seed, params). The version tag is bumped whenever the *meaning*
+    /// of a cached result changes, invalidating old cache dirs
+    /// wholesale; `v4` added the MAC axis.
     pub fn key(&self) -> CellKey {
         let mut h = StableHasher::new();
-        h.write_str("dot11-sweep/v1");
+        h.write_str("dot11-sweep/v4");
         self.scenario.encode(&mut h);
+        self.mac.encode(&mut h);
         h.write_u64(self.seed);
         self.params.encode(&mut h);
         CellKey(h.finish())
     }
 
-    /// The label cells aggregate under: scenario name — everything but
-    /// the seed.
+    /// The label cells aggregate under: everything but the seed — the
+    /// scenario name, with `@axis` appended off the identity MAC axis.
     pub fn group_label(&self) -> String {
-        self.scenario.name()
+        if self.mac.is_table1() {
+            self.scenario.name()
+        } else {
+            format!("{}@{}", self.scenario.name(), self.mac.label())
+        }
+    }
+
+    /// Expands the cell into a runnable [`Scenario`]: the recipe at this
+    /// cell's seed, re-tuned to this cell's MAC axis.
+    pub fn build(&self) -> Scenario {
+        self.scenario
+            .build(self.params, self.seed)
+            .tune_mac(|mac| self.mac.apply(mac))
     }
 }
 
-/// The cross product a sweep runs: scenarios × seeds under one
-/// [`RunParams`].
+/// The cross product a sweep runs: scenarios × MAC axes × seeds under
+/// one [`RunParams`].
+///
+/// # Examples
+///
+/// A CWmin ladder over the hidden-terminal pair — 2 scenarios ×
+/// 3 axes × 4 seeds = 24 cells, each with a distinct [`CellKey`]:
+///
+/// ```
+/// use dot11_sweep::{MacAxis, RunParams, SweepScenario, SweepSpec};
+///
+/// let spec = SweepSpec::new(RunParams::quick())
+///     .scenarios(SweepScenario::hidden3())
+///     .mac_axes([8, 32, 128].map(|cw_min| MacAxis {
+///         cw_min,
+///         ..MacAxis::table1()
+///     }))
+///     .seeds(1..=4);
+/// let cells = spec.cells();
+/// assert_eq!(cells.len(), 24);
+/// let keys: std::collections::HashSet<_> = cells.iter().map(|c| c.key()).collect();
+/// assert_eq!(keys.len(), 24);
+/// // Non-default axes surface in the grouping label:
+/// assert_eq!(cells[0].group_label(), "hidden3/512B/2000k/udp/basic@cw8-1024");
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepSpec {
     /// Scenario recipes, in report order.
     pub scenarios: Vec<SweepScenario>,
-    /// Seeds every scenario is run at.
+    /// MAC-parameter/policy grid every scenario runs under. Defaults to
+    /// the single identity axis ([`MacAxis::table1`]).
+    pub mac_axes: Vec<MacAxis>,
+    /// Seeds every (scenario, axis) pair is run at.
     pub seeds: Vec<u64>,
     /// Shared run parameters.
     pub params: RunParams,
 }
 
 impl SweepSpec {
-    /// An empty spec with the given run parameters.
+    /// An empty spec with the given run parameters and the identity MAC
+    /// axis.
     pub fn new(params: RunParams) -> SweepSpec {
         SweepSpec {
             scenarios: Vec::new(),
+            mac_axes: vec![MacAxis::table1()],
             seeds: Vec::new(),
             params,
         }
@@ -467,24 +679,39 @@ impl SweepSpec {
         self
     }
 
+    /// Replaces the MAC grid (e.g. a CWmin ladder). An empty iterator
+    /// falls back to the identity axis.
+    pub fn mac_axes(mut self, axes: impl IntoIterator<Item = MacAxis>) -> SweepSpec {
+        self.mac_axes = axes.into_iter().collect();
+        if self.mac_axes.is_empty() {
+            self.mac_axes.push(MacAxis::table1());
+        }
+        self
+    }
+
     /// Sets the seed list from any iterator (e.g. `1..=30`).
     pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> SweepSpec {
         self.seeds = seeds.into_iter().collect();
         self
     }
 
-    /// Expands the cross product, scenario-major: all seeds of the first
-    /// scenario, then all seeds of the second, … Cell order is part of
-    /// the report contract (groups keep first-appearance order).
+    /// Expands the cross product, scenario-major then axis-major: all
+    /// seeds of the first (scenario, axis) pair, then the next axis, …
+    /// Cell order is part of the report contract (groups keep
+    /// first-appearance order).
     pub fn cells(&self) -> Vec<CellSpec> {
-        let mut cells = Vec::with_capacity(self.scenarios.len() * self.seeds.len());
+        let mut cells =
+            Vec::with_capacity(self.scenarios.len() * self.mac_axes.len() * self.seeds.len());
         for &scenario in &self.scenarios {
-            for &seed in &self.seeds {
-                cells.push(CellSpec {
-                    scenario,
-                    seed,
-                    params: self.params,
-                });
+            for &mac in &self.mac_axes {
+                for &seed in &self.seeds {
+                    cells.push(CellSpec {
+                        scenario,
+                        mac,
+                        seed,
+                        params: self.params,
+                    });
+                }
             }
         }
         cells
@@ -519,6 +746,7 @@ mod tests {
     fn keys_separate_every_dimension() {
         let base = CellSpec {
             scenario: SweepScenario::figure(7)[0],
+            mac: MacAxis::table1(),
             seed: 1,
             params: params(),
         };
@@ -534,11 +762,27 @@ mod tests {
             },
             ..base
         };
+        let other_axis = CellSpec {
+            mac: MacAxis {
+                cw_min: 16,
+                ..MacAxis::table1()
+            },
+            ..base
+        };
+        let other_policy = CellSpec {
+            mac: MacAxis {
+                policy: BackoffConfig::FixedCw(32),
+                ..MacAxis::table1()
+            },
+            ..base
+        };
         let keys = [
             base.key(),
             other_seed.key(),
             other_scenario.key(),
             other_params.key(),
+            other_axis.key(),
+            other_policy.key(),
         ];
         for i in 0..keys.len() {
             for j in i + 1..keys.len() {
@@ -548,11 +792,103 @@ mod tests {
     }
 
     #[test]
+    fn mac_axis_labels_only_what_differs_from_table1() {
+        let identity = MacAxis::table1();
+        assert!(identity.is_table1());
+        assert_eq!(identity.label(), "");
+        let cw = MacAxis {
+            cw_min: 8,
+            ..identity
+        };
+        assert_eq!(cw.label(), "cw8-1024");
+        let fixed = MacAxis {
+            policy: BackoffConfig::FixedCw(64),
+            slot_us: 9,
+            ..identity
+        };
+        assert_eq!(fixed.label(), "fixed64/slot9us");
+        let ct = MacAxis {
+            policy: BackoffConfig::CtAdapt(dot11_mac::CtAdaptConfig::default()),
+            short_retry: 5,
+            long_retry: 3,
+            ..identity
+        };
+        assert_eq!(ct.label(), "ctadapt/retry5-3");
+        let cell = CellSpec {
+            scenario: SweepScenario::figure(7)[0],
+            mac: cw,
+            seed: 1,
+            params: params(),
+        };
+        assert_eq!(
+            cell.group_label(),
+            "four_station/asym11/11000k/udp/basic@cw8-1024"
+        );
+    }
+
+    #[test]
+    fn mac_axis_applies_to_a_built_scenario() {
+        let cell = CellSpec {
+            scenario: SweepScenario::TwoStation {
+                rate: PhyRate::R11,
+                distance_m: 10.0,
+                transport: SessionTransport::Udp,
+                scheme: AccessScheme::Basic,
+            },
+            mac: MacAxis {
+                policy: BackoffConfig::FixedCw(16),
+                cw_min: 16,
+                cw_max: 64,
+                short_retry: 5,
+                long_retry: 3,
+                slot_us: 9,
+            },
+            seed: 5,
+            params: RunParams {
+                duration: SimDuration::from_millis(400),
+                warmup: SimDuration::from_millis(100),
+            },
+        };
+        // The tuned scenario still runs, and the axis reached the MAC.
+        let report = cell.build().run();
+        assert!(report.flow(dot11_net::FlowId(0)).throughput_kbps > 100.0);
+        let mut mac = MacConfig::new(PhyRate::R11);
+        cell.mac.apply(&mut mac);
+        assert_eq!(mac.backoff, BackoffConfig::FixedCw(16));
+        assert_eq!(mac.timing.cw_min, 16);
+        assert_eq!(mac.timing.cw_max, 64);
+        assert_eq!(mac.short_retry_limit, 5);
+        assert_eq!(mac.long_retry_limit, 3);
+        assert_eq!(mac.timing.slot.as_micros(), 9);
+        // DIFS re-derives from the swept slot.
+        assert_eq!(mac.timing.difs.as_micros(), 10 + 2 * 9);
+    }
+
+    #[test]
+    fn hidden_triple_cells_are_named_and_run() {
+        let pair = SweepScenario::hidden3();
+        assert_eq!(pair[0].name(), "hidden3/512B/2000k/udp/basic");
+        assert_eq!(pair[1].name(), "hidden3/512B/2000k/udp/rts");
+        let cell = CellSpec {
+            scenario: pair[0],
+            mac: MacAxis::table1(),
+            seed: 5,
+            params: RunParams {
+                duration: SimDuration::from_millis(400),
+                warmup: SimDuration::from_millis(100),
+            },
+        };
+        let report = cell.build().run();
+        assert!(report.engine.events > 0);
+    }
+
+    #[test]
     fn names_are_stable_and_seed_free() {
         let spec = SweepScenario::figure(12)[3];
         assert_eq!(spec.name(), "four_station/sym/2000k/tcp/rts");
         let cell = CellSpec {
             scenario: spec,
+            mac: MacAxis::table1(),
             seed: 7,
             params: params(),
         };
@@ -574,13 +910,14 @@ mod tests {
                 transport: SessionTransport::Udp,
                 scheme: AccessScheme::Basic,
             },
+            mac: MacAxis::table1(),
             seed: 5,
             params: RunParams {
                 duration: SimDuration::from_millis(400),
                 warmup: SimDuration::from_millis(100),
             },
         };
-        let report = cell.scenario.build(cell.params, cell.seed).run();
+        let report = cell.build().run();
         assert!(report.flow(dot11_net::FlowId(0)).throughput_kbps > 100.0);
     }
 
@@ -669,6 +1006,7 @@ mod tests {
             .map(|&scenario| {
                 CellSpec {
                     scenario,
+                    mac: MacAxis::table1(),
                     seed: 1,
                     params: params(),
                 }

@@ -13,21 +13,28 @@
 use desim::SimDuration;
 use dot11_adhoc::analytic::AccessScheme;
 use dot11_adhoc::experiments::four_station::SessionTransport;
+use dot11_mac::BackoffConfig;
 use dot11_phy::PhyRate;
-use dot11_sweep::{run_sweep, CellSpec, RunParams, SweepOptions, SweepScenario, SweepSpec};
+use dot11_sweep::{
+    run_sweep, CellSpec, MacAxis, RunParams, SweepOptions, SweepScenario, SweepSpec,
+};
 
+/// PR 7's MAC axis entered every key (`dot11-sweep/v1` → `v4`, matching
+/// the cache-entry format), so every golden below was deliberately
+/// re-pinned then; the identity axis keeps the *labels* unchanged.
 #[test]
 fn cell_keys_are_golden() {
     let full = RunParams::full();
     let expected = [
-        ("four_station/asym11/11000k/udp/basic", "6388136a18945d5d"),
-        ("four_station/asym11/11000k/udp/rts", "49a510563121d7a2"),
-        ("four_station/asym11/11000k/tcp/basic", "111731b70f7b956d"),
-        ("four_station/asym11/11000k/tcp/rts", "78f789197ccba932"),
+        ("four_station/asym11/11000k/udp/basic", "95b12622b972ff55"),
+        ("four_station/asym11/11000k/udp/rts", "4677cf32d2190e1c"),
+        ("four_station/asym11/11000k/tcp/basic", "0e8b525fd7c6a2b9"),
+        ("four_station/asym11/11000k/tcp/rts", "264a3c5adf7d1d30"),
     ];
     for (scenario, (label, key)) in SweepScenario::figure(7).into_iter().zip(expected) {
         let cell = CellSpec {
             scenario,
+            mac: MacAxis::table1(),
             seed: 105,
             params: full,
         };
@@ -45,18 +52,74 @@ fn cell_keys_are_golden() {
             transport: SessionTransport::Tcp,
             scheme: AccessScheme::RtsCts,
         },
+        mac: MacAxis::table1(),
         seed: 7,
         params: RunParams {
             duration: SimDuration::from_secs(2),
             warmup: SimDuration::from_millis(250),
         },
     };
-    assert_eq!(two.key().to_string(), "318b8d2cd6f5d809");
+    assert_eq!(two.key().to_string(), "4f6480d8c06ac321");
 }
 
-/// The large-topology recipes added in PR 5 hash to stable keys too —
-/// and none of the pre-existing keys above moved, so old cache dirs stay
-/// valid (new variants only append new encode tags).
+/// The PR 7 additions hash to stable keys as well: the hidden-terminal
+/// pair and non-identity MAC axes (a CWmin point and a policy swap on
+/// the same fig7 cell must key apart from the identity axis and from
+/// each other).
+#[test]
+fn mac_axis_and_hidden_triple_keys_are_golden() {
+    let params = RunParams {
+        duration: SimDuration::from_millis(300),
+        warmup: SimDuration::from_millis(100),
+    };
+    let hidden: Vec<CellSpec> = SweepScenario::hidden3()
+        .into_iter()
+        .map(|scenario| CellSpec {
+            scenario,
+            mac: MacAxis::table1(),
+            seed: 1,
+            params,
+        })
+        .collect();
+    assert_eq!(hidden[0].group_label(), "hidden3/512B/2000k/udp/basic");
+    assert_eq!(hidden[0].key().to_string(), "8db82d0c01a3d2f6");
+    assert_eq!(hidden[1].group_label(), "hidden3/512B/2000k/udp/rts");
+    assert_eq!(hidden[1].key().to_string(), "17e65660a8e4b153");
+
+    let base = CellSpec {
+        scenario: SweepScenario::figure(7)[0],
+        mac: MacAxis::table1(),
+        seed: 1,
+        params,
+    };
+    let cw8 = CellSpec {
+        mac: MacAxis {
+            cw_min: 8,
+            ..MacAxis::table1()
+        },
+        ..base
+    };
+    assert_eq!(
+        cw8.group_label(),
+        "four_station/asym11/11000k/udp/basic@cw8-1024"
+    );
+    assert_eq!(cw8.key().to_string(), "012f76512701779c");
+    let fixed = CellSpec {
+        mac: MacAxis {
+            policy: BackoffConfig::FixedCw(64),
+            ..MacAxis::table1()
+        },
+        ..base
+    };
+    assert_eq!(
+        fixed.group_label(),
+        "four_station/asym11/11000k/udp/basic@fixed64"
+    );
+    assert_eq!(fixed.key().to_string(), "99029346137a8d31");
+}
+
+/// The large-topology recipes added in PR 5 hash to stable keys too
+/// (re-pinned at the v4 bump like everything else; labels unchanged).
 #[test]
 fn large_topology_cell_keys_are_golden() {
     let params = RunParams {
@@ -71,7 +134,7 @@ fn large_topology_cell_keys_are_golden() {
                 rate: PhyRate::R2,
             },
             "chain/16x80m/2000k/udp",
-            "8eeecc6f5ea617bd",
+            "6f74650b9d5ba77d",
         ),
         (
             SweepScenario::Chain {
@@ -80,7 +143,7 @@ fn large_topology_cell_keys_are_golden() {
                 rate: PhyRate::R2,
             },
             "chain/64x80m/2000k/udp",
-            "3790e8eb37c877ed",
+            "62f7e976241ad84d",
         ),
         (
             SweepScenario::Grid {
@@ -90,7 +153,7 @@ fn large_topology_cell_keys_are_golden() {
                 rate: PhyRate::R2,
             },
             "grid/4x4x80m/2000k/udp",
-            "ae9b17e8b293d9b5",
+            "73f9d77a0afcf81f",
         ),
         (
             SweepScenario::RandomDisk {
@@ -100,12 +163,13 @@ fn large_topology_cell_keys_are_golden() {
                 rate: PhyRate::R2,
             },
             "disk/20@120m/t7/2000k/udp",
-            "888ffc032b3f6f4a",
+            "cd523d85f53529f0",
         ),
     ];
     for (scenario, label, key) in expected {
         let cell = CellSpec {
             scenario,
+            mac: MacAxis::table1(),
             seed: 1,
             params,
         };
@@ -150,6 +214,55 @@ fn chain16_sweep_is_deterministic_and_caches() {
     let warm = run_sweep(&spec, &opts).expect("warm chain sweep");
     assert_eq!(warm.engine.simulated, 0);
     assert_eq!(warm.engine.cached, 2);
+    assert_eq!(warm.deterministic_json(), serial.deterministic_json());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The MAC-policy grid honours the same contracts: a hidden-terminal ×
+/// (CWmin ladder + policy swap) grid is byte-identical across worker
+/// counts and fully served by a warm cache — every axis point keys its
+/// own cache entry.
+#[test]
+fn mac_grid_sweep_is_deterministic_and_caches() {
+    let axes = [
+        MacAxis::table1(),
+        MacAxis {
+            cw_min: 8,
+            ..MacAxis::table1()
+        },
+        MacAxis {
+            policy: BackoffConfig::FixedCw(64),
+            ..MacAxis::table1()
+        },
+    ];
+    let spec = SweepSpec::new(RunParams {
+        duration: SimDuration::from_millis(300),
+        warmup: SimDuration::from_millis(100),
+    })
+    .scenarios(SweepScenario::hidden3())
+    .mac_axes(axes)
+    .seeds(1..=2);
+    assert_eq!(spec.cells().len(), 12, "2 scenarios × 3 axes × 2 seeds");
+
+    let dir = fresh_dir("macgrid");
+    let serial = run_sweep(&spec, &SweepOptions::serial()).expect("serial mac-grid sweep");
+    // Every (scenario, axis) pair aggregates under its own label.
+    assert_eq!(serial.groups.len(), 6);
+    let opts = SweepOptions {
+        jobs: 8,
+        cache_dir: Some(dir.clone()),
+        progress: None,
+    };
+    let parallel = run_sweep(&spec, &opts).expect("parallel mac-grid sweep");
+    assert_eq!(parallel.engine.simulated, 12);
+    assert_eq!(
+        serial.deterministic_json(),
+        parallel.deterministic_json(),
+        "mac-grid report depends on the worker count"
+    );
+    let warm = run_sweep(&spec, &opts).expect("warm mac-grid sweep");
+    assert_eq!(warm.engine.simulated, 0, "warm cache must skip every cell");
+    assert_eq!(warm.engine.cached, 12);
     assert_eq!(warm.deterministic_json(), serial.deterministic_json());
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -181,6 +181,7 @@ fn main() {
 
 struct SweepArgs {
     scenarios: Vec<(String, Vec<dot11_sweep::SweepScenario>)>,
+    mac_axes: Vec<dot11_sweep::MacAxis>,
     seeds: std::ops::RangeInclusive<u64>,
     jobs: usize,
     cache_dir: Option<String>,
@@ -192,11 +193,76 @@ struct SweepArgs {
 fn sweep_usage(msg: &str) -> ! {
     eprintln!("repro sweep: {msg}");
     eprintln!(
-        "usage: repro sweep [--scenarios fig7,fig9,fig11,fig12,chain16,chain64,grid16,disk20] \
-         [--seeds A..B|N] [--jobs N] [--cache-dir <dir>] [--json <path>] \
-         [--progress <path|->] [--quick] [--duration <interval>] [--warmup <interval>]"
+        "usage: repro sweep \
+         [--scenarios fig7,fig9,fig11,fig12,chain16,chain64,grid16,disk20,hidden3] \
+         [--mac-grid key=v1,v2,...] [--seeds A..B|N] [--jobs N] [--cache-dir <dir>] \
+         [--json <path>] [--progress <path|->] [--quick] [--duration <interval>] \
+         [--warmup <interval>]"
+    );
+    eprintln!(
+        "  --mac-grid keys: policy (beb|fixedN|ctadapt), cwmin, cwmax, retry, longretry, \
+         slot (µs); repeat the flag to cross dimensions, e.g. \
+         --mac-grid cwmin=8,16,32,64 --mac-grid policy=beb,fixed32"
     );
     std::process::exit(2);
+}
+
+/// Expands one `--mac-grid key=v1,v2,...` dimension against the axes
+/// accumulated so far (cross product across repeated flags).
+fn parse_mac_grid(axes: Vec<dot11_sweep::MacAxis>, spec: &str) -> Vec<dot11_sweep::MacAxis> {
+    use dot11_mac::{BackoffConfig, CtAdaptConfig};
+    let Some((key, list)) = spec.split_once('=') else {
+        sweep_usage(&format!("bad --mac-grid {spec:?} (want key=v1,v2,...)"));
+    };
+    let mut out = Vec::new();
+    for &axis in &axes {
+        for value in list.split(',') {
+            let parse_u32 = || {
+                value
+                    .parse::<u32>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        sweep_usage(&format!("bad --mac-grid {key} value {value:?}"))
+                    })
+            };
+            let mut axis = axis;
+            match key {
+                "policy" => {
+                    axis.policy = if value == "beb" {
+                        BackoffConfig::Beb
+                    } else if value == "ctadapt" {
+                        BackoffConfig::CtAdapt(CtAdaptConfig::default())
+                    } else if let Some(cw) = value.strip_prefix("fixed") {
+                        BackoffConfig::FixedCw(cw.parse().ok().filter(|&n| n >= 1).unwrap_or_else(
+                            || sweep_usage(&format!("bad fixed-CW width in {value:?}")),
+                        ))
+                    } else {
+                        sweep_usage(&format!(
+                            "unknown policy {value:?} (try beb, fixedN, ctadapt)"
+                        ));
+                    };
+                }
+                "cwmin" => axis.cw_min = parse_u32(),
+                "cwmax" => axis.cw_max = parse_u32(),
+                "retry" => axis.short_retry = parse_u32(),
+                "longretry" => axis.long_retry = parse_u32(),
+                "slot" => axis.slot_us = parse_u32(),
+                other => sweep_usage(&format!(
+                    "unknown --mac-grid key {other:?} (try policy, cwmin, cwmax, retry, \
+                     longretry, slot)"
+                )),
+            }
+            if axis.cw_min > axis.cw_max {
+                sweep_usage(&format!(
+                    "CWmin {} exceeds CWmax {} in --mac-grid {spec}",
+                    axis.cw_min, axis.cw_max
+                ));
+            }
+            out.push(axis);
+        }
+    }
+    out
 }
 
 /// Parses `A..B` (inclusive) or a bare `N` meaning `1..N`.
@@ -240,6 +306,9 @@ fn parse_scenario_group(name: &str) -> Option<Vec<dot11_sweep::SweepScenario>> {
             topo_seed: 7,
             rate: PhyRate::R2,
         }]),
+        // The hidden-terminal triple (PR 7): basic access collapses,
+        // RTS/CTS recovers.
+        "hidden3" => Some(SweepScenario::hidden3()),
         _ => None,
     }
 }
@@ -247,6 +316,7 @@ fn parse_scenario_group(name: &str) -> Option<Vec<dot11_sweep::SweepScenario>> {
 fn parse_sweep_args(args: Vec<String>) -> SweepArgs {
     let mut out = SweepArgs {
         scenarios: Vec::new(),
+        mac_axes: vec![dot11_sweep::MacAxis::table1()],
         seeds: 1..=8,
         jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
         cache_dir: None,
@@ -268,11 +338,17 @@ fn parse_sweep_args(args: Vec<String>) -> SweepArgs {
                     let group = parse_scenario_group(name).unwrap_or_else(|| {
                         sweep_usage(&format!(
                             "unknown scenario {name:?} (try fig7, fig9, fig11, fig12, \
-                             chain16, chain64, grid16, disk20)"
+                             chain16, chain64, grid16, disk20, hidden3)"
                         ))
                     });
                     out.scenarios.push((name.to_owned(), group));
                 }
+            }
+            "--mac-grid" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| sweep_usage("--mac-grid needs key=v1,v2,..."));
+                out.mac_axes = parse_mac_grid(std::mem::take(&mut out.mac_axes), &v);
             }
             "--seeds" => {
                 let v = args
@@ -360,13 +436,23 @@ fn sweep_main(args: Vec<String>) {
     let args = parse_sweep_args(args);
     let spec = dot11_sweep::SweepSpec::new(args.params)
         .scenarios(args.scenarios.iter().flat_map(|(_, g)| g.iter().copied()))
+        .mac_axes(args.mac_axes.clone())
         .seeds(args.seeds.clone());
     let n_scenarios = spec.scenarios.len();
+    let n_axes = spec.mac_axes.len();
     let n_seeds = spec.seeds.len();
-    println!(
-        "== SWEEP — {n_scenarios} scenario cells × {n_seeds} seeds = {} runs ==",
-        n_scenarios * n_seeds
-    );
+    if n_axes > 1 {
+        println!(
+            "== SWEEP — {n_scenarios} scenario cells × {n_axes} MAC axes × {n_seeds} seeds \
+             = {} runs ==",
+            n_scenarios * n_axes * n_seeds
+        );
+    } else {
+        println!(
+            "== SWEEP — {n_scenarios} scenario cells × {n_seeds} seeds = {} runs ==",
+            n_scenarios * n_seeds
+        );
+    }
     println!(
         "sessions: {} (warm-up {}), seeds {}..{}\n",
         args.params.duration,

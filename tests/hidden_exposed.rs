@@ -4,6 +4,8 @@
 //! experiments compose; here each is isolated in its pure form.
 
 use desim::SimDuration;
+use dot11_testbed::adhoc::analytic::AccessScheme;
+use dot11_testbed::adhoc::experiments::{hidden, ExpConfig};
 use dot11_testbed::adhoc::{ScenarioBuilder, Traffic};
 use dot11_testbed::net::FlowId;
 use dot11_testbed::phy::{DayProfile, PhyRate, RadioConfig};
@@ -64,6 +66,34 @@ fn hidden_stations_collide_and_rts_helps() {
         rts_retries < basic_retries,
         "retries {rts_retries} vs {basic_retries}"
     );
+}
+
+/// The same pathology through the sweepable experiment constructor
+/// ([`hidden::hidden_triple`]), pinned across the paper's test-bed
+/// payload sizes: at every size, basic-access aggregate goodput
+/// collapses below the RTS/CTS run. This is the scenario `repro sweep
+/// --scenarios hidden3` expands, so the pin also guards the sweep axis.
+#[test]
+fn hidden_triple_collapses_without_rts_at_paper_payloads() {
+    let cfg = ExpConfig {
+        seed: 5,
+        duration: SimDuration::from_secs(8),
+        warmup: SimDuration::from_secs(1),
+    };
+    let total = |scheme: AccessScheme, payload: u32| {
+        let report = hidden::hidden_triple(cfg, PhyRate::R2, scheme, payload).run();
+        report.flow(FlowId(0)).throughput_kbps + report.flow(FlowId(1)).throughput_kbps
+    };
+    for payload in [512, 1000, 1460] {
+        let basic = total(AccessScheme::Basic, payload);
+        let rts = total(AccessScheme::RtsCts, payload);
+        assert!(
+            basic < rts,
+            "{payload} B: basic access should collapse below RTS/CTS, \
+             got {basic:.0} vs {rts:.0} kb/s"
+        );
+        assert!(rts > 200.0, "{payload} B: RTS/CTS should move real data");
+    }
 }
 
 /// With carrier sensing crippled (ablation D1), the session-1 sender can
