@@ -1,15 +1,15 @@
 //! The `engine_hotpath` group: the per-frame fast path and the tracked
 //! perf baseline.
 //!
-//! These are the numbers `BENCH_pr4.json` pins (see README "Perf
+//! These are the numbers `BENCH_pr8.json` pins (see README "Perf
 //! trajectory"): the four-station run's ns/event, events/sec and
 //! end-to-end `sim_ns_per_wall_ns` speedup, the raw medium-scatter /
 //! PHY-interference / timer-cancel microcosts under it, and the
 //! cold/warm sweep wall time. Run with
 //!
 //! ```console
-//! cargo bench -p dot11-bench --bench hotpath -- --json BENCH_pr4.json
-//! cargo bench -p dot11-bench --bench hotpath -- --baseline BENCH_pr4.json
+//! cargo bench -p dot11-bench --bench hotpath -- --json BENCH_pr8.json
+//! cargo bench -p dot11-bench --bench hotpath -- --baseline BENCH_pr8.json
 //! ```
 //!
 //! The second form is the CI regression gate: it exits non-zero if any

@@ -15,13 +15,15 @@
 //!    N-scaling headline case with an armed probe and reports the
 //!    per-kind wall-time totals as metrics (`kind_ns_*`, `phase_ns_*`),
 //!    asserting that the kind scopes attribute ≥ 95% of the run's wall
-//!    time — the number that explains *where* the 431 → 3,004 ns/event
-//!    growth of `BENCH_pr5.json` goes as N scales. The committed medians
-//!    live in `BENCH_pr6.json`:
+//!    time — the number that named the per-event costs the flat-cost
+//!    work of `BENCH_pr8.json` then removed (mac_sifs_response mean
+//!    18.7 µs → 2.3 µs, phase_scatter 7.5 µs → 1.4 µs; see
+//!    ARCHITECTURE.md § Flat per-event cost at large N). The committed
+//!    medians live in `BENCH_pr8.json`:
 //!
 //! ```console
-//! cargo bench -p dot11-bench --bench profile -- --json BENCH_pr6.json
-//! cargo bench -p dot11-bench --bench profile -- --baseline BENCH_pr6.json --tolerance 100
+//! cargo bench -p dot11-bench --bench profile -- --json BENCH_pr8.json
+//! cargo bench -p dot11-bench --bench profile -- --baseline BENCH_pr8.json --tolerance 100
 //! ```
 
 use desim::{SimDuration, WallProbe};

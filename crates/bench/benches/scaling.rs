@@ -1,33 +1,43 @@
 //! The `scaling` group: how per-frame cost scales with station count N.
 //!
-//! Saturated multihop chains at N ∈ {4, 16, 64, 256} stations (80 m
-//! pitch, 2 Mb/s — a reliable hop per the calibrated Table 3 ranges),
-//! plus the 256-station chain with audible-set culling disabled. The
-//! committed medians live in `BENCH_pr5.json`; CI gates `ns_per_event`,
-//! `sim_ns_per_wall_ns`, *and* `deliveries_per_frame` against it — the
-//! last is exact arithmetic over static audible sets (zero run-to-run
-//! noise), so it pins the culling structure itself while the wall-clock
-//! metrics run at a wide 100% tolerance (these whole-simulation
-//! macro-benches are far noisier than the hotpath micro-benches, and
-//! the regression the gate exists to catch is a +711% deliveries /
-//! >+270% wall swing):
+//! Saturated multihop chains at N ∈ {4, 16, 64, 256, 1024} stations
+//! (80 m pitch, 2 Mb/s — a reliable hop per the calibrated Table 3
+//! ranges), the 256-station chain with audible-set culling disabled, and
+//! a 4096-station random disk (the largest scenario family the repo
+//! ships). The committed medians live in `BENCH_pr8.json`; CI gates
+//! `ns_per_event`, `sim_ns_per_wall_ns`, *and* `deliveries_per_frame`
+//! against it — the last is exact arithmetic over static audible sets
+//! (zero run-to-run noise), so it pins the culling structure itself
+//! while the wall-clock metrics run at a wide 100% tolerance (these
+//! whole-simulation macro-benches are far noisier than the hotpath
+//! micro-benches, and the regression the gate exists to catch is a
+//! +711% deliveries / >+270% wall swing):
 //!
 //! ```console
-//! cargo bench -p dot11-bench --bench scaling -- --json BENCH_pr5.json
-//! cargo bench -p dot11-bench --bench scaling -- --baseline BENCH_pr5.json --tolerance 100
+//! cargo bench -p dot11-bench --bench scaling -- --json BENCH_pr8.json
+//! cargo bench -p dot11-bench --bench scaling -- --baseline BENCH_pr8.json --tolerance 100
 //! ```
 //!
-//! The headline comparison is `scaling/chain256` vs
+//! Two comparisons carry the story. `scaling/chain256` vs
 //! `scaling/chain256_full_fanout`: with culling, a transmission scatters
 //! to the ~50 stations inside the ~2 km audible horizon instead of all
 //! 255, so `deliveries_per_frame` (exact: Σ tx_frames·|audible set|,
 //! over frames) and the wall-time metrics improve together while the
-//! physics stays bit-identical (see `tests/culling.rs`).
+//! physics stays bit-identical (see `tests/culling.rs`). And
+//! `scaling/chain4` vs the larger chains: identical event counts from
+//! chain64 up, so ns/event isolates per-event cost — the flat-cost gap
+//! that remains tracks `deliveries_per_frame` (31.4 vs 3.0), i.e. the
+//! physical fan-out each event must pay for, not the station count.
 
 use desim::SimDuration;
 use dot11_adhoc::{Scenario, ScenarioBuilder, Traffic};
 use dot11_bench::Harness;
 use dot11_phy::{NodeId, PhyRate};
+
+const SATURATED: Traffic = Traffic::SaturatedUdp {
+    payload_bytes: 512,
+    backlog: 10,
+};
 
 /// An N-station saturated chain at 80 m pitch, 500 ms of simulated time.
 fn chain(n: u32, full_fanout: bool) -> Scenario {
@@ -38,37 +48,49 @@ fn chain(n: u32, full_fanout: bool) -> Scenario {
     b.seed(3)
         .duration(SimDuration::from_millis(500))
         .warmup(SimDuration::from_millis(100))
-        .flow(
-            0,
-            n - 1,
-            Traffic::SaturatedUdp {
-                payload_bytes: 512,
-                backlog: 10,
-            },
-        )
+        .flow(0, n - 1, SATURATED)
         .build()
+}
+
+/// A 4096-station uniform random disk, radius 12 km (station density ≈
+/// one per 110 m², audible sets ~100 stations under the dual-slope
+/// horizon), with the sweep family's three single-hop saturated flows.
+/// This is the production-scale shape the ROADMAP aims at: per-event
+/// cost must track the audible fan-out, never N. Note the harness
+/// times scenario + world construction inside the iteration, so this
+/// row's `ns_per_event` is dominated by (O(N), once-per-run)
+/// construction amortized over a short session — which is the point:
+/// it pins construction cost too.
+fn disk4096() -> Scenario {
+    let mut b = ScenarioBuilder::new(PhyRate::R2)
+        .random_disk(4096, 12_000.0, 7)
+        .seed(3)
+        .duration(SimDuration::from_millis(500))
+        .warmup(SimDuration::from_millis(100));
+    for (src, dst) in [(0, 1), (2, 3), (4, 5)] {
+        b = b.flow(src, dst, SATURATED);
+    }
+    b.build()
 }
 
 /// Per-station audible-set sizes — static for a run, so computed once
 /// from a throwaway world and folded into the report metrics.
-fn audible_counts(n: u32, full_fanout: bool) -> Vec<f64> {
-    let world = chain(n, full_fanout).into_world();
-    (0..n)
+fn audible_counts(scenario: Scenario) -> Vec<f64> {
+    let world = scenario.into_world();
+    (0..world.medium().station_count() as u32)
         .map(|i| world.medium().audible_count(NodeId(i)) as f64)
         .collect()
 }
 
-fn bench_chain(h: &Harness, n: u32, full_fanout: bool) {
-    let name = if full_fanout {
-        format!("scaling/chain{n}_full_fanout")
-    } else {
-        format!("scaling/chain{n}")
-    };
-    let audible = audible_counts(n, full_fanout);
+fn bench_scenario(h: &Harness, name: &str, mk: impl Fn() -> Scenario + 'static) {
+    if !h.selected(name) {
+        return;
+    }
+    let audible = audible_counts(mk());
     let max_audible = audible.iter().cloned().fold(0.0f64, f64::max);
     h.bench_metrics(
-        &name,
-        move || chain(n, full_fanout).run(),
+        name,
+        move || mk().run(),
         move |report, median| {
             let events = report.engine.events as f64;
             let frames: f64 = report.nodes.iter().map(|nr| nr.phy.tx_frames as f64).sum();
@@ -103,9 +125,10 @@ fn bench_chain(h: &Harness, n: u32, full_fanout: bool) {
 
 fn main() {
     let h = Harness::from_args();
-    for n in [4u32, 16, 64, 256] {
-        bench_chain(&h, n, false);
+    for n in [4u32, 16, 64, 256, 1024] {
+        bench_scenario(&h, &format!("scaling/chain{n}"), move || chain(n, false));
     }
-    bench_chain(&h, 256, true);
+    bench_scenario(&h, "scaling/chain256_full_fanout", || chain(256, true));
+    bench_scenario(&h, "scaling/disk4096", disk4096);
     h.finish();
 }

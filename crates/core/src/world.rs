@@ -109,7 +109,7 @@ pub enum Event {
 /// that transmits charges its scatter to both `phase_mac_actions` and
 /// `phase_scatter`), so they explain where kind time goes but do not sum
 /// with it.
-pub const PROBE_SCOPES: [&str; 20] = [
+pub const PROBE_SCOPES: [&str; 21] = [
     "flow_start",
     "signal_start",
     "signal_end",
@@ -130,6 +130,7 @@ pub const PROBE_SCOPES: [&str; 20] = [
     "phase_arrival_scan",
     "phase_ber_eval",
     "phase_mac_actions",
+    "phase_response_build",
 ];
 
 /// Phase-scope indices into [`PROBE_SCOPES`] (the kind scopes occupy
@@ -138,6 +139,25 @@ const SCOPE_SCATTER: usize = 16;
 const SCOPE_ARRIVAL_SCAN: usize = 17;
 const SCOPE_BER_EVAL: usize = 18;
 const SCOPE_MAC_ACTIONS: usize = 19;
+const SCOPE_RESPONSE_BUILD: usize = 20;
+
+/// Dense per-station timer-slot count: one slot per [`TimerKind`].
+const MAC_TIMER_SLOTS: usize = 8;
+
+/// The dense timer-table slot of a [`TimerKind`] (same order as the MAC
+/// kind scopes in [`PROBE_SCOPES`]).
+fn timer_slot(kind: TimerKind) -> usize {
+    match kind {
+        TimerKind::Difs => 0,
+        TimerKind::BackoffBulk => 1,
+        TimerKind::BackoffSlot => 2,
+        TimerKind::CtsTimeout => 3,
+        TimerKind::AckTimeout => 4,
+        TimerKind::SifsResponse => 5,
+        TimerKind::SifsData => 6,
+        TimerKind::NavEnd => 7,
+    }
+}
 
 struct InFlight {
     frame: MacFrame<Packet>,
@@ -193,8 +213,16 @@ pub struct World<S: TraceSink + Clone = NullSink, P: Probe = NoProbe> {
     /// are not double-counted.
     mac_actions_depth: u32,
     flows: Vec<FlowSpec>,
-    in_flight: HashMap<TxId, InFlight>,
-    mac_timers: HashMap<(u32, TimerKind), EventHandle>,
+    /// Transmissions on the air, sorted by [`TxId`]. Ids are handed out
+    /// monotonically by the medium, so insertion is a push-back and
+    /// lookup a binary search over a handful of concurrent entries — no
+    /// hashing on the signal-start/end hot path.
+    in_flight: Vec<(TxId, InFlight)>,
+    /// Dense per-station timer table: slot `node * MAC_TIMER_SLOTS +
+    /// timer_slot(kind)`. Replaces a `HashMap` keyed on `(node, kind)` —
+    /// MAC timers are armed/cancelled several times per frame exchange,
+    /// making this one of the hottest state tables in the world.
+    mac_timers: Vec<Option<EventHandle>>,
     rto_timers: HashMap<(u32, u32), EventHandle>,
     delack_timers: HashMap<(u32, u32), EventHandle>,
     next_tag: u64,
@@ -322,8 +350,8 @@ impl<S: TraceSink + Clone, P: Probe> World<S, P> {
             probe,
             mac_actions_depth: 0,
             flows,
-            in_flight: HashMap::new(),
-            mac_timers: HashMap::new(),
+            in_flight: Vec::new(),
+            mac_timers: vec![None; n_stations * MAC_TIMER_SLOTS],
             rto_timers: HashMap::new(),
             delack_timers: HashMap::new(),
             next_tag: 1,
@@ -482,11 +510,22 @@ impl<S: TraceSink + Clone, P: Probe> World<S, P> {
             Event::SignalEnd { tx_id } => self.on_signal_end(tx_id, now),
             Event::TxAirEnd { node, tx_id } => self.on_tx_air_end(node, tx_id, now),
             Event::MacTimer { node, kind } => {
-                self.mac_timers.remove(&(node.0, kind));
+                self.mac_timers[node.index() * MAC_TIMER_SLOTS + timer_slot(kind)] = None;
                 let mut actions = self.mac_action_pool.get();
-                self.nodes[node.index()]
-                    .mac
-                    .on_timer(kind, now, &mut actions);
+                if kind == TimerKind::SifsResponse {
+                    // The SIFS-response build (precomputed CTS/ACK frame
+                    // handed to the transmit path) gets its own phase
+                    // scope so `engine.profile` keeps it visible.
+                    let tick = self.probe.tick();
+                    self.nodes[node.index()]
+                        .mac
+                        .on_timer(kind, now, &mut actions);
+                    self.probe.record(SCOPE_RESPONSE_BUILD, tick);
+                } else {
+                    self.nodes[node.index()]
+                        .mac
+                        .on_timer(kind, now, &mut actions);
+                }
                 self.apply_mac_actions(node.index(), actions, now);
             }
             Event::RtoTimer { node, flow } => {
@@ -717,13 +756,14 @@ impl<S: TraceSink + Clone, P: Probe> World<S, P> {
                     } else {
                         self.sim.schedule_in(delay, ev)
                     };
-                    if let Some(old) = self.mac_timers.insert((node.0, kind), h) {
+                    let slot = idx * MAC_TIMER_SLOTS + timer_slot(kind);
+                    if let Some(old) = self.mac_timers[slot].replace(h) {
                         self.sim.cancel(old);
                     }
                 }
                 MacAction::CancelTimer { kind } => {
-                    let node = self.nodes[idx].id;
-                    if let Some(h) = self.mac_timers.remove(&(node.0, kind)) {
+                    let slot = idx * MAC_TIMER_SLOTS + timer_slot(kind);
+                    if let Some(h) = self.mac_timers[slot].take() {
                         self.sim.cancel(h);
                     }
                 }
@@ -798,36 +838,51 @@ impl<S: TraceSink + Clone, P: Probe> World<S, P> {
         self.sim
             .schedule_at(starts_at, Event::SignalStart { tx_id });
         self.sim.schedule_at(ends_at, Event::SignalEnd { tx_id });
-        self.in_flight.insert(tx_id, InFlight { frame, deliveries });
+        debug_assert!(
+            self.in_flight.last().is_none_or(|(last, _)| *last < tx_id),
+            "medium tx ids must be monotonic for sorted push-back"
+        );
+        self.in_flight.push((tx_id, InFlight { frame, deliveries }));
+    }
+
+    /// Index of a live transmission in the sorted `in_flight` table.
+    fn in_flight_idx(&self, tx_id: TxId) -> usize {
+        self.in_flight
+            .binary_search_by_key(&tx_id, |e| e.0)
+            .expect("in-flight entry lives until its own signal end")
     }
 
     fn on_signal_start(&mut self, tx_id: TxId, now: SimTime) {
-        // Index loop with per-iteration lookups: `sync_cs` can recurse
-        // into `apply_mac_actions` and mutate `in_flight`, so no borrow
-        // may be held across receivers (the entries are `Copy`).
-        let n = self.in_flight[&tx_id].deliveries.len();
-        for i in 0..n {
-            let (rx, sig) = self.in_flight[&tx_id].deliveries[i];
+        // Take the delivery list out of its entry for the walk: `sync_cs`
+        // can recurse into `apply_mac_actions` and push new in-flight
+        // entries, so no borrow of the table may be held across receivers
+        // — but nothing in that recursion can touch *this* transmission's
+        // deliveries, so an owned take is safe and replaces the two map
+        // lookups per receiver of the old scheme with none. The buffer
+        // goes back afterwards; `on_signal_end` walks the same one.
+        let i = self.in_flight_idx(tx_id);
+        let deliveries = std::mem::take(&mut self.in_flight[i].1.deliveries);
+        for &(rx, ref sig) in &deliveries {
             // Scope only the PHY arrival bookkeeping: `sync_cs` may
             // cascade into MAC actions, which time themselves.
             let tick = self.probe.tick();
-            self.nodes[rx.index()].phy.signal_start(&sig, now);
+            self.nodes[rx.index()].phy.signal_start(sig, now);
             self.probe.record(SCOPE_ARRIVAL_SCAN, tick);
             self.sync_cs(rx.index(), now);
         }
+        let i = self.in_flight_idx(tx_id);
+        self.in_flight[i].1.deliveries = deliveries;
     }
 
     fn on_signal_end(&mut self, tx_id: TxId, now: SimTime) {
-        let n = self.in_flight[&tx_id].deliveries.len();
-        for i in 0..n {
-            let (rx, _) = self.in_flight[&tx_id].deliveries[i];
+        let i = self.in_flight_idx(tx_id);
+        let deliveries = std::mem::take(&mut self.in_flight[i].1.deliveries);
+        for &(rx, _) in &deliveries {
             self.signal_end_at(rx, tx_id, now);
         }
-        let entry = self
-            .in_flight
-            .remove(&tx_id)
-            .expect("in-flight entry lives until its own signal end");
-        self.delivery_pool.put(entry.deliveries);
+        let i = self.in_flight_idx(tx_id);
+        self.in_flight.remove(i);
+        self.delivery_pool.put(deliveries);
     }
 
     /// One receiver's share of a transmission's end: resolve the PHY
@@ -841,16 +896,15 @@ impl<S: TraceSink + Clone, P: Probe> World<S, P> {
         let tick = self.probe.tick();
         let outcome = self.nodes[idx].phy.signal_end(tx_id, now);
         self.probe.record(SCOPE_BER_EVAL, tick);
-        let mut actions = self.mac_action_pool.get();
+        // Only the (rare) locked receiver can produce MAC input: skip the
+        // action-buffer round-trip entirely for the other members of the
+        // fan-out.
         if let Some(out) = outcome {
+            let mut actions = self.mac_action_pool.get();
             match out.kind {
                 RxOutcomeKind::Decoded => {
-                    let frame = self
-                        .in_flight
-                        .get(&tx_id)
-                        .expect("frame still in flight at its own end")
-                        .frame
-                        .clone();
+                    let i = self.in_flight_idx(tx_id);
+                    let frame = self.in_flight[i].1.frame.clone();
                     if S::ENABLED {
                         self.sink.record(
                             now,
@@ -877,8 +931,8 @@ impl<S: TraceSink + Clone, P: Probe> World<S, P> {
                     self.nodes[idx].mac.on_rx_error(now, &mut actions);
                 }
             }
+            self.apply_mac_actions(idx, actions, now);
         }
-        self.apply_mac_actions(idx, actions, now);
         self.sync_cs(idx, now);
     }
 

@@ -15,6 +15,14 @@ use dot11_phy::NodeId;
 
 /// A static next-hop table: `(at, final destination) → next hop`.
 ///
+/// Chain routes are stored in closed form rather than as `n·(n−1)`
+/// individual entries: on a chain the next hop toward any destination is
+/// just the adjacent station in that direction, so [`StaticRoutes::chain`]
+/// records only `n` and [`StaticRoutes::next_hop`] computes the hop in
+/// O(1). That keeps building an `n = 4096` chain scenario O(1) instead of
+/// ~16.8 million hash inserts, while manual [`StaticRoutes::add`] entries
+/// still override the closed form pair-by-pair.
+///
 /// # Example
 ///
 /// ```
@@ -30,30 +38,46 @@ use dot11_phy::NodeId;
 #[derive(Debug, Clone, Default)]
 pub struct StaticRoutes {
     hops: HashMap<(NodeId, NodeId), NodeId>,
+    /// Closed-form chain overlay: stations `0..chain_n` route one hop at
+    /// a time toward the destination (0 = no chain).
+    chain_n: u32,
+    /// Manual entries that override a pair the chain overlay also covers
+    /// (counted so [`StaticRoutes::len`] does not double-count them).
+    shadowed: usize,
 }
 
 impl StaticRoutes {
     /// An empty table (every destination is assumed directly reachable).
     pub fn new() -> StaticRoutes {
-        StaticRoutes {
-            hops: HashMap::new(),
-        }
+        StaticRoutes::default()
     }
 
     /// Routes for a linear chain of `n` stations (ids `0..n`): packets
     /// step one station at a time toward the destination, both ways.
+    /// Stored in closed form — construction is O(1) in `n`.
     pub fn chain(n: u32) -> StaticRoutes {
-        let mut r = StaticRoutes::new();
-        for at in 0..n {
-            for dst in 0..n {
-                if at == dst {
-                    continue;
-                }
-                let via = if dst > at { at + 1 } else { at - 1 };
-                r.add(NodeId(at), NodeId(dst), NodeId(via));
-            }
+        StaticRoutes {
+            hops: HashMap::new(),
+            chain_n: n,
+            shadowed: 0,
         }
-        r
+    }
+
+    /// The chain overlay's hop for `at → dst`, if the overlay covers the
+    /// pair: identical to what the per-pair table built by the pre-
+    /// closed-form `chain()` held (see the equivalence test).
+    fn chain_hop(&self, at: NodeId, dst: NodeId) -> Option<NodeId> {
+        if at != dst && at.0 < self.chain_n && dst.0 < self.chain_n {
+            Some(NodeId(if dst.0 > at.0 { at.0 + 1 } else { at.0 - 1 }))
+        } else {
+            None
+        }
+    }
+
+    /// Number of `(at, dst)` pairs the chain overlay covers.
+    fn chain_pair_count(&self) -> usize {
+        let n = self.chain_n as usize;
+        n * n.saturating_sub(1)
     }
 
     /// Adds (or replaces) the route `at → dst via next`.
@@ -64,24 +88,45 @@ impl StaticRoutes {
     pub fn add(&mut self, at: NodeId, dst: NodeId, next: NodeId) -> &mut StaticRoutes {
         assert_ne!(at, dst, "route to self");
         assert_ne!(next, at, "route via self");
-        self.hops.insert((at, dst), next);
+        match self.chain_hop(at, dst) {
+            // Re-stating what the chain overlay already implies drops any
+            // manual override, so the last `add` wins exactly as it did
+            // when every pair was a map entry.
+            Some(implied) if implied == next => {
+                if self.hops.remove(&(at, dst)).is_some() {
+                    self.shadowed -= 1;
+                }
+            }
+            implied => {
+                if self.hops.insert((at, dst), next).is_none() && implied.is_some() {
+                    self.shadowed += 1;
+                }
+            }
+        }
         self
     }
 
     /// The configured next hop from `at` toward `dst`, if any. `None`
-    /// means "deliver directly" (single-hop assumption).
+    /// means "deliver directly" (single-hop assumption). Manual entries
+    /// take precedence over the chain overlay.
     pub fn next_hop(&self, at: NodeId, dst: NodeId) -> Option<NodeId> {
-        self.hops.get(&(at, dst)).copied()
+        if !self.hops.is_empty() {
+            if let Some(next) = self.hops.get(&(at, dst)) {
+                return Some(*next);
+            }
+        }
+        self.chain_hop(at, dst)
     }
 
-    /// Number of configured entries.
+    /// Number of configured `(at, dst)` pairs (chain-overlay pairs
+    /// included, each counted once even when manually overridden).
     pub fn len(&self) -> usize {
-        self.hops.len()
+        self.chain_pair_count() + self.hops.len() - self.shadowed
     }
 
     /// True if no routes are configured.
     pub fn is_empty(&self) -> bool {
-        self.hops.is_empty()
+        self.len() == 0
     }
 }
 
@@ -99,9 +144,38 @@ mod tests {
         // Reverse direction (TCP ACKs travel it).
         assert_eq!(r.next_hop(NodeId(4), NodeId(0)), Some(NodeId(3)));
         assert_eq!(r.next_hop(NodeId(1), NodeId(0)), Some(NodeId(0)));
-        // Adjacent stations deliver directly: chain() stores the direct
+        // Adjacent stations deliver directly: chain() covers the direct
         // hop explicitly.
         assert_eq!(r.next_hop(NodeId(2), NodeId(3)), Some(NodeId(3)));
+    }
+
+    /// The closed-form chain must be indistinguishable from the per-pair
+    /// table the old `chain()` built with n·(n−1) `add` calls — same
+    /// hops, same misses outside the chain, same `len`.
+    #[test]
+    fn chain_closed_form_matches_per_pair_table() {
+        let n = 7u32;
+        let closed = StaticRoutes::chain(n);
+        let mut table = StaticRoutes::new();
+        for at in 0..n {
+            for dst in 0..n {
+                if at == dst {
+                    continue;
+                }
+                let via = if dst > at { at + 1 } else { at - 1 };
+                table.add(NodeId(at), NodeId(dst), NodeId(via));
+            }
+        }
+        assert_eq!(closed.len(), table.len());
+        for at in 0..n + 2 {
+            for dst in 0..n + 2 {
+                assert_eq!(
+                    closed.next_hop(NodeId(at), NodeId(dst)),
+                    table.next_hop(NodeId(at), NodeId(dst)),
+                    "{at} -> {dst}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -109,6 +183,11 @@ mod tests {
         let r = StaticRoutes::new();
         assert_eq!(r.next_hop(NodeId(0), NodeId(9)), None);
         assert!(r.is_empty());
+        // Off-chain ids fall back to direct delivery too.
+        let c = StaticRoutes::chain(3);
+        assert_eq!(c.next_hop(NodeId(3), NodeId(0)), None);
+        assert_eq!(c.next_hop(NodeId(0), NodeId(3)), None);
+        assert!(!c.is_empty());
     }
 
     #[test]
@@ -117,6 +196,22 @@ mod tests {
         let before = r.len();
         r.add(NodeId(0), NodeId(2), NodeId(1)); // same as chain
         assert_eq!(r.len(), before);
+        assert_eq!(r.next_hop(NodeId(0), NodeId(2)), Some(NodeId(1)));
+        // A genuinely different next hop replaces the chain's, without
+        // changing the number of configured pairs.
+        r.add(NodeId(0), NodeId(2), NodeId(2));
+        assert_eq!(r.len(), before);
+        assert_eq!(r.next_hop(NodeId(0), NodeId(2)), Some(NodeId(2)));
+        // Re-adding the override is idempotent.
+        r.add(NodeId(0), NodeId(2), NodeId(2));
+        assert_eq!(r.len(), before);
+        // Pairs outside the chain extend the table as before.
+        r.add(NodeId(0), NodeId(7), NodeId(1));
+        assert_eq!(r.len(), before + 1);
+        // Restoring the chain's own hop discards the override (last add
+        // wins), leaving the pair count intact.
+        r.add(NodeId(0), NodeId(2), NodeId(1));
+        assert_eq!(r.len(), before + 1);
         assert_eq!(r.next_hop(NodeId(0), NodeId(2)), Some(NodeId(1)));
     }
 

@@ -104,20 +104,31 @@ pub struct TxSignal {
 /// The shared medium for one simulation run.
 ///
 /// Positions are static for a run, so the deterministic part of every
-/// directed link — distance and path loss — is precomputed at
-/// construction into a flat n×n matrix. The per-frame cost of
-/// [`Medium::transmit_into`] is then one cache-line read plus the
+/// directed link — distance and path loss — is cached per kept link. The
+/// cache is **audible-slice-major**: one `(distance, loss)` entry per
+/// kept CSR link, parallel to `audible`, so a frame's scatter walks one
+/// contiguous block instead of striding an N-sized matrix row — and the
+/// whole cache is O(kept links), not O(N²) (a 4096-station disk needs
+/// megabytes, not a 256 MB matrix). Entries fill lazily on first touch
+/// (NaN-sentinelled — no shipped model produces NaN for any distance), so
+/// construction does no `log10` at all and a run only ever pays for the
+/// links its transmitters actually use. The per-frame cost of
+/// [`Medium::transmit_into`] is then one sequential cache read plus the
 /// time-varying shadowing sample per receiver; no `log10`, no virtual
-/// dispatch, no allocation.
+/// dispatch, no hashing, no allocation.
 #[derive(Debug)]
 pub struct Medium {
     positions: Vec<Position>,
     shadowing: Shadowing,
     config: MediumConfig,
-    /// Row-major `[tx][rx]` cache of `(distance, path_loss)` per directed
-    /// pair — exactly the values `path_loss.path_loss(distance(tx, rx))`
+    /// Audible-slice-major cache of `(distance, path_loss)`, parallel to
+    /// `audible`: entry `i` describes the directed link whose receiver is
+    /// `audible[i]` — exactly the values `path_loss.path_loss(distance)`
     /// would produce, so cached and recomputed powers are bit-identical.
-    links: Vec<(Meters, Db)>,
+    /// A NaN loss marks a not-yet-filled entry (and a NaN distance one
+    /// whose distance is also deferred); [`Medium::slot_link`] fills both
+    /// on first touch.
+    slot_links: Vec<(Meters, Db)>,
     /// CSR layout of the per-transmitter audible sets: transmitter `t`'s
     /// receivers are `audible[audible_offsets[t] .. audible_offsets[t+1]]`,
     /// in station order, never containing `t` itself. Under
@@ -127,67 +138,293 @@ pub struct Medium {
     next_tx: u64,
 }
 
+/// NaN sentinel for lazily-filled link-cache fields. No shipped
+/// [`PathLoss`] model returns NaN (every model is finite for every
+/// distance, and distances between finite positions are finite), so NaN
+/// unambiguously marks "not computed yet".
+const UNFILLED: f64 = f64::NAN;
+
+/// The largest distance the (monotone) keep predicate accepts, found by
+/// bisection over the f64 bit lattice — non-negative floats order like
+/// their bit patterns, so this lands on the exact float where the
+/// predicate flips. [`PathLoss`] implementations are monotone
+/// non-decreasing in distance (a documented trait contract the range
+/// solvers already rely on), which makes `keep` downward-closed in
+/// distance; `d ≤ radius` then reproduces `keep(d)` for every distance,
+/// bit for bit (debug-asserted per examined pair in [`Medium::new`], and
+/// pinned against the exhaustive scan by the cull-equivalence test).
+///
+/// Returns `NEG_INFINITY` when nothing is kept (every comparison false)
+/// and `INFINITY` when everything is (every comparison true).
+fn keep_radius(keep: impl Fn(Meters) -> bool) -> f64 {
+    if !keep(Meters(0.0)) {
+        return f64::NEG_INFINITY;
+    }
+    if keep(Meters(f64::MAX)) {
+        return f64::INFINITY;
+    }
+    let (mut lo, mut hi) = (0.0f64.to_bits(), f64::MAX.to_bits());
+    // Invariant: keep(lo) && !keep(hi).
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if keep(Meters(f64::from_bits(mid))) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    f64::from_bits(lo)
+}
+
+/// A uniform bucket grid over station positions: the spatial index that
+/// lets audible-set construction examine only O(neighbours) candidate
+/// pairs per station instead of all N−1. Cell side is at least the keep
+/// radius (so a 1-ring neighbourhood always covers it) but never smaller
+/// than span/√N (so the grid itself stays O(N) cells even when the keep
+/// radius is far below the station spacing).
+struct CellGrid {
+    cell: f64,
+    min_x: f64,
+    min_y: f64,
+    nx: usize,
+    ny: usize,
+    /// Cells-per-axis a pair within the keep radius can straddle.
+    reach: usize,
+    /// CSR station ids per cell, ascending within each cell.
+    starts: Vec<u32>,
+    ids: Vec<u32>,
+}
+
+impl CellGrid {
+    fn new(positions: &[Position], radius: f64) -> CellGrid {
+        let n = positions.len();
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in positions {
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        let span = (max_x - min_x).max(max_y - min_y).max(1.0);
+        let max_side = (n as f64).sqrt().ceil().max(1.0);
+        let cell = radius.max(span / max_side);
+        let nx = (((max_x - min_x) / cell) as usize + 1).max(1);
+        let ny = (((max_y - min_y) / cell) as usize + 1).max(1);
+        // ceil(radius/cell) rings suffice mathematically; the +1 ring
+        // absorbs any rounding in the division for free (the extra cells
+        // are empty or re-checked by the exact distance compare anyway).
+        let reach = ((radius / cell).ceil() as usize).saturating_add(1);
+        let mut counts = vec![0u32; nx * ny + 1];
+        let idx = |p: &Position| {
+            let ix = (((p.x - min_x) / cell) as usize).min(nx - 1);
+            let iy = (((p.y - min_y) / cell) as usize).min(ny - 1);
+            iy * nx + ix
+        };
+        for p in positions {
+            counts[idx(p) + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let starts = counts.clone();
+        let mut cursor = counts;
+        let mut ids = vec![0u32; n];
+        // Ascending station order keeps each cell's id list sorted.
+        for (i, p) in positions.iter().enumerate() {
+            let c = idx(p);
+            ids[cursor[c] as usize] = i as u32;
+            cursor[c] += 1;
+        }
+        CellGrid {
+            cell,
+            min_x,
+            min_y,
+            nx,
+            ny,
+            reach,
+            starts,
+            ids,
+        }
+    }
+
+    /// Visits every station id (including `of` itself) in the
+    /// neighbourhood of cells guaranteed to contain all stations within
+    /// the keep radius of `of`.
+    fn for_each_neighbour(&self, of: &Position, mut visit: impl FnMut(u32)) {
+        let ix = (((of.x - self.min_x) / self.cell) as usize).min(self.nx - 1);
+        let iy = (((of.y - self.min_y) / self.cell) as usize).min(self.ny - 1);
+        let x0 = ix.saturating_sub(self.reach);
+        let x1 = (ix + self.reach).min(self.nx - 1);
+        let y0 = iy.saturating_sub(self.reach);
+        let y1 = (iy + self.reach).min(self.ny - 1);
+        for cy in y0..=y1 {
+            for cx in x0..=x1 {
+                let c = cy * self.nx + cx;
+                let lo = self.starts[c] as usize;
+                let hi = self.starts[c + 1] as usize;
+                for &id in &self.ids[lo..hi] {
+                    visit(id);
+                }
+            }
+        }
+    }
+}
+
 impl Medium {
     /// Creates a medium over the given station positions.
     ///
-    /// Besides the deterministic link matrix, construction precomputes
-    /// each transmitter's **audible set** under `config.cull`: the
-    /// receivers whose best-case received power (TX power bound − cached
-    /// path loss − [`DayProfile::min_excess`]) clears
+    /// Construction precomputes each transmitter's **audible set** under
+    /// `config.cull`: the receivers whose best-case received power (TX
+    /// power bound − path loss − [`DayProfile::min_excess`]) clears
     /// `noise_floor − margin`. [`Medium::transmit_into`] scatters only
     /// over that list, making per-frame fan-out O(reachable) rather than
     /// O(N).
-    pub fn new(positions: Vec<Position>, shadowing: Shadowing, config: MediumConfig) -> Medium {
+    ///
+    /// The kept set is identical — station for station — to evaluating
+    /// the predicate on all `n·(n−1)` pairs, but is built in
+    /// O(N + kept): the predicate depends on a pair only through its
+    /// distance and path loss is monotone in distance, so the exact keep
+    /// horizon is recovered once by `keep_radius` bisection and each
+    /// station only examines the neighbours a `CellGrid` proves could
+    /// be inside it. Path losses themselves are deferred to first touch.
+    pub fn new(positions: Vec<Position>, mut shadowing: Shadowing, config: MediumConfig) -> Medium {
         let n = positions.len();
-        let mut links = Vec::with_capacity(n * n);
-        for tx in 0..n {
-            for rx in 0..n {
-                let d = positions[tx].distance_to(positions[rx]);
-                links.push((d, config.path_loss.path_loss(d)));
-            }
-        }
-        let min_excess = config.day.min_excess();
         let mut audible = Vec::new();
+        let mut slot_links = Vec::new();
         let mut audible_offsets = Vec::with_capacity(n + 1);
         audible_offsets.push(0u32);
-        for tx in 0..n {
-            for rx in 0..n {
-                if rx == tx {
-                    continue;
+        let radius = match config.cull {
+            CullPolicy::Full => f64::INFINITY,
+            CullPolicy::Audible {
+                tx_power,
+                noise_floor,
+                margin,
+            } => {
+                let min_excess = config.day.min_excess();
+                keep_radius(|d| {
+                    let best_case = tx_power - config.path_loss.path_loss(d) - min_excess;
+                    best_case.0 >= noise_floor.0 - margin.0
+                })
+            }
+        };
+        if radius == f64::INFINITY {
+            // Everything is kept (Full policy, or a horizon beyond
+            // f64::MAX): the audible sets are "everyone else" and no
+            // geometry needs computing at all.
+            for tx in 0..n {
+                for rx in 0..n {
+                    if rx != tx {
+                        audible.push(NodeId(rx as u32));
+                    }
                 }
-                let keep = match config.cull {
-                    CullPolicy::Full => true,
-                    CullPolicy::Audible {
+                audible_offsets.push(audible.len() as u32);
+            }
+            slot_links.resize(audible.len(), (Meters(UNFILLED), Db(UNFILLED)));
+        } else if radius == f64::NEG_INFINITY || n == 0 {
+            // Nothing is kept: every audible set is empty.
+            audible_offsets.resize(n + 1, 0);
+        } else {
+            let grid = CellGrid::new(&positions, radius);
+            let mut scratch: Vec<(u32, f64)> = Vec::new();
+            for tx in 0..n {
+                scratch.clear();
+                grid.for_each_neighbour(&positions[tx], |rx| {
+                    if rx as usize == tx {
+                        return;
+                    }
+                    let d = positions[tx].distance_to(positions[rx as usize]);
+                    #[cfg(debug_assertions)]
+                    if let CullPolicy::Audible {
                         tx_power,
                         noise_floor,
                         margin,
-                    } => {
-                        let (_, pl) = links[tx * n + rx];
-                        let best_case = tx_power - pl - min_excess;
-                        best_case.0 >= noise_floor.0 - margin.0
+                    } = config.cull
+                    {
+                        let best_case =
+                            tx_power - config.path_loss.path_loss(d) - config.day.min_excess();
+                        debug_assert_eq!(
+                            d.0 <= radius,
+                            best_case.0 >= noise_floor.0 - margin.0,
+                            "keep-radius compare diverged from the exact predicate at {d:?}"
+                        );
                     }
-                };
-                if keep {
-                    audible.push(NodeId(rx as u32));
+                    if d.0 <= radius {
+                        scratch.push((rx, d.0));
+                    }
+                });
+                // Neighbour cells are visited in grid order; the audible
+                // slice must be in station order.
+                scratch.sort_unstable_by_key(|&(rx, _)| rx);
+                for &(rx, d) in &scratch {
+                    audible.push(NodeId(rx));
+                    slot_links.push((Meters(d), Db(UNFILLED)));
                 }
+                audible_offsets.push(audible.len() as u32);
             }
-            audible_offsets.push(audible.len() as u32);
         }
+        shadowing.reserve_slots(audible.len());
         Medium {
             positions,
             shadowing,
             config,
-            links,
+            slot_links,
             audible,
             audible_offsets,
             next_tx: 0,
         }
     }
 
-    /// The cached (distance, path loss) of the directed link `tx → rx`.
+    /// The CSR slot of the directed link `tx → rx`, if the link survived
+    /// culling. Each audible slice is in station order, so this is a
+    /// binary search over `tx`'s slice.
+    #[inline]
+    fn slot_of(&self, tx: NodeId, rx: NodeId) -> Option<usize> {
+        let start = self.audible_offsets[tx.index()] as usize;
+        let end = self.audible_offsets[tx.index() + 1] as usize;
+        self.audible[start..end]
+            .binary_search_by(|r| r.0.cmp(&rx.0))
+            .ok()
+            .map(|i| start + i)
+    }
+
+    /// The (distance, path loss) of the CSR slot `slot` (a `tx → rx`
+    /// link), filling the lazy cache entry on first touch. Filled entries
+    /// hold exactly what recomputing from positions would produce, so
+    /// cached and recomputed values are bit-identical (asserted by the
+    /// bitwise link-cache test).
+    #[inline]
+    fn slot_link(&mut self, slot: usize, tx: NodeId) -> (Meters, Db) {
+        let (d, pl) = self.slot_links[slot];
+        if !pl.0.is_nan() {
+            return (d, pl);
+        }
+        let rx = self.audible[slot];
+        let d = if d.0.is_nan() {
+            self.positions[tx.index()].distance_to(self.positions[rx.index()])
+        } else {
+            d
+        };
+        let pl = self.config.path_loss.path_loss(d);
+        self.slot_links[slot] = (d, pl);
+        (d, pl)
+    }
+
+    /// The (distance, path loss) of the directed link `tx → rx`: read
+    /// from the audible-slice cache when the link has a filled slot,
+    /// computed from positions otherwise (without caching — this is the
+    /// shared-reference form) — the two are bit-identical by
+    /// construction.
     #[inline]
     fn link(&self, tx: NodeId, rx: NodeId) -> (Meters, Db) {
-        self.links[tx.index() * self.positions.len() + rx.index()]
+        if let Some(slot) = self.slot_of(tx, rx) {
+            let (d, pl) = self.slot_links[slot];
+            if !pl.0.is_nan() {
+                return (d, pl);
+            }
+        }
+        let d = self.positions[tx.index()].distance_to(self.positions[rx.index()]);
+        (d, self.config.path_loss.path_loss(d))
     }
 
     /// Number of stations on the field.
@@ -249,10 +486,25 @@ impl Medium {
     /// Samples the received power on the directed link `tx → rx` at `now`
     /// given the transmitter's TX power: (cached) path loss plus the
     /// current shadowing state of that link.
+    ///
+    /// A link's shadowing state is sequential, so a slotted (CSR) pair
+    /// must always advance its slot state here — the same one
+    /// [`Medium::transmit_into`] advances — never a parallel HashMap
+    /// entry; splitting a link across the two stores would fork its
+    /// random trajectory.
     pub fn rx_power(&mut self, tx: NodeId, rx: NodeId, tx_power: Dbm, now: SimTime) -> Dbm {
-        let (d, pl) = self.link(tx, rx);
-        let excess = self.shadowing.sample(tx, rx, d, now);
-        tx_power - pl - excess
+        match self.slot_of(tx, rx) {
+            Some(slot) => {
+                let (d, pl) = self.slot_link(slot, tx);
+                let excess = self.shadowing.sample_slot(slot, tx, rx, d, now);
+                tx_power - pl - excess
+            }
+            None => {
+                let (d, pl) = self.link(tx, rx);
+                let excess = self.shadowing.sample(tx, rx, d, now);
+                tx_power - pl - excess
+            }
+        }
     }
 
     /// Launches a transmission at `now` from `source`, appending the
@@ -297,15 +549,21 @@ impl Medium {
         let ends_at = starts_at + airtime.total();
         let start = self.audible_offsets[source.index()] as usize;
         let end = self.audible_offsets[source.index() + 1] as usize;
-        for i in start..end {
-            let rx = self.audible[i];
-            let rx_power = self.rx_power(source, rx, tx_power, now);
+        // One pass over the contiguous audible slice: gain read, shadowing
+        // advance, and power subtraction per receiver, with the slot index
+        // doubling as the shadowing-state index (no per-receiver search or
+        // hashing). The arithmetic and draw order match `rx_power` on the
+        // slotted path exactly.
+        for slot in start..end {
+            let rx = self.audible[slot];
+            let (d, pl) = self.slot_link(slot, source);
+            let excess = self.shadowing.sample_slot(slot, source, rx, d, now);
             deliveries.push((
                 rx,
                 TxSignal {
                     tx_id,
                     source,
-                    rx_power,
+                    rx_power: tx_power - pl - excess,
                     rate,
                     mpdu_bytes,
                     preamble,
@@ -614,6 +872,140 @@ mod tests {
                     sig.rx_power.0.to_bits(),
                     sig_full.rx_power.0.to_bits(),
                     "kept link {src:?}->{rx:?} perturbed by culling"
+                );
+            }
+        }
+    }
+
+    /// The grid-accelerated construction is an optimization, not a
+    /// policy change: for any topology it must keep exactly the pairs the
+    /// exhaustive n·(n−1) predicate scan keeps — same audible sets in the
+    /// same order, same culled count, and bit-identical (distance, loss)
+    /// per kept link.
+    #[test]
+    fn grid_cull_matches_exhaustive_scan_bitwise() {
+        use crate::pathloss::DualSlope;
+
+        // Exhaustive reference: the pre-grid per-pair construction.
+        fn exhaustive(
+            positions: &[Position],
+            config: &MediumConfig,
+        ) -> (Vec<Vec<NodeId>>, Vec<(u64, u64)>) {
+            let min_excess = config.day.min_excess();
+            let mut sets = Vec::new();
+            let mut links = Vec::new();
+            for tx in 0..positions.len() {
+                let mut set = Vec::new();
+                for rx in 0..positions.len() {
+                    if rx == tx {
+                        continue;
+                    }
+                    let d = positions[tx].distance_to(positions[rx]);
+                    let pl = config.path_loss.path_loss(d);
+                    let keep = match config.cull {
+                        CullPolicy::Full => true,
+                        CullPolicy::Audible {
+                            tx_power,
+                            noise_floor,
+                            margin,
+                        } => {
+                            let best_case = tx_power - pl - min_excess;
+                            best_case.0 >= noise_floor.0 - margin.0
+                        }
+                    };
+                    if keep {
+                        set.push(NodeId(rx as u32));
+                        links.push((d.0.to_bits(), pl.0.to_bits()));
+                    }
+                }
+                sets.push(set);
+            }
+            (sets, links)
+        }
+
+        // A deterministic irregular disk: golden-angle spiral.
+        fn spiral(n: usize, radius: f64) -> Vec<Position> {
+            (0..n)
+                .map(|k| {
+                    let r = radius * ((k as f64 + 0.5) / n as f64).sqrt();
+                    let th = k as f64 * 2.399_963_229_728_653;
+                    Position {
+                        x: r * th.cos(),
+                        y: r * th.sin(),
+                    }
+                })
+                .collect()
+        }
+
+        let far_model: PathLossModel = DualSlope {
+            near: LogDistance::anchored_at_free_space_1m(2.42),
+            breakpoint: Meters(500.0),
+            far_exponent: 4.0,
+        }
+        .into();
+        let topologies: Vec<Vec<Position>> = vec![
+            // A long chain with a finite horizon partway down it.
+            (0..120)
+                .map(|i| Position::on_line(i as f64 * 140.0))
+                .collect(),
+            // An irregular disk wider than the horizon.
+            spiral(150, 9_000.0),
+            // Two clusters with a gulf between them.
+            (0..30)
+                .map(|i| Position {
+                    x: (i % 6) as f64 * 55.0 + if i >= 15 { 30_000.0 } else { 0.0 },
+                    y: (i / 6 % 3) as f64 * 70.0,
+                })
+                .collect(),
+            // Degenerate: everyone in (nearly) one spot.
+            (0..8).map(|i| Position::on_line(i as f64 * 0.25)).collect(),
+        ];
+        let culls = [
+            CullPolicy::Audible {
+                tx_power: Dbm(15.0),
+                noise_floor: Dbm(-96.6),
+                margin: Db(CULL_MARGIN_DB),
+            },
+            // A margin so hostile nothing survives even at 0 m.
+            CullPolicy::Audible {
+                tx_power: Dbm(-400.0),
+                noise_floor: Dbm(-96.6),
+                margin: Db(0.0),
+            },
+            CullPolicy::Full,
+        ];
+        for positions in &topologies {
+            for cull in culls {
+                let day = DayProfile::clear();
+                let config = MediumConfig {
+                    path_loss: far_model,
+                    day: day.clone(),
+                    propagation_delay: SimDuration::from_micros(1),
+                    cull,
+                };
+                let (sets, links) = exhaustive(positions, &config);
+                let m = Medium::new(
+                    positions.clone(),
+                    Shadowing::new(day, SimRng::from_seed(9)),
+                    config,
+                );
+                let mut kept = 0usize;
+                for (tx, set) in sets.iter().enumerate() {
+                    let tx = NodeId(tx as u32);
+                    assert_eq!(m.audible_set(tx), set.as_slice(), "{cull:?} set of {tx:?}");
+                    for &rx in set {
+                        let (d, pl) = m.link(tx, rx);
+                        assert_eq!(
+                            (d.0.to_bits(), pl.0.to_bits()),
+                            links[kept],
+                            "{cull:?} link {tx:?}->{rx:?}"
+                        );
+                        kept += 1;
+                    }
+                }
+                assert_eq!(
+                    m.culled_link_count(),
+                    positions.len() * (positions.len() - 1) - kept
                 );
             }
         }

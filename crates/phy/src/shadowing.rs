@@ -143,12 +143,86 @@ struct LinkState {
     fast_db: f64,
 }
 
+/// Initializes the state for the directed link `tx → rx`: derive the
+/// link's substream from the 15-byte `"shadow/" + tx + rx` label and draw
+/// the slow then fast components, exactly as every prior revision did —
+/// the label bytes and draw order are load-bearing for byte-identity.
+fn init_link_state(
+    master: &SimRng,
+    tx: NodeId,
+    rx: NodeId,
+    slow: f64,
+    fast: f64,
+    now: SimTime,
+) -> (LinkState, SimRng) {
+    let mut label = [0u8; 15];
+    label[..7].copy_from_slice(b"shadow/");
+    label[7..11].copy_from_slice(&tx.0.to_le_bytes());
+    label[11..15].copy_from_slice(&rx.0.to_le_bytes());
+    let mut rng = master.substream(&label);
+    let slow_db = rng.gen_normal(0.0, slow);
+    let fast_db = rng.gen_normal(0.0, fast);
+    (
+        LinkState {
+            at: now,
+            slow_db,
+            fast_db,
+        },
+        rng,
+    )
+}
+
+/// Advances the AR(1) fast component to `now` and returns the clamped
+/// total excess loss. `memo` caches `(ρ, √(1-ρ²))` keyed on the raw bits
+/// of `dt`: every audible link of one transmitter advances with the same
+/// `dt` (links are only sampled when that station transmits), so one
+/// `exp`+`sqrt` pair serves the whole scatter slice. The innovation is
+/// still drawn per link, keeping the sample stream byte-identical.
+fn advance_and_read(
+    state: &mut LinkState,
+    rng: &mut SimRng,
+    extra_loss: f64,
+    fast: f64,
+    tau: f64,
+    now: SimTime,
+    memo: &mut Option<(u64, f64, f64)>,
+) -> Db {
+    let dt = now.saturating_duration_since(state.at).as_secs_f64();
+    if dt > 0.0 && fast > 0.0 {
+        let (rho, root) = match *memo {
+            Some((bits, rho, root)) if bits == dt.to_bits() => (rho, root),
+            _ => {
+                let rho = (-dt / tau).exp();
+                let root = (1.0 - rho * rho).sqrt();
+                *memo = Some((dt.to_bits(), rho, root));
+                (rho, root)
+            }
+        };
+        let innov = fast * root;
+        state.fast_db = rho * state.fast_db + rng.gen_normal(0.0, innov.max(0.0));
+        state.at = now;
+    }
+    let deviation = (state.slow_db + state.fast_db).clamp(-DEVIATION_BOUND_DB, DEVIATION_BOUND_DB);
+    Db(extra_loss + deviation)
+}
+
 /// The per-link shadowing process for one simulation run.
+///
+/// Link state lives in one of two stores, and each directed link uses
+/// exactly one of them for its whole lifetime (the AR(1) state is
+/// sequential, so splitting a link across stores would fork its stream):
+///
+/// * a dense `slots` lane indexed by the owning [`crate::Medium`]'s CSR
+///   audible slot — the hot scatter path, no hashing;
+/// * a `HashMap` fallback for arbitrary pairs outside the audible sets
+///   (probes, tests, culled links queried directly).
 #[derive(Debug)]
 pub struct Shadowing {
     profile: DayProfile,
     master: SimRng,
     links: HashMap<(NodeId, NodeId), (LinkState, SimRng)>,
+    slots: Vec<Option<(LinkState, SimRng)>>,
+    ar1_memo: Option<(u64, f64, f64)>,
 }
 
 impl Shadowing {
@@ -160,12 +234,21 @@ impl Shadowing {
             profile,
             master,
             links: HashMap::new(),
+            slots: Vec::new(),
+            ar1_memo: None,
         }
     }
 
     /// The active day profile.
     pub fn profile(&self) -> &DayProfile {
         &self.profile
+    }
+
+    /// Sizes the dense slot store. Called once by [`crate::Medium`] with
+    /// the total CSR audible-slot count; slots initialize lazily on first
+    /// sample.
+    pub fn reserve_slots(&mut self, n: usize) {
+        self.slots.resize_with(n, || None);
     }
 
     /// Samples the total excess loss (weather offset + shadowing) on the
@@ -175,6 +258,9 @@ impl Shadowing {
     /// coherence time `τ`; samples on different links (including the
     /// reverse direction) are independent. Variance ramps with distance
     /// (see [`DayProfile::sigma_full_distance`]).
+    ///
+    /// This is the HashMap-backed path for pairs without a CSR slot; a
+    /// slotted link must go through [`Shadowing::sample_slot`] instead.
     pub fn sample(&mut self, tx: NodeId, rx: NodeId, distance: Meters, now: SimTime) -> Db {
         let scale = (distance.0 / self.profile.sigma_full_distance.0.max(1e-9)).clamp(0.0, 1.0);
         let slow = self.profile.sigma_slow.0 * scale;
@@ -183,33 +269,51 @@ impl Shadowing {
             return self.profile.extra_loss;
         }
         let tau = self.profile.coherence.as_secs_f64().max(1e-9);
-        let (state, rng) = self.links.entry((tx, rx)).or_insert_with(|| {
-            let mut label = Vec::with_capacity(16);
-            label.extend_from_slice(b"shadow/");
-            label.extend_from_slice(&tx.0.to_le_bytes());
-            label.extend_from_slice(&rx.0.to_le_bytes());
-            let mut rng = self.master.substream(&label);
-            let slow_db = rng.gen_normal(0.0, slow);
-            let fast_db = rng.gen_normal(0.0, fast);
-            (
-                LinkState {
-                    at: now,
-                    slow_db,
-                    fast_db,
-                },
-                rng,
-            )
-        });
-        let dt = now.saturating_duration_since(state.at).as_secs_f64();
-        if dt > 0.0 && fast > 0.0 {
-            let rho = (-dt / tau).exp();
-            let innov = fast * (1.0 - rho * rho).sqrt();
-            state.fast_db = rho * state.fast_db + rng.gen_normal(0.0, innov.max(0.0));
-            state.at = now;
+        let (state, rng) = self
+            .links
+            .entry((tx, rx))
+            .or_insert_with(|| init_link_state(&self.master, tx, rx, slow, fast, now));
+        advance_and_read(
+            state,
+            rng,
+            self.profile.extra_loss.0,
+            fast,
+            tau,
+            now,
+            &mut self.ar1_memo,
+        )
+    }
+
+    /// Same process as [`Shadowing::sample`], but the link state lives in
+    /// the dense slot `slot` (the link's index in the owning `Medium`'s
+    /// CSR audible arrays) — no hashing on the scatter hot path.
+    pub fn sample_slot(
+        &mut self,
+        slot: usize,
+        tx: NodeId,
+        rx: NodeId,
+        distance: Meters,
+        now: SimTime,
+    ) -> Db {
+        let scale = (distance.0 / self.profile.sigma_full_distance.0.max(1e-9)).clamp(0.0, 1.0);
+        let slow = self.profile.sigma_slow.0 * scale;
+        let fast = self.profile.sigma_fast.0 * scale;
+        if slow == 0.0 && fast == 0.0 {
+            return self.profile.extra_loss;
         }
-        let deviation =
-            (state.slow_db + state.fast_db).clamp(-DEVIATION_BOUND_DB, DEVIATION_BOUND_DB);
-        Db(self.profile.extra_loss.0 + deviation)
+        let tau = self.profile.coherence.as_secs_f64().max(1e-9);
+        let entry = &mut self.slots[slot];
+        let (state, rng) =
+            entry.get_or_insert_with(|| init_link_state(&self.master, tx, rx, slow, fast, now));
+        advance_and_read(
+            state,
+            rng,
+            self.profile.extra_loss.0,
+            fast,
+            tau,
+            now,
+            &mut self.ar1_memo,
+        )
     }
 }
 
@@ -244,6 +348,33 @@ mod tests {
             assert_eq!(
                 a.sample(NodeId(0), NodeId(1), Meters(100.0), t).0.to_bits(),
                 b.sample(NodeId(0), NodeId(1), Meters(100.0), t).0.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn slot_and_hashmap_paths_are_bitwise_identical() {
+        // The dense slot store and the HashMap fallback must realize the
+        // same per-link process: same substream label, same draw order,
+        // same AR(1) advance. Interleave two links with irregular lags so
+        // the dt-keyed coefficient memo is exercised across links.
+        let mut a = process(DayProfile::clear(), 42);
+        let mut b = process(DayProfile::clear(), 42);
+        b.reserve_slots(4);
+        for k in 0..50u64 {
+            let t = SimTime::from_millis(k * k % 97 + k * 7);
+            assert_eq!(
+                a.sample(NodeId(3), NodeId(9), Meters(100.0), t).0.to_bits(),
+                b.sample_slot(2, NodeId(3), NodeId(9), Meters(100.0), t)
+                    .0
+                    .to_bits()
+            );
+            let t2 = SimTime::from_millis(k * 13 + 5);
+            assert_eq!(
+                a.sample(NodeId(9), NodeId(3), Meters(60.0), t2).0.to_bits(),
+                b.sample_slot(0, NodeId(9), NodeId(3), Meters(60.0), t2)
+                    .0
+                    .to_bits()
             );
         }
     }

@@ -197,16 +197,26 @@ pub struct PhyState<S: TraceSink = NullSink> {
     node: NodeId,
     sink: S,
     mode: Mode,
-    /// Signals currently on the air, sorted by [`TxId`]. Overlap degree
-    /// is a handful at most, so a flat sorted `Vec` beats hashing — and
-    /// unlike a `HashMap` its iteration order is deterministic.
-    arriving: Vec<(TxId, MilliWatts)>,
+    /// Signals currently on the air, sorted by [`TxId`], stored as
+    /// struct-of-arrays: the id lane indexes, the power lane sums. The
+    /// lanes are parallel (same length, same order). Overlap degree is a
+    /// handful at most, so flat sorted lanes beat hashing — and unlike a
+    /// `HashMap` the iteration order is deterministic. Splitting the
+    /// lanes keeps arrival scans and the Neumaier interference math on
+    /// dense `f64` memory with no interleaved ids.
+    arriving_ids: Vec<TxId>,
+    arriving_powers: Vec<f64>,
     /// Running Neumaier (compensated) sum of the arriving powers:
     /// `arriving_sum` is the working sum, `arriving_comp` the accumulated
     /// rounding residual. Updated O(1) on signal start/end, which turns
     /// the O(k) re-sums in `carrier_busy` / `integrate` into adds.
     arriving_sum: f64,
     arriving_comp: f64,
+    /// Memoized energy carrier-sense decision: exactly
+    /// `total_arriving() >= cs_threshold`, refreshed at every accumulator
+    /// mutation, so `carrier_busy` / `account_airtime` read a flag
+    /// instead of re-deciding between power changes.
+    energy_busy: bool,
     noise: MilliWatts,
     cs_threshold: MilliWatts,
     /// Last `sinr.to_bits()` → BER pair for the DBPSK PLCP charge in
@@ -242,9 +252,11 @@ impl<S: TraceSink> PhyState<S> {
             node,
             sink,
             mode: Mode::Idle,
-            arriving: Vec::new(),
+            arriving_ids: Vec::new(),
+            arriving_powers: Vec::new(),
             arriving_sum: 0.0,
             arriving_comp: 0.0,
+            energy_busy: false,
             plcp_ber_memo: None,
             body_ber_memo: None,
             counters: PhyCounters::default(),
@@ -278,7 +290,7 @@ impl<S: TraceSink> PhyState<S> {
             Mode::Tx { .. } => self.airtime.tx_ns += span,
             Mode::Rx(_) => self.airtime.rx_ns += span,
             Mode::Idle => {
-                if self.total_arriving().0 >= self.cs_threshold.0 {
+                if self.energy_busy {
                     self.airtime.busy_ns += span;
                 } else {
                     self.airtime.idle_ns += span;
@@ -292,7 +304,7 @@ impl<S: TraceSink> PhyState<S> {
     pub fn carrier_busy(&self) -> bool {
         match self.mode {
             Mode::Tx { .. } | Mode::Rx(_) => true,
-            Mode::Idle => self.total_arriving().0 >= self.cs_threshold.0,
+            Mode::Idle => self.energy_busy,
         }
     }
 
@@ -310,12 +322,18 @@ impl<S: TraceSink> PhyState<S> {
     }
 
     /// The summed on-air power: the compensated running total, O(1).
+    /// The hot paths read the memoized `energy_busy` decision instead;
+    /// this accessor remains for the property tests, which compare it
+    /// against naive re-sums.
+    #[cfg_attr(not(test), allow(dead_code))]
     fn total_arriving(&self) -> MilliWatts {
         MilliWatts(self.arriving_sum + self.arriving_comp)
     }
 
     /// Folds `x` (a signed power delta, mW) into the running Neumaier
-    /// sum: exact two-sum, residual into the compensation term.
+    /// sum: exact two-sum, residual into the compensation term. Also
+    /// refreshes the memoized carrier-sense decision, which only moves
+    /// when the accumulator does.
     #[inline]
     fn add_arriving_power(&mut self, x: f64) {
         let t = self.arriving_sum + x;
@@ -325,6 +343,7 @@ impl<S: TraceSink> PhyState<S> {
             (x - t) + self.arriving_sum
         };
         self.arriving_sum = t;
+        self.energy_busy = self.arriving_sum + self.arriving_comp >= self.cs_threshold.0;
     }
 
     /// A new signal reaches the antenna.
@@ -332,13 +351,16 @@ impl<S: TraceSink> PhyState<S> {
         self.account_airtime(now);
         self.integrate(now);
         let power = sig.rx_power.to_milliwatts();
-        match self.arriving.binary_search_by_key(&sig.tx_id, |e| e.0) {
-            Err(i) => self.arriving.insert(i, (sig.tx_id, power)),
+        match self.arriving_ids.binary_search(&sig.tx_id) {
+            Err(i) => {
+                self.arriving_ids.insert(i, sig.tx_id);
+                self.arriving_powers.insert(i, power.0);
+            }
             Ok(i) => {
                 // Re-announced TxId (cannot happen from `Medium`, but keep
                 // the old map's last-write-wins semantics).
-                let old = std::mem::replace(&mut self.arriving[i].1, power);
-                self.add_arriving_power(-old.0);
+                let old = std::mem::replace(&mut self.arriving_powers[i], power.0);
+                self.add_arriving_power(-old);
             }
         }
         self.add_arriving_power(power.0);
@@ -394,16 +416,19 @@ impl<S: TraceSink> PhyState<S> {
     pub fn signal_end(&mut self, tx_id: TxId, now: SimTime) -> Option<RxOutcome> {
         self.account_airtime(now);
         self.integrate(now);
-        match self.arriving.binary_search_by_key(&tx_id, |e| e.0) {
+        match self.arriving_ids.binary_search(&tx_id) {
             Ok(i) => {
-                let (_, power) = self.arriving.remove(i);
-                if self.arriving.is_empty() {
+                self.arriving_ids.remove(i);
+                let power = self.arriving_powers.remove(i);
+                if self.arriving_ids.is_empty() {
                     // Quiet antenna: pin the accumulator to exactly zero
                     // so residuals can never drift across quiet periods.
                     self.arriving_sum = 0.0;
                     self.arriving_comp = 0.0;
+                    self.energy_busy =
+                        self.arriving_sum + self.arriving_comp >= self.cs_threshold.0;
                 } else {
-                    self.add_arriving_power(-power.0);
+                    self.add_arriving_power(-power);
                 }
             }
             Err(_) => debug_assert!(false, "signal_end for unknown {tx_id:?}"),
@@ -471,7 +496,7 @@ impl<S: TraceSink> PhyState<S> {
         // of re-summing the arrival set. The subtraction reuses the
         // Neumaier step so a lone locked signal yields exactly 0.0 and
         // residuals stay within one ulp of the naive re-sum.
-        let interference = if self.arriving.len() <= 1 {
+        let interference = if self.arriving_ids.len() <= 1 {
             0.0
         } else {
             let x = -lock.signal.0;
@@ -788,6 +813,140 @@ mod tests {
         );
     }
 
+    /// Reference model of the pre-SoA arrival store: one `Vec` of
+    /// `(TxId, power)` tuples plus the identical Neumaier two-sum, and the
+    /// identical lock/capture comparisons. The SoA lanes must stay
+    /// bitwise-equal to this model under arbitrary interleavings — which
+    /// makes every decision the PHY derives from them byte-identical too.
+    struct TupleModel {
+        arriving: Vec<(TxId, f64)>,
+        sum: f64,
+        comp: f64,
+    }
+
+    impl TupleModel {
+        fn add(&mut self, x: f64) {
+            let t = self.sum + x;
+            self.comp += if self.sum.abs() >= x.abs() {
+                (self.sum - t) + x
+            } else {
+                (x - t) + self.sum
+            };
+            self.sum = t;
+        }
+
+        fn start(&mut self, tx_id: TxId, power: f64) {
+            match self.arriving.binary_search_by_key(&tx_id, |e| e.0) {
+                Err(i) => self.arriving.insert(i, (tx_id, power)),
+                Ok(i) => {
+                    let old = std::mem::replace(&mut self.arriving[i].1, power);
+                    self.add(-old);
+                }
+            }
+            self.add(power);
+        }
+
+        fn end(&mut self, tx_id: TxId) {
+            if let Ok(i) = self.arriving.binary_search_by_key(&tx_id, |e| e.0) {
+                let (_, power) = self.arriving.remove(i);
+                if self.arriving.is_empty() {
+                    self.sum = 0.0;
+                    self.comp = 0.0;
+                } else {
+                    self.add(-power);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn soa_lanes_match_tuple_model_and_decisions_bitwise() {
+        // Randomized add/remove/lock interleavings: the SoA store must
+        // (a) keep its compensated sum within 1e-12 of a naive re-sum,
+        // (b) hold lanes bitwise-equal to the Vec-of-tuples model, and
+        // (c) make byte-identical lock/capture decisions — replicated
+        // here from the model's compared quantities alone.
+        let cfg = RadioConfig::default();
+        let cs_dbm = cfg.cs_threshold.0;
+        let capture_margin = cfg.capture_margin.to_linear();
+        let mut rng = SimRng::from_seed(0x50a_2026);
+        for _case in 0..100 {
+            let mut p = phy();
+            let mut model = TupleModel {
+                arriving: Vec::new(),
+                sum: 0.0,
+                comp: 0.0,
+            };
+            // (tx_id, rx_power_dbm, plcp_end, ends_at) of the model's lock.
+            let mut model_lock: Option<(TxId, f64, SimTime, SimTime)> = None;
+            let mut active: Vec<(u64, f64)> = Vec::new();
+            let mut next_id = 0u64;
+            let mut now_us = 0u64;
+            for _step in 0..80 {
+                now_us += 1 + rng.gen_range_u32(0, 120) as u64;
+                let now = SimTime::from_micros(now_us);
+                // Drop the model's lock when its frame has left the air
+                // (signal_end below resets the real PHY the same way).
+                let start = active.is_empty() || rng.gen_bool(0.55);
+                if start {
+                    let dbm = -110.0 + 70.0 * rng.gen_f64();
+                    let sig = signal(next_id, dbm, now_us, 546, PhyRate::R11);
+                    let ind = p.signal_start(&sig, now);
+                    let power = sig.rx_power.to_milliwatts().0;
+                    model.start(sig.tx_id, power);
+                    // Replicate the decision from compared quantities.
+                    let detectable = dbm >= cs_dbm;
+                    let expect_locked = match model_lock {
+                        None => detectable,
+                        Some((_, lock_dbm, plcp_end, _)) => {
+                            detectable
+                                && now < plcp_end
+                                && power >= Dbm(lock_dbm).to_milliwatts().0 * capture_margin
+                        }
+                    };
+                    assert_eq!(ind.locked, expect_locked, "lock/capture decision diverged");
+                    if ind.locked {
+                        model_lock =
+                            Some((sig.tx_id, dbm, now + sig.preamble.duration(), sig.ends_at));
+                    }
+                    active.push((next_id, dbm));
+                    next_id += 1;
+                } else {
+                    let i = rng.gen_range_u32(0, active.len() as u32) as usize;
+                    let (id, _) = active.swap_remove(i);
+                    let out = p.signal_end(TxId(id), now);
+                    model.end(TxId(id));
+                    let was_locked = model_lock.map(|(t, ..)| t) == Some(TxId(id));
+                    assert_eq!(out.is_some(), was_locked, "outcome presence diverged");
+                    if was_locked {
+                        model_lock = None;
+                    }
+                }
+                // Lanes bitwise-equal to the tuple model.
+                assert_eq!(p.arriving_ids.len(), model.arriving.len());
+                for (k, &(id, w)) in model.arriving.iter().enumerate() {
+                    assert_eq!(p.arriving_ids[k], id);
+                    assert_eq!(p.arriving_powers[k].to_bits(), w.to_bits());
+                }
+                assert_eq!(p.arriving_sum.to_bits(), model.sum.to_bits());
+                assert_eq!(p.arriving_comp.to_bits(), model.comp.to_bits());
+                // Compensated sum within 1e-12 of a naive re-sum.
+                let naive: f64 = model.arriving.iter().map(|e| e.1).sum();
+                let inc = p.total_arriving().0;
+                if model.arriving.is_empty() {
+                    assert_eq!(inc, 0.0);
+                } else {
+                    assert!((inc - naive).abs() <= naive * 1e-12);
+                }
+                // Memoized CS flag equals the from-scratch decision.
+                assert_eq!(
+                    p.energy_busy,
+                    model.sum + model.comp >= cfg.cs_threshold.to_milliwatts().0
+                );
+            }
+        }
+    }
+
     #[test]
     fn incremental_arriving_sum_tracks_naive_resum() {
         // Property: across randomized signal start/end interleavings the
@@ -818,18 +977,19 @@ mod tests {
                     let (id, _) = active.swap_remove(i);
                     let _ = p.signal_end(TxId(id), SimTime::from_micros(now_us));
                 }
-                let naive: f64 = p.arriving.iter().map(|(_, w)| w.0).sum();
+                let naive: f64 = p.arriving_powers.iter().sum();
                 let inc = p.total_arriving().0;
-                if p.arriving.is_empty() {
+                if p.arriving_ids.is_empty() {
                     assert_eq!(inc, 0.0, "quiet antenna must read exactly zero");
                 } else {
                     assert!(
                         (inc - naive).abs() <= naive * 1e-12,
                         "incremental {inc:e} drifted from naive {naive:e} \
                          with {} arrivals",
-                        p.arriving.len()
+                        p.arriving_ids.len()
                     );
                 }
+                assert_eq!(p.arriving_ids.len(), p.arriving_powers.len());
             }
         }
     }

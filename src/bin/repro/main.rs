@@ -194,7 +194,7 @@ fn sweep_usage(msg: &str) -> ! {
     eprintln!("repro sweep: {msg}");
     eprintln!(
         "usage: repro sweep \
-         [--scenarios fig7,fig9,fig11,fig12,chain16,chain64,grid16,disk20,hidden3] \
+         [--scenarios fig7,fig9,fig11,fig12,chain16,chain64,grid16,disk20,disk4096,hidden3] \
          [--mac-grid key=v1,v2,...] [--seeds A..B|N] [--jobs N] [--cache-dir <dir>] \
          [--json <path>] [--progress <path|->] [--quick] [--duration <interval>] \
          [--warmup <interval>]"
@@ -306,6 +306,15 @@ fn parse_scenario_group(name: &str) -> Option<Vec<dot11_sweep::SweepScenario>> {
             topo_seed: 7,
             rate: PhyRate::R2,
         }]),
+        // Production-scale disk (PR 8): 4096 stations on a 12 km disk.
+        // Audible-set culling plus the flat per-event hot path keep a
+        // sweep over it tractable; CI smoke-runs it at --quick duration.
+        "disk4096" => Some(vec![SweepScenario::RandomDisk {
+            n: 4096,
+            radius_m: 12_000.0,
+            topo_seed: 7,
+            rate: PhyRate::R2,
+        }]),
         // The hidden-terminal triple (PR 7): basic access collapses,
         // RTS/CTS recovers.
         "hidden3" => Some(SweepScenario::hidden3()),
@@ -338,7 +347,7 @@ fn parse_sweep_args(args: Vec<String>) -> SweepArgs {
                     let group = parse_scenario_group(name).unwrap_or_else(|| {
                         sweep_usage(&format!(
                             "unknown scenario {name:?} (try fig7, fig9, fig11, fig12, \
-                             chain16, chain64, grid16, disk20, hidden3)"
+                             chain16, chain64, grid16, disk20, disk4096, hidden3)"
                         ))
                     });
                     out.scenarios.push((name.to_owned(), group));

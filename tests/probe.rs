@@ -1,10 +1,22 @@
 //! Integration: the engine profiler is faithful and physics-invisible.
 
+use std::sync::Mutex;
+
 use desim::{SimDuration, WallProbe};
 use dot11_testbed::adhoc::world::PROBE_SCOPES;
 use dot11_testbed::adhoc::{Scenario, ScenarioBuilder, Traffic};
 use dot11_testbed::phy::{DayProfile, PhyRate};
 use dot11_testbed::trace::NullSink;
+
+/// Wall-clock attribution is only meaningful on a quiet machine: the
+/// test harness runs this binary's tests on parallel threads, and a
+/// sibling test descheduling us *between* probe scopes counts against
+/// attribution. Timing-sensitive tests serialize on this lock.
+static TIMING: Mutex<()> = Mutex::new(());
+
+fn quiet() -> std::sync::MutexGuard<'static, ()> {
+    TIMING.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 fn contended_cell() -> Scenario {
     ScenarioBuilder::new(PhyRate::R11)
@@ -37,6 +49,7 @@ fn contended_cell() -> Scenario {
 /// engine's total event count. (Referenced from `World::kind_scope`.)
 #[test]
 fn probe_scope_counts_match_kind_histogram() {
+    let _quiet = quiet();
     let report = contended_cell().run_probed(NullSink, WallProbe::new(&PROBE_SCOPES));
     let profile = report.engine.profile.as_ref().expect("armed probe reports");
     assert_eq!(profile.scopes.len(), PROBE_SCOPES.len());
@@ -58,6 +71,7 @@ fn probe_scope_counts_match_kind_histogram() {
 /// the run's wall time.
 #[test]
 fn phase_scopes_fire_and_attribution_is_high() {
+    let _quiet = quiet();
     let report = contended_cell().run_probed(NullSink, WallProbe::new(&PROBE_SCOPES));
     let profile = report.engine.profile.as_ref().expect("profile");
     for phase in [
@@ -65,6 +79,7 @@ fn phase_scopes_fire_and_attribution_is_high() {
         "phase_arrival_scan",
         "phase_ber_eval",
         "phase_mac_actions",
+        "phase_response_build",
     ] {
         let s = profile.scope(phase).expect("phase scope exists");
         assert!(s.count > 0, "{phase} never fired");
@@ -85,10 +100,65 @@ fn phase_scopes_fire_and_attribution_is_high() {
     );
 }
 
+/// The profiler has no large-N blind spot: a probed kilo-station chain
+/// still attributes ≥ 95% of its wall time to named kind scopes (the
+/// same bar the serial `profile` bench holds chain256 to), and the
+/// precomputed-response fast path stays visible through its dedicated
+/// `phase_response_build` scope.
+#[test]
+fn chain1024_attribution_is_high_and_response_path_visible() {
+    let _quiet = quiet();
+    let chain1024 = || {
+        ScenarioBuilder::new(PhyRate::R2)
+            .chain(1024, 80.0)
+            .seed(3)
+            .duration(SimDuration::from_millis(500))
+            .warmup(SimDuration::from_millis(100))
+            .flow(
+                0,
+                1023,
+                Traffic::SaturatedUdp {
+                    payload_bytes: 512,
+                    backlog: 10,
+                },
+            )
+            .build()
+    };
+    // Wall-clock attribution on a single short run can still lose a
+    // scheduler hiccup's worth of time; take the best of three attempts
+    // before declaring a blind spot.
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let report = chain1024().run_probed(NullSink, WallProbe::new(&PROBE_SCOPES));
+        let profile = report.engine.profile.as_ref().expect("profile");
+        let rb = profile
+            .scope("phase_response_build")
+            .expect("response-build phase scope exists");
+        assert!(
+            rb.count > 0,
+            "SIFS responses never timed on a saturated chain"
+        );
+        let frac = report
+            .engine
+            .attributed_fraction()
+            .expect("armed probe attributes");
+        best = best.max(frac);
+        if best >= 0.95 {
+            break;
+        }
+    }
+    assert!(
+        best >= 0.95,
+        "kind scopes attribute only {:.1}% of chain1024 wall time",
+        100.0 * best
+    );
+}
+
 /// Arming the profiler changes nothing physical: flows, per-station
 /// counters and airtime are bit-identical to the unprobed run.
 #[test]
 fn armed_probe_is_physics_invisible() {
+    let _quiet = quiet();
     let plain = contended_cell().run();
     let probed = contended_cell().run_probed(NullSink, WallProbe::new(&PROBE_SCOPES));
     for (a, b) in plain.flows.iter().zip(&probed.flows) {
@@ -107,6 +177,7 @@ fn armed_probe_is_physics_invisible() {
 /// both report no profile; only an armed probe produces one.
 #[test]
 fn only_an_armed_probe_reports() {
+    let _quiet = quiet();
     assert!(contended_cell().run().engine.profile.is_none());
     let disarmed = contended_cell().run_probed(NullSink, WallProbe::off(&PROBE_SCOPES));
     assert!(disarmed.engine.profile.is_none());
