@@ -1,0 +1,141 @@
+//! The `parallel` group: wall-clock scaling of the sharded executor.
+//!
+//! The two large scenario families — the 1024-station chain and the
+//! 4096-station random disk — run to completion serial (`t1`) and
+//! sharded at 2 and at all available cores, reporting `ns_per_event`
+//! and `speedup` (serial median / sharded median) per row. Results are
+//! **byte-identical** across rows (pinned by
+//! `tests/determinism_sharded.rs`); only the wall clock may move.
+//!
+//! Committed medians live in `BENCH_pr9.json`; CI gates `speedup` (must
+//! not regress downward) and `ns_per_event` against it at a wide
+//! tolerance, macro-bench noise being what it is:
+//!
+//! ```console
+//! cargo bench -p dot11-bench --bench parallel -- --json BENCH_pr9.json
+//! cargo bench -p dot11-bench --bench parallel -- --baseline BENCH_pr9.json --tolerance 60
+//! ```
+//!
+//! Thread counts exceeding the machine are skipped (with a log line),
+//! so the committed baseline only ever carries rows the runner could
+//! actually produce — the gate ignores benches missing on either side.
+//! On ≥ 4-core machines the bench additionally hard-fails if the disk
+//! at full width does not clear 1.5× over serial — the acceptance floor
+//! for the sharded executor — independent of any `--baseline`.
+
+use desim::SimDuration;
+use dot11_adhoc::{Scenario, ScenarioBuilder, Traffic};
+use dot11_bench::Harness;
+use dot11_phy::PhyRate;
+
+const SATURATED: Traffic = Traffic::SaturatedUdp {
+    payload_bytes: 512,
+    backlog: 10,
+};
+
+/// The scaling group's saturated kilo-station chain (fan-out 31–50).
+fn chain1024() -> Scenario {
+    ScenarioBuilder::new(PhyRate::R2)
+        .chain(1024, 80.0)
+        .seed(3)
+        .duration(SimDuration::from_millis(500))
+        .warmup(SimDuration::from_millis(100))
+        .flow(0, 1023, SATURATED)
+        .build()
+}
+
+/// The scaling group's production-scale disk (fan-out ~97 — the shape
+/// whose per-event physics the parallel sections actually amortize).
+fn disk4096() -> Scenario {
+    let mut b = ScenarioBuilder::new(PhyRate::R2)
+        .random_disk(4096, 12_000.0, 7)
+        .seed(3)
+        .duration(SimDuration::from_millis(500))
+        .warmup(SimDuration::from_millis(100));
+    for (src, dst) in [(0, 1), (2, 3), (4, 5)] {
+        b = b.flow(src, dst, SATURATED);
+    }
+    b.build()
+}
+
+/// Serial median for `family`, if its `t1` row ran (the speedup
+/// denominator).
+fn serial_median_ns(h: &Harness, family: &str) -> Option<f64> {
+    h.records()
+        .iter()
+        .find(|r| r.name == format!("parallel/{family}/t1"))
+        .map(|r| r.median_ns as f64)
+}
+
+fn bench_family(h: &Harness, family: &str, mk: fn() -> Scenario, threads: &[usize], cores: usize) {
+    for &t in threads {
+        let name = format!("parallel/{family}/t{t}");
+        if t > cores {
+            eprintln!("{name}: skipped ({t} threads > {cores} cores)");
+            continue;
+        }
+        let serial = serial_median_ns(h, family);
+        h.bench_metrics(
+            &name,
+            move || mk().with_threads(t).run(),
+            move |report, median| {
+                let events = report.engine.events as f64;
+                let mut m = vec![
+                    ("events".into(), events),
+                    ("threads".into(), t as f64),
+                    ("ns_per_event".into(), median.as_nanos() as f64 / events),
+                    (
+                        "sim_ns_per_wall_ns".into(),
+                        report.engine.sim_elapsed.as_nanos() as f64 / median.as_nanos() as f64,
+                    ),
+                ];
+                if let Some(serial_ns) = serial {
+                    m.push(("speedup".into(), serial_ns / median.as_nanos() as f64));
+                }
+                m
+            },
+        );
+    }
+}
+
+fn main() {
+    let h = Harness::from_args();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Serial, two-wide, and full-width rows; deduped so a 2-core
+    // machine doesn't run t2 twice.
+    let mut threads = vec![1usize, 2, cores.max(2)];
+    threads.dedup();
+    bench_family(&h, "chain1024", chain1024, &threads, cores);
+    bench_family(&h, "disk4096", disk4096, &threads, cores);
+
+    // Acceptance floor, independent of any committed baseline: on a
+    // machine wide enough for the executor to matter, the disk at full
+    // width must clear 1.5× over serial.
+    if cores >= 4 {
+        let full = h
+            .records()
+            .into_iter()
+            .find(|r| r.name == format!("parallel/disk4096/t{cores}"));
+        if let Some(r) = full {
+            let speedup = r
+                .metrics
+                .iter()
+                .find(|(k, _)| k == "speedup")
+                .map(|&(_, v)| v);
+            match speedup {
+                Some(s) if s > 1.5 => {
+                    println!("parallel gate: disk4096 speedup {s:.2}x at {cores} threads (> 1.5x)")
+                }
+                Some(s) => {
+                    eprintln!(
+                        "PERF REGRESSION: parallel/disk4096/t{cores} speedup {s:.2}x <= 1.5x"
+                    );
+                    std::process::exit(1);
+                }
+                // t1 filtered out: no denominator, nothing to gate.
+                None => {}
+            }
+        }
+    }
+    h.finish();
+}

@@ -41,6 +41,7 @@ pub fn bench_config() -> ExpConfig {
         seed: 3,
         duration: SimDuration::from_secs(1),
         warmup: SimDuration::from_millis(200),
+        threads: 1,
     }
 }
 
@@ -289,10 +290,14 @@ fn resolve_repo_path(path: &std::path::Path) -> PathBuf {
 /// so any tolerance catches a structural fan-out regression with zero
 /// run-to-run noise. Benches that don't report a gated metric are
 /// simply not gated on it.
-pub const GATED_METRICS: [(&str, bool); 3] = [
+pub const GATED_METRICS: [(&str, bool); 4] = [
     ("ns_per_event", true),
     ("sim_ns_per_wall_ns", false),
     ("deliveries_per_frame", true),
+    // Sharded-executor speedup over the serial run (parallel group):
+    // regresses *downward* — a lower multiple means the parallel
+    // sections stopped pulling their weight.
+    ("speedup", false),
 ];
 
 /// Compares run records against a committed `BENCH_*.json`: for every

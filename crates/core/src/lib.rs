@@ -37,12 +37,14 @@ pub mod hash;
 pub mod node;
 pub mod range;
 pub mod scenario;
+pub mod shard;
 pub mod stats;
 pub mod world;
 
 pub use calib::{calibrated_medium_config, calibrated_path_loss};
 pub use range::{estimate_crossing, LossCurve};
 pub use scenario::{Scenario, ScenarioBuilder, Traffic};
+pub use shard::ShardMap;
 pub use stats::{EngineStats, FlowReport, NodeReport, RunReport, Summary};
 pub use world::World;
 

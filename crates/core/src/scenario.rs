@@ -86,6 +86,7 @@ pub struct Scenario {
     pub(crate) duration: SimDuration,
     pub(crate) warmup: SimDuration,
     pub(crate) full_fanout: bool,
+    pub(crate) threads: usize,
 }
 
 impl std::fmt::Debug for Scenario {
@@ -116,9 +117,20 @@ impl Scenario {
         World::new(self)
     }
 
-    /// Builds and runs to completion.
+    /// Requests the sharded executor with this many worker threads for
+    /// [`Scenario::run`] (see [`World::run_sharded`]). `1` (the default)
+    /// keeps the run serial; any value yields a report byte-identical to
+    /// the serial one.
+    pub fn with_threads(mut self, threads: usize) -> Scenario {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Builds and runs to completion, sharded across the scenario's
+    /// configured thread count (serial when that is 1).
     pub fn run(self) -> RunReport {
-        self.into_world().run()
+        let threads = self.threads;
+        self.into_world().run_sharded(threads)
     }
 
     /// Builds the world with a trace sink attached (see
@@ -216,6 +228,7 @@ impl ScenarioBuilder {
                 duration: SimDuration::from_secs(10),
                 warmup: SimDuration::from_secs(1),
                 full_fanout: false,
+                threads: 1,
             },
             next_flow: 0,
         }
@@ -308,6 +321,14 @@ impl ScenarioBuilder {
     /// full-fanout baseline.
     pub fn full_fanout(mut self) -> ScenarioBuilder {
         self.scenario.full_fanout = true;
+        self
+    }
+
+    /// Worker-thread budget for [`Scenario::run`]: values above 1 select
+    /// the sharded executor (see [`World::run_sharded`]), whose schedule
+    /// is byte-identical to the serial one.
+    pub fn threads(mut self, threads: usize) -> ScenarioBuilder {
+        self.scenario.threads = threads.max(1);
         self
     }
 

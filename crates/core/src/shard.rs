@@ -1,0 +1,144 @@
+//! Spatial station partition for the sharded executor.
+//!
+//! The sharded run mode ([`crate::World::run_sharded`]) fans the inside
+//! of each signal event across worker threads; which worker handles a
+//! receiver is a pure function of the receiver's **shard**. A
+//! [`ShardMap`] assigns stations to shards by position — sorting by
+//! `(x, y, id)` and cutting the order into contiguous, equal-sized
+//! groups — so a shard's stations are spatially clustered. Clustering is
+//! what makes the partition useful beyond load balancing: a
+//! transmission's audible slice concentrates in the transmitter's own
+//! and neighbouring shards, so per-worker delivery batches stay
+//! contiguous in the per-station state arrays, and
+//! [`Medium::frontier_links`] reports few cross-shard links on sparse
+//! topologies (the quantity the conservative-lookahead argument in
+//! ARCHITECTURE.md is stated in terms of).
+//!
+//! The assignment is a deterministic function of positions alone — never
+//! of thread count or timing — which keeps every execution-order proof
+//! independent of how many workers the run happens to use.
+
+use dot11_phy::{Medium, NodeId};
+
+/// A deterministic assignment of every station to one of `shards`
+/// spatially contiguous groups.
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    shards: usize,
+    assignment: Vec<u32>,
+}
+
+impl ShardMap {
+    /// Partitions the medium's stations into (at most) `shards` groups of
+    /// near-equal size, contiguous in `(x, y, id)` order. `shards` is
+    /// clamped to `1..=station_count`; an empty medium yields one empty
+    /// shard.
+    pub fn spatial(medium: &Medium, shards: usize) -> ShardMap {
+        let n = medium.station_count();
+        let shards = shards.clamp(1, n.max(1));
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by(|&a, &b| {
+            let pa = medium.position(NodeId(a));
+            let pb = medium.position(NodeId(b));
+            pa.x.total_cmp(&pb.x)
+                .then(pa.y.total_cmp(&pb.y))
+                .then(a.cmp(&b))
+        });
+        let mut assignment = vec![0u32; n];
+        for (rank, &id) in order.iter().enumerate() {
+            // rank * shards / n cuts the sorted order into contiguous
+            // groups whose sizes differ by at most one.
+            assignment[id as usize] = (rank * shards / n) as u32;
+        }
+        ShardMap { shards, assignment }
+    }
+
+    /// Number of shards in the partition.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard holding `node`.
+    pub fn shard_of(&self, node: NodeId) -> u32 {
+        self.assignment[node.index()]
+    }
+
+    /// The full per-station assignment, indexed by station id.
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// Consumes the map into its per-station assignment vector.
+    pub fn into_assignment(self) -> Vec<u32> {
+        self.assignment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::{SimDuration, SimRng};
+    use dot11_phy::{
+        CullPolicy, DayProfile, LogDistance, Medium, MediumConfig, Position, Shadowing,
+    };
+
+    fn medium(positions: Vec<Position>) -> Medium {
+        let day = DayProfile::still();
+        Medium::new(
+            positions,
+            Shadowing::new(day.clone(), SimRng::from_seed(5)),
+            MediumConfig {
+                path_loss: LogDistance::anchored_at_free_space_1m(3.0).into(),
+                day,
+                propagation_delay: SimDuration::from_micros(1),
+                cull: CullPolicy::Full,
+            },
+        )
+    }
+
+    #[test]
+    fn chain_splits_into_contiguous_balanced_runs() {
+        let m = medium(
+            (0..16)
+                .map(|i| Position::on_line(i as f64 * 10.0))
+                .collect(),
+        );
+        let map = ShardMap::spatial(&m, 4);
+        assert_eq!(map.shards(), 4);
+        // A chain sorted by x: stations 0..4 → shard 0, 4..8 → 1, …
+        for i in 0..16u32 {
+            assert_eq!(map.shard_of(NodeId(i)), i / 4, "station {i}");
+        }
+        // Sizes are balanced even when shards don't divide n.
+        let map5 = ShardMap::spatial(&m, 5);
+        let mut sizes = [0usize; 5];
+        for &s in map5.assignment() {
+            sizes[s as usize] += 1;
+        }
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4), "{sizes:?}");
+    }
+
+    #[test]
+    fn shard_count_clamps_to_station_count() {
+        let m = medium(vec![Position::on_line(0.0), Position::on_line(5.0)]);
+        let map = ShardMap::spatial(&m, 64);
+        assert_eq!(map.shards(), 2);
+        assert_eq!(ShardMap::spatial(&m, 0).shards(), 1);
+    }
+
+    #[test]
+    fn assignment_is_a_function_of_positions_not_station_order() {
+        // Same geometry, ids permuted: each *position* must land in the
+        // same shard regardless of which id sits there (ties broken by
+        // id only among exactly coincident stations).
+        let a = medium(vec![
+            Position::on_line(0.0),
+            Position::on_line(30.0),
+            Position::on_line(10.0),
+            Position::on_line(20.0),
+        ]);
+        let map = ShardMap::spatial(&a, 2);
+        // Sorted by x: 0 (id0), 10 (id2), 20 (id3), 30 (id1).
+        assert_eq!(map.assignment(), &[0, 1, 0, 1]);
+    }
+}

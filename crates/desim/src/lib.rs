@@ -5,10 +5,13 @@
 //! simultaneous events, and seedable random-number streams that stay
 //! independent as components are added.
 //!
-//! The engine is deliberately minimal and single-threaded: reproducibility
-//! of a simulation run given a seed is a correctness requirement for the
-//! experiments built on top, and a work-stealing executor would trade that
-//! away for speed we do not need.
+//! The event loop is deliberately serial: reproducibility of a simulation
+//! run given a seed is a correctness requirement for the experiments built
+//! on top, and a work-stealing executor would trade that away. Parallelism
+//! is offered *inside* an event instead — [`WorkerPool`] provides a
+//! low-latency fork-join broadcast that higher layers use to fan
+//! independent per-receiver work across cores while the event schedule
+//! stays byte-identical to single-threaded execution.
 //!
 //! # Example
 //!
@@ -32,12 +35,14 @@
 
 #![warn(missing_docs)]
 
+mod pool;
 mod probe;
 mod queue;
 mod rng;
 mod sim;
 mod time;
 
+pub use pool::{SharedMut, WorkerPool};
 pub use probe::{NoProbe, Probe, ProbeReport, ScopeStats, WallProbe};
 pub use queue::{EventHandle, EventQueue};
 pub use rng::SimRng;

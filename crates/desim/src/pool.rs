@@ -1,0 +1,401 @@
+//! A tiny fork-join worker pool for intra-event parallelism.
+//!
+//! The sharded executor in `dot11-core` parallelises the *inside* of a
+//! single event — scattering a frame to its audible slice, running the
+//! per-receiver PHY arrival scan, evaluating BER outcomes — while the
+//! event loop itself stays serial. That workload has an unusual shape:
+//!
+//! * sections are **short** (a disk4096 fan-out is ~100 deliveries at
+//!   50–70 ns each, i.e. a handful of microseconds of total work), so a
+//!   channel- or condvar-based dispatch costing 1–5 µs per hop would eat
+//!   the entire win;
+//! * sections are **frequent** (one to three per signal event, tens of
+//!   thousands per simulated second), separated by serial commit code in
+//!   the tens-of-nanoseconds to low-microseconds range;
+//! * between bursts the pool can sit idle for long stretches (TCP idle
+//!   periods, warmup), where burning cores spinning would be rude to the
+//!   sweep-level job pool sharing the machine.
+//!
+//! [`WorkerPool`] therefore uses an epoch-counter broadcast with an
+//! adaptive *spin → yield → park* wait on the worker side: during a hot
+//! burst a worker notices the next epoch within ~100 ns of spinning; if
+//! nothing arrives it yields a few times, then parks, and the
+//! coordinator pays one `unpark` syscall to wake it. The coordinator
+//! always participates as worker 0, so `threads = 1` degenerates to a
+//! plain function call with zero synchronisation.
+//!
+//! # Broadcast contract
+//!
+//! [`WorkerPool::broadcast`] takes `&(dyn Fn(usize) + Sync)` and runs it
+//! once on every worker (including the caller) with the worker index as
+//! argument, returning only after **all** workers have finished. The
+//! closure borrows from the caller's stack; this is sound because the
+//! call blocks until the last worker drops its reference (the lifetime
+//! is erased internally, never extended past the call).
+//!
+//! Workers are detached OS threads owned by the pool (not scoped
+//! threads), so a `WorkerPool` can live inside long-lived structs such
+//! as `World` without infecting them with lifetimes. `Drop` signals
+//! stop, wakes everyone, and joins.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle, Thread};
+
+/// How many tight spin iterations a worker burns before yielding.
+const SPIN_ITERS: usize = 4096;
+/// How many `yield_now` rounds after spinning before parking.
+const YIELD_ITERS: usize = 64;
+
+/// Per-worker sleep slot: a parked flag plus the worker's thread handle
+/// so the coordinator can `unpark` exactly the workers that went to
+/// sleep (a parked worker re-checks the epoch *after* setting the flag,
+/// and `unpark` tokens are sticky, so the wakeup cannot be lost).
+struct Sleeper {
+    parked: AtomicBool,
+    thread: Mutex<Option<Thread>>,
+}
+
+/// State shared between the coordinator and the detached workers.
+struct PoolShared {
+    /// Bumped once per broadcast; workers run the task when they observe
+    /// an epoch newer than the last one they completed.
+    epoch: AtomicUsize,
+    /// Workers still running the current task. The coordinator waits for
+    /// this to hit zero before `broadcast` returns.
+    remaining: AtomicUsize,
+    /// The type-erased task for the current epoch. Only written by the
+    /// coordinator while `remaining == 0` (no broadcast in flight) and
+    /// only read by workers between observing the epoch bump and
+    /// decrementing `remaining`, so access is ordered by those atomics.
+    task: UnsafeCell<Option<*const (dyn Fn(usize) + Sync)>>,
+    /// Set once at shutdown; workers exit their loop on the next wake.
+    stop: AtomicBool,
+    /// One slot per spawned worker (index 1..threads; the coordinator is
+    /// worker 0 and never sleeps here).
+    sleepers: Vec<Sleeper>,
+}
+
+// SAFETY: `task` is the only non-Sync field. It is published strictly
+// before the epoch bump that makes workers read it, and the coordinator
+// never rewrites it until every reader has decremented `remaining` —
+// the atomics above impose the required happens-before edges.
+unsafe impl Sync for PoolShared {}
+// SAFETY: the raw task pointer is only dereferenced while the owning
+// `broadcast` call is blocked on `remaining`; moving the Arc between
+// threads does not extend the pointee's life.
+unsafe impl Send for PoolShared {}
+
+/// Fork-join pool with `threads` total lanes of parallelism (the caller
+/// counts as one; `threads - 1` OS threads are spawned).
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    threads: usize,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Builds a pool with `threads` total lanes. `threads <= 1` spawns
+    /// nothing; `broadcast` then just calls the task inline.
+    pub fn new(threads: usize) -> WorkerPool {
+        let threads = threads.max(1);
+        let spawned = threads - 1;
+        let shared = Arc::new(PoolShared {
+            epoch: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(0),
+            task: UnsafeCell::new(None),
+            stop: AtomicBool::new(false),
+            sleepers: (0..spawned)
+                .map(|_| Sleeper {
+                    parked: AtomicBool::new(false),
+                    thread: Mutex::new(None),
+                })
+                .collect(),
+        });
+        let handles = (0..spawned)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("dot11-shard-{}", i + 1))
+                    .spawn(move || worker_loop(&shared, i))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            threads,
+            handles,
+        }
+    }
+
+    /// Total lanes of parallelism, caller included. Always ≥ 1.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `task(w)` once for every worker index `w in 0..threads`,
+    /// concurrently, and returns when all calls have completed. The
+    /// caller executes `task(0)` itself.
+    pub fn broadcast(&self, task: &(dyn Fn(usize) + Sync)) {
+        if self.threads == 1 {
+            task(0);
+            return;
+        }
+        let shared = &*self.shared;
+        let workers = self.threads - 1;
+        // Publish the task, then open the epoch. No broadcast is in
+        // flight here (we own &self and the previous call drained
+        // `remaining` to zero), so the plain write cannot race.
+        unsafe {
+            // Erase the borrow's lifetime: workers are done with the
+            // pointer before this function returns.
+            let erased: *const (dyn Fn(usize) + Sync) = task;
+            *shared.task.get() = Some(std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync),
+                *const (dyn Fn(usize) + Sync),
+            >(erased));
+        }
+        shared.remaining.store(workers, Ordering::Release);
+        shared.epoch.fetch_add(1, Ordering::SeqCst);
+        // Wake only the workers that actually parked; spinners see the
+        // epoch bump on their own.
+        for sleeper in &shared.sleepers {
+            if sleeper.parked.swap(false, Ordering::SeqCst) {
+                if let Some(t) = sleeper.thread.lock().expect("sleeper lock").as_ref() {
+                    t.unpark();
+                }
+            }
+        }
+        // Participate as worker 0, then wait for the stragglers.
+        task(0);
+        let mut spins = 0usize;
+        while shared.remaining.load(Ordering::Acquire) != 0 {
+            spins += 1;
+            if spins > SPIN_ITERS {
+                thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        let shared = &*self.shared;
+        shared.stop.store(true, Ordering::SeqCst);
+        // Bump the epoch so spinners notice *something* changed, and
+        // unpark everyone so sleepers re-check `stop`.
+        shared.epoch.fetch_add(1, Ordering::SeqCst);
+        for sleeper in &shared.sleepers {
+            sleeper.parked.store(false, Ordering::SeqCst);
+            if let Some(t) = sleeper.thread.lock().expect("sleeper lock").as_ref() {
+                t.unpark();
+            }
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, slot: usize) {
+    // Register our thread handle so the coordinator can unpark us.
+    *shared.sleepers[slot].thread.lock().expect("sleeper lock") = Some(thread::current());
+    let worker_index = slot + 1;
+    let mut seen_epoch = 0usize;
+    loop {
+        // Adaptive wait for the next epoch: spin, then yield, then park.
+        let mut spins = 0usize;
+        let mut yields = 0usize;
+        loop {
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            let epoch = shared.epoch.load(Ordering::SeqCst);
+            if epoch != seen_epoch {
+                seen_epoch = epoch;
+                break;
+            }
+            if spins < SPIN_ITERS {
+                spins += 1;
+                std::hint::spin_loop();
+            } else if yields < YIELD_ITERS {
+                yields += 1;
+                thread::yield_now();
+            } else {
+                let sleeper = &shared.sleepers[slot];
+                sleeper.parked.store(true, Ordering::SeqCst);
+                // Re-check after setting the flag: if the coordinator
+                // bumped the epoch in between, it either saw our flag
+                // (and will unpark — tokens are sticky so park returns
+                // immediately) or we see the bump right here.
+                if shared.epoch.load(Ordering::SeqCst) != seen_epoch
+                    || shared.stop.load(Ordering::SeqCst)
+                {
+                    sleeper.parked.store(false, Ordering::SeqCst);
+                    continue;
+                }
+                thread::park();
+                spins = 0;
+                yields = 0;
+            }
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // SAFETY: the epoch bump happens-after the task write, and the
+        // coordinator won't touch the slot again until we decrement
+        // `remaining` below.
+        let task = unsafe { (*shared.task.get()).expect("task published before epoch bump") };
+        // SAFETY: the pointee outlives this call — `broadcast` blocks
+        // until `remaining` hits zero.
+        unsafe { (*task)(worker_index) };
+        shared.remaining.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// A `Send + Sync` cell handing out `&mut T` across threads.
+///
+/// Used by the sharded executor to let broadcast closures mutate
+/// *disjoint* regions of coordinator-owned data (per-worker probes,
+/// per-delivery result slots, chunks of a scatter buffer) without
+/// locking. All safety obligations sit on the caller of [`get`]:
+///
+/// # Safety contract
+///
+/// Callers must guarantee that concurrent `get` calls never produce
+/// overlapping mutable access — in practice each worker index maps to a
+/// statically disjoint slice of the underlying data, and the fork-join
+/// barrier in [`WorkerPool::broadcast`] ensures the borrows end before
+/// the coordinator touches the data again.
+///
+/// [`get`]: SharedMut::get
+pub struct SharedMut<T: ?Sized>(*mut T);
+
+// SAFETY: SharedMut is a plain pointer wrapper; the disjointness
+// contract on `get` is what makes cross-thread use sound.
+unsafe impl<T: ?Sized> Send for SharedMut<T> {}
+unsafe impl<T: ?Sized> Sync for SharedMut<T> {}
+
+impl<T: ?Sized> SharedMut<T> {
+    /// Wraps an exclusive borrow. The wrapper must not outlive it.
+    pub fn new(value: &mut T) -> SharedMut<T> {
+        SharedMut(value as *mut T)
+    }
+
+    /// Reborrows the wrapped value mutably.
+    ///
+    /// # Safety
+    ///
+    /// The caller must ensure no two live borrows returned by `get`
+    /// access overlapping data, and that the original borrow passed to
+    /// [`SharedMut::new`] is still live.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get(&self) -> &mut T {
+        unsafe { &mut *self.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn broadcast_runs_every_worker_exactly_once() {
+        let pool = WorkerPool::new(4);
+        let hits = [const { AtomicU64::new(0) }; 4];
+        let sum = AtomicU64::new(0);
+        pool.broadcast(&|w| {
+            hits[w].fetch_add(1, Ordering::Relaxed);
+            sum.fetch_add(w as u64 + 1, Ordering::Relaxed);
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+        assert_eq!(sum.load(Ordering::Relaxed), 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn broadcast_reuses_workers_across_many_rounds() {
+        let pool = WorkerPool::new(3);
+        let total = AtomicU64::new(0);
+        for _ in 0..1000 {
+            pool.broadcast(&|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 3000);
+    }
+
+    #[test]
+    fn broadcast_observes_caller_stack_writes() {
+        // Workers mutate disjoint slots of a caller-owned buffer via
+        // SharedMut; the barrier makes the writes visible afterwards.
+        let pool = WorkerPool::new(4);
+        let mut data = vec![0u64; 64];
+        {
+            let view = SharedMut::new(data.as_mut_slice());
+            pool.broadcast(&|w| {
+                // SAFETY: strided indices are disjoint across workers.
+                let slice = unsafe { view.get() };
+                let mut i = w;
+                while i < slice.len() {
+                    slice[i] = i as u64 * 10;
+                    i += 4;
+                }
+            });
+        }
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 10);
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let mut local = 0u64; // no atomics needed: provably inline
+        {
+            let cell = SharedMut::new(&mut local);
+            pool.broadcast(&|w| {
+                assert_eq!(w, 0);
+                // SAFETY: only one worker exists.
+                unsafe { *cell.get() += 7 };
+            });
+        }
+        assert_eq!(local, 7);
+    }
+
+    #[test]
+    fn workers_wake_after_parking() {
+        let pool = WorkerPool::new(2);
+        let count = AtomicU64::new(0);
+        pool.broadcast(&|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        // Give the worker ample time to fall through spin → yield →
+        // park, then broadcast again: the unpark path must wake it.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        pool.broadcast(&|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = WorkerPool::new(4);
+        pool.broadcast(&|_| {});
+        drop(pool); // must not hang or leak threads
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        pool.broadcast(&|w| assert_eq!(w, 0));
+    }
+}

@@ -139,6 +139,7 @@ mod tests {
             params: RunParams {
                 duration: SimDuration::from_secs(1),
                 warmup: SimDuration::from_millis(100),
+                threads: 1,
             },
         }
     }

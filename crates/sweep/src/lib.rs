@@ -31,6 +31,7 @@
 //! let spec = SweepSpec::new(RunParams {
 //!     duration: SimDuration::from_millis(400),
 //!     warmup: SimDuration::from_millis(100),
+//!     threads: 1,
 //! })
 //! .scenarios(SweepScenario::figure(7))
 //! .seeds(1..=2);

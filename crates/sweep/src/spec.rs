@@ -271,6 +271,7 @@ impl SweepScenario {
                     seed,
                     duration: params.duration,
                     warmup: params.warmup,
+                    threads: params.threads,
                 };
                 four_station::scenario(cfg, rate, layout, transport, scheme)
             }
@@ -366,6 +367,7 @@ impl SweepScenario {
                     seed,
                     duration: params.duration,
                     warmup: params.warmup,
+                    threads: params.threads,
                 };
                 hidden::hidden_triple(cfg, rate, scheme, payload_bytes)
             }
@@ -530,16 +532,23 @@ pub struct RunParams {
     pub duration: SimDuration,
     /// Warm-up excluded from throughput windows.
     pub warmup: SimDuration,
+    /// Worker threads per cell run (sharded executor above 1; see
+    /// `World::run_sharded`). Execution-only — a cell's report is
+    /// byte-identical at any thread count, so this field is deliberately
+    /// **excluded from the cell key**: cached results stay valid across
+    /// thread budgets.
+    pub threads: usize,
 }
 
 impl RunParams {
     /// The `repro` binary's full-fidelity settings: 20 s sessions, 2 s
-    /// warm-up (matches [`ExpConfig::full`]).
+    /// warm-up (matches [`ExpConfig::full`]), serial execution.
     pub fn full() -> RunParams {
         let c = ExpConfig::full();
         RunParams {
             duration: c.duration,
             warmup: c.warmup,
+            threads: 1,
         }
     }
 
@@ -549,10 +558,18 @@ impl RunParams {
         RunParams {
             duration: c.duration,
             warmup: c.warmup,
+            threads: 1,
         }
     }
 
+    /// This parameter set with the given per-run worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> RunParams {
+        self.threads = threads.max(1);
+        self
+    }
+
     fn encode(&self, h: &mut StableHasher) {
+        // `threads` intentionally absent: it cannot change the result.
         h.write_u64(self.duration.as_nanos());
         h.write_u64(self.warmup.as_nanos());
     }
@@ -614,6 +631,7 @@ impl CellSpec {
         self.scenario
             .build(self.params, self.seed)
             .tune_mac(|mac| self.mac.apply(mac))
+            .with_threads(self.params.threads)
     }
 }
 
@@ -726,6 +744,7 @@ mod tests {
         RunParams {
             duration: SimDuration::from_secs(2),
             warmup: SimDuration::from_millis(200),
+            threads: 1,
         }
     }
 
@@ -759,6 +778,7 @@ mod tests {
             params: RunParams {
                 duration: SimDuration::from_secs(3),
                 warmup: base.params.warmup,
+                threads: 1,
             },
             ..base
         };
@@ -847,6 +867,7 @@ mod tests {
             params: RunParams {
                 duration: SimDuration::from_millis(400),
                 warmup: SimDuration::from_millis(100),
+                threads: 1,
             },
         };
         // The tuned scenario still runs, and the axis reached the MAC.
@@ -876,6 +897,7 @@ mod tests {
             params: RunParams {
                 duration: SimDuration::from_millis(400),
                 warmup: SimDuration::from_millis(100),
+                threads: 1,
             },
         };
         let report = cell.build().run();
@@ -915,6 +937,7 @@ mod tests {
             params: RunParams {
                 duration: SimDuration::from_millis(400),
                 warmup: SimDuration::from_millis(100),
+                threads: 1,
             },
         };
         let report = cell.build().run();
@@ -1025,6 +1048,7 @@ mod tests {
         let params = RunParams {
             duration: SimDuration::from_millis(400),
             warmup: SimDuration::from_millis(100),
+            threads: 1,
         };
         // A 4-station chain moves end-to-end traffic over its static route.
         let chain = SweepScenario::Chain {

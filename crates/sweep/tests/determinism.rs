@@ -57,6 +57,7 @@ fn cell_keys_are_golden() {
         params: RunParams {
             duration: SimDuration::from_secs(2),
             warmup: SimDuration::from_millis(250),
+            threads: 1,
         },
     };
     assert_eq!(two.key().to_string(), "4f6480d8c06ac321");
@@ -71,6 +72,7 @@ fn mac_axis_and_hidden_triple_keys_are_golden() {
     let params = RunParams {
         duration: SimDuration::from_millis(300),
         warmup: SimDuration::from_millis(100),
+        threads: 1,
     };
     let hidden: Vec<CellSpec> = SweepScenario::hidden3()
         .into_iter()
@@ -125,6 +127,7 @@ fn large_topology_cell_keys_are_golden() {
     let params = RunParams {
         duration: SimDuration::from_millis(300),
         warmup: SimDuration::from_millis(100),
+        threads: 1,
     };
     let expected = [
         (
@@ -190,6 +193,7 @@ fn chain16_sweep_is_deterministic_and_caches() {
     let spec = SweepSpec::new(RunParams {
         duration: SimDuration::from_millis(300),
         warmup: SimDuration::from_millis(100),
+        threads: 1,
     })
     .scenario(SweepScenario::Chain {
         n: 16,
@@ -238,6 +242,7 @@ fn mac_grid_sweep_is_deterministic_and_caches() {
     let spec = SweepSpec::new(RunParams {
         duration: SimDuration::from_millis(300),
         warmup: SimDuration::from_millis(100),
+        threads: 1,
     })
     .scenarios(SweepScenario::hidden3())
     .mac_axes(axes)
@@ -275,6 +280,7 @@ fn spec_32_cells() -> SweepSpec {
     SweepSpec::new(RunParams {
         duration: SimDuration::from_millis(300),
         warmup: SimDuration::from_millis(100),
+        threads: 1,
     })
     .scenarios(scenarios)
     .seeds(1..=4)

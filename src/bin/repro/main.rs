@@ -11,6 +11,8 @@
 //!   (`1s`, `500ms`, `250us`; default `1s`).
 //! * `--trace <path>` — write a JSONL event trace of the Figure 7
 //!   UDP/basic-access cell (one JSON object per MAC/PHY/TCP event).
+//! * `--threads N` — worker threads per simulation run (sharded
+//!   executor; results are byte-identical to serial).
 //!
 //! Output sections are numbered after the paper's artifacts.
 //!
@@ -25,7 +27,10 @@
 //!   four; each contributes 4 cells: UDP/TCP × basic/RTS).
 //! * `--seeds A..B` or `--seeds N` (= `1..N`) — seed range, inclusive
 //!   (default `1..8`).
-//! * `--jobs N` — worker threads (default: all cores).
+//! * `--jobs N` — sweep worker threads (default: all cores).
+//! * `--threads N` — worker threads *inside* each run (sharded
+//!   executor; default 1). The runner clamps jobs × threads to the
+//!   machine's parallelism.
 //! * `--cache-dir <dir>` — content-addressed run cache: finished cells
 //!   are never recomputed, a fully warm re-run simulates zero worlds.
 //! * `--json <path>` — write the full machine-readable `SweepReport`.
@@ -52,6 +57,7 @@ struct Opts {
     trace: Option<String>,
     json: Option<String>,
     metrics: SimDuration,
+    threads: usize,
 }
 
 fn parse_args() -> Opts {
@@ -60,11 +66,22 @@ fn parse_args() -> Opts {
         trace: None,
         json: None,
         metrics: SimDuration::from_secs(1),
+        threads: 1,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => opts.quick = true,
+            "--threads" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--threads needs a count"));
+                opts.threads = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage(&format!("bad thread count {v:?}")));
+            }
             "--trace" => {
                 opts.trace = Some(args.next().unwrap_or_else(|| usage("--trace needs a path")))
             }
@@ -87,7 +104,10 @@ fn parse_args() -> Opts {
 
 fn usage(msg: &str) -> ! {
     eprintln!("repro: {msg}");
-    eprintln!("usage: repro [--quick] [--json <path>] [--metrics <interval>] [--trace <path>]");
+    eprintln!(
+        "usage: repro [--quick] [--threads N] [--json <path>] [--metrics <interval>] \
+         [--trace <path>]"
+    );
     std::process::exit(2);
 }
 
@@ -129,7 +149,8 @@ fn main() {
         ExpConfig::quick()
     } else {
         ExpConfig::full()
-    };
+    }
+    .with_threads(opts.threads);
     println!("Reproduction of: IEEE 802.11 Ad Hoc Networks: Performance Measurements");
     println!("(Anastasi, Borgia, Conti, Gregori — ICDCS-W 2003)");
     println!(
@@ -195,9 +216,9 @@ fn sweep_usage(msg: &str) -> ! {
     eprintln!(
         "usage: repro sweep \
          [--scenarios fig7,fig9,fig11,fig12,chain16,chain64,grid16,disk20,disk4096,hidden3] \
-         [--mac-grid key=v1,v2,...] [--seeds A..B|N] [--jobs N] [--cache-dir <dir>] \
-         [--json <path>] [--progress <path|->] [--quick] [--duration <interval>] \
-         [--warmup <interval>]"
+         [--mac-grid key=v1,v2,...] [--seeds A..B|N] [--jobs N] [--threads N] \
+         [--cache-dir <dir>] [--json <path>] [--progress <path|->] [--quick] \
+         [--duration <interval>] [--warmup <interval>]"
     );
     eprintln!(
         "  --mac-grid keys: policy (beb|fixedN|ctadapt), cwmin, cwmax, retry, longretry, \
@@ -336,6 +357,7 @@ fn parse_sweep_args(args: Vec<String>) -> SweepArgs {
     let mut duration = None;
     let mut warmup = None;
     let mut quick = false;
+    let mut threads = 1usize;
     let mut args = args.into_iter();
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -394,6 +416,16 @@ fn parse_sweep_args(args: Vec<String>) -> SweepArgs {
                         sweep_usage("--progress needs a path (or - for stderr)")
                     }));
             }
+            "--threads" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| sweep_usage("--threads needs a count"));
+                threads = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| sweep_usage(&format!("bad thread count {v:?}")));
+            }
             "--quick" => quick = true,
             "--duration" => {
                 let v = args
@@ -419,6 +451,9 @@ fn parse_sweep_args(args: Vec<String>) -> SweepArgs {
     if quick {
         out.params = dot11_sweep::RunParams::quick();
     }
+    // Per-run worker threads (sharded executor). The runner clamps
+    // jobs × threads to the machine's parallelism.
+    out.params = out.params.with_threads(threads);
     if let Some(d) = duration {
         out.params.duration = d;
         // Keep the default warm-up valid for short explicit durations.

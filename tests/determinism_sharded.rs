@@ -1,0 +1,274 @@
+//! Sharded-executor equivalence: `run_sharded(N)` must be
+//! **byte-identical** to the serial executor, not statistically close.
+//!
+//! The sharded run keeps the event loop serial and fans only the
+//! independent per-receiver physics of each event across workers (see
+//! ARCHITECTURE.md, "Sharded execution"). That argument is structural —
+//! these tests are its teeth:
+//!
+//! * every deterministic field of the report (flow observables, per-node
+//!   MAC/PHY/ARF counters, dispatched-event counts, queue high-water) is
+//!   serialized to JSON and compared as bytes between thread counts;
+//! * topologies cover both sides of the `PAR_MIN_ITEMS` threshold: the
+//!   four-station cells (fan-out 3, parallel sections idle but the pool
+//!   is live) against the committed golden files, and chains/disks
+//!   (fan-out 31–97, every parallel section hot) against a fresh serial
+//!   run;
+//! * thread counts deliberately exceed this machine's cores — worker
+//!   count must never leak into results, only into wall clock.
+
+use desim::SimDuration;
+use dot11_testbed::adhoc::analytic::AccessScheme;
+use dot11_testbed::adhoc::experiments::four_station::{
+    scenario, FourStationLayout, SessionTransport,
+};
+use dot11_testbed::adhoc::experiments::ExpConfig;
+use dot11_testbed::adhoc::{RunReport, Scenario, ScenarioBuilder, Traffic};
+use dot11_testbed::phy::PhyRate;
+
+const SATURATED: Traffic = Traffic::SaturatedUdp {
+    payload_bytes: 512,
+    backlog: 10,
+};
+
+/// Serializes the deterministic layer of a report — everything except
+/// the wall clock — with the same float formatting as the golden suite,
+/// so equal bits produce equal bytes.
+fn report_json(r: &RunReport) -> String {
+    let flows: Vec<String> = r
+        .flows
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"flow\":{},\"delivered_bytes\":{},\"delivered_packets\":{},\
+                 \"offered_packets\":{},\"throughput_kbps\":{},\"loss_rate\":{},\
+                 \"mean_delay_ms\":{},\"max_delay_ms\":{}}}",
+                f.flow.0,
+                f.delivered_bytes,
+                f.delivered_packets,
+                f.offered_packets,
+                f.throughput_kbps,
+                f.loss_rate,
+                f.mean_delay_ms,
+                f.max_delay_ms
+            )
+        })
+        .collect();
+    let nodes: Vec<String> = r
+        .nodes
+        .iter()
+        .map(|n| format!("\"{}\"", format!("{n:?}").replace('"', "'")))
+        .collect();
+    format!(
+        "{{\"flows\":[{}],\"nodes\":[{}],\"events\":{},\"queue_high_water\":{}}}",
+        flows.join(","),
+        nodes.join(","),
+        r.events,
+        r.engine.queue_high_water,
+    )
+}
+
+fn assert_thread_invariant(label: &str, mk: impl Fn() -> Scenario, threads: &[usize]) {
+    let serial = report_json(&mk().with_threads(1).run());
+    for &t in threads {
+        let sharded = report_json(&mk().with_threads(t).run());
+        assert_eq!(
+            serial, sharded,
+            "{label}: threads={t} diverged from the serial schedule"
+        );
+    }
+}
+
+/// A 64-station saturated chain: signal fan-out ~31–50 receivers, so the
+/// scatter, arrival and decode sections all run parallel. Eleven seeds —
+/// the golden suite's 100–110 — at a thread count far above this
+/// machine's cores.
+#[test]
+fn chain64_is_thread_invariant_across_golden_seeds() {
+    for seed in 100..=110u64 {
+        assert_thread_invariant(
+            &format!("chain64 seed {seed}"),
+            || {
+                ScenarioBuilder::new(PhyRate::R2)
+                    .chain(64, 80.0)
+                    .seed(seed)
+                    .duration(SimDuration::from_millis(300))
+                    .warmup(SimDuration::from_millis(50))
+                    .flow(0, 63, SATURATED)
+                    .build()
+            },
+            &[8],
+        );
+    }
+}
+
+/// The 1024-station chain — the scale where many shards per worker and
+/// deep audible slices stress the strided shard→worker assignment.
+#[test]
+fn chain1024_is_thread_invariant() {
+    assert_thread_invariant(
+        "chain1024 seed 3",
+        || {
+            ScenarioBuilder::new(PhyRate::R2)
+                .chain(1024, 80.0)
+                .seed(3)
+                .duration(SimDuration::from_millis(200))
+                .warmup(SimDuration::from_millis(50))
+                .flow(0, 1023, SATURATED)
+                .build()
+        },
+        &[2, 4, 8],
+    );
+}
+
+/// The production-scale random disk (fan-out ~97): an irregular field
+/// where spatial shards have uneven populations, plus three concurrent
+/// flows to interleave independent transmissions.
+#[test]
+fn disk4096_is_thread_invariant() {
+    assert_thread_invariant(
+        "disk4096 seed 3",
+        || {
+            let mut b = ScenarioBuilder::new(PhyRate::R2)
+                .random_disk(4096, 12_000.0, 7)
+                .seed(3)
+                .duration(SimDuration::from_millis(150))
+                .warmup(SimDuration::from_millis(50));
+            for (src, dst) in [(0, 1), (2, 3), (4, 5)] {
+                b = b.flow(src, dst, SATURATED);
+            }
+            b.build()
+        },
+        &[2, 4, 8],
+    );
+}
+
+// --- sharded runs against the committed goldens ---------------------------
+
+const ENGINE_MARKER: &str = ",\"engine\":";
+
+/// Reproduces the golden suite's serialization (tests/golden_equivalence.rs)
+/// so a sharded run can be checked against the committed files directly.
+fn golden_report_json(r: &RunReport) -> String {
+    let flows: Vec<String> = r
+        .flows
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"flow\":{},\"src\":{},\"dst\":{},\"offered_packets\":{},\
+                 \"delivered_bytes\":{},\"delivered_packets\":{},\
+                 \"measured_bytes\":{},\"throughput_kbps\":{},\"loss_rate\":{},\
+                 \"mean_delay_ms\":{},\"max_delay_ms\":{}}}",
+                f.flow.0,
+                f.src.0,
+                f.dst.0,
+                f.offered_packets,
+                f.delivered_bytes,
+                f.delivered_packets,
+                f.measured_bytes,
+                f.throughput_kbps,
+                f.loss_rate,
+                f.mean_delay_ms,
+                f.max_delay_ms
+            )
+        })
+        .collect();
+    let nodes: Vec<String> = r
+        .nodes
+        .iter()
+        .map(|n| format!("\"{}\"", format!("{n:?}").replace('"', "'")))
+        .collect();
+    format!(
+        "{{\"duration_ns\":{},\"warmup_ns\":{},\"flows\":[{}],\"nodes\":[{}]\
+         {ENGINE_MARKER}{{\"events\":{},\"queue_high_water\":{}}}}}\n",
+        r.duration.as_nanos(),
+        r.warmup.as_nanos(),
+        flows.join(","),
+        nodes.join(","),
+        r.events,
+        r.engine.queue_high_water,
+    )
+}
+
+/// The Figure 7 four-station cells run **sharded** must still match the
+/// committed golden files byte for byte, seeds 100–110. (Fan-out 3 keeps
+/// the parallel sections below `PAR_MIN_ITEMS` here — what this pins is
+/// that merely *enabling* the pool, with its shard map and fresh probes,
+/// perturbs nothing.)
+#[test]
+fn sharded_fig7_matches_committed_goldens() {
+    for seed in 100..=110u64 {
+        let cfg = ExpConfig {
+            seed,
+            duration: SimDuration::from_secs(2),
+            warmup: SimDuration::from_millis(250),
+            threads: 8,
+        };
+        let mut actual = String::new();
+        for transport in [SessionTransport::Udp, SessionTransport::Tcp] {
+            for scheme in [AccessScheme::Basic, AccessScheme::RtsCts] {
+                let report = scenario(
+                    cfg,
+                    PhyRate::R11,
+                    FourStationLayout::AsymmetricAt11,
+                    transport,
+                    scheme,
+                )
+                .run();
+                actual.push_str(&golden_report_json(&report));
+            }
+        }
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join(format!("tests/golden/four_station_seed{seed}.json"));
+        let expected = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("golden {} missing: {e}", path.display()));
+        assert_eq!(
+            actual, expected,
+            "sharded fig7 seed {seed} diverged from the committed golden"
+        );
+    }
+}
+
+// --- sharded sweep ---------------------------------------------------------
+
+/// A sweep whose cells run sharded produces the identical report to the
+/// serial sweep — same cell keys (the thread count is excluded from the
+/// cache key by design) and same metrics JSON.
+#[test]
+fn sharded_sweep_matches_serial_sweep() {
+    use dot11_sweep::{run_sweep, RunParams, SweepOptions, SweepScenario, SweepSpec};
+
+    let spec_at = |threads: usize| {
+        SweepSpec::new(RunParams {
+            duration: SimDuration::from_millis(300),
+            warmup: SimDuration::from_millis(100),
+            threads,
+        })
+        .scenario(SweepScenario::Chain {
+            n: 64,
+            spacing_m: 80.0,
+            rate: PhyRate::R2,
+        })
+        .scenarios(SweepScenario::figure(7))
+        .seeds(1..=3)
+    };
+
+    let serial = spec_at(1);
+    let sharded = spec_at(4);
+    // Thread count must not shift cache identity: a warm serial cache
+    // serves a sharded sweep and vice versa.
+    for (a, b) in serial.cells().iter().zip(sharded.cells().iter()) {
+        assert_eq!(a.key(), b.key(), "cell key moved with the thread count");
+    }
+
+    let a = run_sweep(&serial, &SweepOptions::serial()).expect("serial sweep");
+    let b = run_sweep(&sharded, &SweepOptions::with_jobs(2)).expect("sharded sweep");
+    // `deterministic_json` excludes only the engine block (wall clock,
+    // worker telemetry) — every cell metric and group statistic must
+    // agree byte for byte.
+    assert_eq!(
+        a.deterministic_json(),
+        b.deterministic_json(),
+        "sharded sweep cells diverged from serial"
+    );
+}
