@@ -245,6 +245,13 @@ impl Harness {
         let baseline = resolve_repo_path(baseline);
         let text = std::fs::read_to_string(&baseline)
             .unwrap_or_else(|e| panic!("read baseline {}: {e}", baseline.display()));
+        // A gated row missing from the baseline is not an error (machine
+        // width and bench retirement both legitimately drop rows) — but
+        // it must never pass *silently*, or a renamed bench quietly
+        // leaves the gate.
+        for name in missing_from_baseline(&self.records(), &text) {
+            eprintln!("SKIPPED (row missing from baseline): {name}");
+        }
         let regressions = check_against_baseline(&self.records(), &text, self.tolerance_pct);
         if !regressions.is_empty() {
             for r in &regressions {
@@ -299,6 +306,42 @@ pub const GATED_METRICS: [(&str, bool); 4] = [
     // sections stopped pulling their weight.
     ("speedup", false),
 ];
+
+/// Names of run records that carry at least one gated metric (see
+/// [`GATED_METRICS`]) but have no row in the baseline JSON — rows the
+/// regression gate would skip. [`Harness::finish`] logs one explicit
+/// `SKIPPED (row missing from baseline)` line per name. An unparseable
+/// baseline returns the empty list; [`check_against_baseline`] already
+/// reports that case as its own failure.
+pub fn missing_from_baseline(records: &[BenchRecord], baseline_json: &str) -> Vec<String> {
+    let Ok(parsed) = json::parse(baseline_json) else {
+        return Vec::new();
+    };
+    let Some(benches) = parsed
+        .as_object()
+        .and_then(|o| json::get(o, "benches"))
+        .and_then(|b| match b {
+            json::JsonValue::Arr(a) => Some(a),
+            _ => None,
+        })
+    else {
+        return Vec::new();
+    };
+    let baseline_names: Vec<&str> = benches
+        .iter()
+        .filter_map(|e| e.as_object().and_then(|o| json::get_str(o, "name")))
+        .collect();
+    records
+        .iter()
+        .filter(|r| {
+            r.metrics
+                .iter()
+                .any(|(k, _)| GATED_METRICS.iter().any(|&(g, _)| g == k))
+        })
+        .filter(|r| !baseline_names.contains(&r.name.as_str()))
+        .map(|r| r.name.clone())
+        .collect()
+}
 
 /// Compares run records against a committed `BENCH_*.json`: for every
 /// benchmark present in both with a gated metric (see [`GATED_METRICS`]),
@@ -451,6 +494,31 @@ mod tests {
         assert!(check_against_baseline(&[record("new", 9e9)], baseline, 25.0).is_empty());
         // A garbage baseline reports instead of passing silently.
         assert!(!check_against_baseline(&[record("a", 1.0)], "nope", 25.0).is_empty());
+    }
+
+    #[test]
+    fn missing_gated_rows_are_reported_not_silent() {
+        let baseline = "{\"version\":\"dot11-bench/v1\",\"benches\":[\
+             {\"name\":\"a\",\"median_ns\":1,\"min_ns\":1,\"iters\":1,\
+              \"metrics\":{\"ns_per_event\":100.0}}]}";
+        // Present in baseline: not skipped.
+        assert!(missing_from_baseline(&[record("a", 90.0)], baseline).is_empty());
+        // Gated metric, no baseline row: reported by name.
+        assert_eq!(
+            missing_from_baseline(&[record("renamed", 90.0)], baseline),
+            vec!["renamed".to_owned()]
+        );
+        // Ungated records don't clutter the skip list.
+        let ungated = BenchRecord {
+            name: "plain".into(),
+            median_ns: 1,
+            min_ns: 1,
+            iters: 1,
+            metrics: vec![("events".into(), 5.0)],
+        };
+        assert!(missing_from_baseline(&[ungated], baseline).is_empty());
+        // Garbage baselines are check_against_baseline's problem.
+        assert!(missing_from_baseline(&[record("a", 90.0)], "nope").is_empty());
     }
 
     fn speed_record(name: &str, sim_ns_per_wall_ns: f64) -> BenchRecord {

@@ -34,6 +34,7 @@ pub mod analytic;
 pub mod calib;
 pub mod experiments;
 pub mod hash;
+pub mod mobility;
 pub mod node;
 pub mod range;
 pub mod scenario;
@@ -42,10 +43,11 @@ pub mod stats;
 pub mod world;
 
 pub use calib::{calibrated_medium_config, calibrated_path_loss};
+pub use mobility::{MobilityConfig, MovementModel, TracePoint};
 pub use range::{estimate_crossing, LossCurve};
 pub use scenario::{Scenario, ScenarioBuilder, Traffic};
 pub use shard::ShardMap;
-pub use stats::{EngineStats, FlowReport, NodeReport, RunReport, Summary};
+pub use stats::{EngineStats, FlowReport, MobilityStats, NodeReport, RunReport, Summary};
 pub use world::World;
 
 pub use dot11_trace as trace;

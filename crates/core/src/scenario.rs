@@ -28,6 +28,7 @@ use dot11_phy::{DayProfile, NodeId, PathLossModel, PhyRate, Position, RadioConfi
 use dot11_trace::TraceSink;
 
 use crate::calib::{calibrated_dual_slope, calibrated_path_loss};
+use crate::mobility::MobilityConfig;
 use crate::stats::RunReport;
 use crate::world::World;
 
@@ -87,6 +88,7 @@ pub struct Scenario {
     pub(crate) warmup: SimDuration,
     pub(crate) full_fanout: bool,
     pub(crate) threads: usize,
+    pub(crate) mobility: Option<MobilityConfig>,
 }
 
 impl std::fmt::Debug for Scenario {
@@ -109,6 +111,16 @@ impl Scenario {
     /// without re-deriving its geometry or traffic.
     pub fn tune_mac(mut self, f: impl FnOnce(&mut MacConfig)) -> Scenario {
         f(&mut self.mac);
+        self
+    }
+
+    /// Attaches (or replaces) a mobility configuration on an
+    /// already-built scenario — the hook the `repro --mobility` flag uses
+    /// to set the paper's static topologies in motion without
+    /// re-deriving geometry or traffic.
+    pub fn with_mobility(mut self, config: MobilityConfig) -> Scenario {
+        assert!(!config.epoch.is_zero(), "mobility epoch must be positive");
+        self.mobility = Some(config);
         self
     }
 
@@ -229,6 +241,7 @@ impl ScenarioBuilder {
                 warmup: SimDuration::from_secs(1),
                 full_fanout: false,
                 threads: 1,
+                mobility: None,
             },
             next_flow: 0,
         }
@@ -321,6 +334,16 @@ impl ScenarioBuilder {
     /// full-fanout baseline.
     pub fn full_fanout(mut self) -> ScenarioBuilder {
         self.scenario.full_fanout = true;
+        self
+    }
+
+    /// Puts the stations in motion (see [`crate::mobility`]): the world
+    /// commits a topology epoch to the medium every
+    /// [`MobilityConfig::epoch`], updating only the moved stations'
+    /// neighborhoods. Mobile runs are exactly as deterministic as static
+    /// ones — the model draws from its own substream of the run seed.
+    pub fn mobility(mut self, config: MobilityConfig) -> ScenarioBuilder {
+        self.scenario.mobility = Some(config);
         self
     }
 
@@ -464,6 +487,9 @@ impl ScenarioBuilder {
                 f.id
             );
             assert!(f.src != f.dst, "flow {} loops onto its source", f.id);
+        }
+        if let Some(m) = &s.mobility {
+            assert!(!m.epoch.is_zero(), "mobility epoch must be positive");
         }
         self.scenario
     }

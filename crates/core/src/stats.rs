@@ -94,12 +94,14 @@ pub struct EventKindCounts {
     pub cbr_tick: u64,
     /// Warm-up boundary snapshots (one per run).
     pub measure_start: u64,
+    /// Mobility epoch commits (zero on static scenarios).
+    pub topology_update: u64,
 }
 
 impl EventKindCounts {
     /// Every counter with its stable snake_case name, in declaration
     /// order — the single source of truth for JSON emission and tests.
-    pub fn iter_named(&self) -> [(&'static str, u64); 16] {
+    pub fn iter_named(&self) -> [(&'static str, u64); 17] {
         [
             ("flow_start", self.flow_start),
             ("signal_start", self.signal_start),
@@ -117,6 +119,7 @@ impl EventKindCounts {
             ("delack_timer", self.delack_timer),
             ("cbr_tick", self.cbr_tick),
             ("measure_start", self.measure_start),
+            ("topology_update", self.topology_update),
         ]
     }
 
@@ -124,6 +127,48 @@ impl EventKindCounts {
     /// count when every dispatch is classified.
     pub fn total(&self) -> u64 {
         self.iter_named().iter().map(|(_, v)| v).sum()
+    }
+}
+
+/// Link-churn totals over a run's mobility epochs — how much topology
+/// actually changed, and how much link state the incremental epoch path
+/// had to touch to track it. All zero on static scenarios.
+///
+/// Each counter is the sum over epochs of the matching
+/// [`EpochChurn`](dot11_phy::EpochChurn) field. The one `EpochChurn`
+/// field deliberately *not* mirrored here is `compactions`: it reports an
+/// allocation strategy of the incremental path (the rebuild reference
+/// never compacts), and the incremental-vs-rebuild identity suite asserts
+/// whole reports — including these counters — bitwise equal across the
+/// two commit modes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MobilityStats {
+    /// Mobility epochs committed.
+    pub epochs: u64,
+    /// Stations whose position changed, summed over epochs.
+    pub stations_moved: u64,
+    /// Audible slices recomputed (movers' own plus dirty neighbours').
+    pub slices_recomputed: u64,
+    /// Directed links invalidated (a mover at either end).
+    pub links_dirtied: u64,
+    /// Directed links recomputed (dirtied and still audible, plus new).
+    pub links_recomputed: u64,
+    /// Audible-set entries that appeared (links that came into range).
+    pub audible_added: u64,
+    /// Audible-set entries that vanished (links that fell out of range).
+    pub audible_removed: u64,
+}
+
+impl MobilityStats {
+    /// Folds one epoch's churn into the run totals.
+    pub fn accumulate(&mut self, churn: dot11_phy::EpochChurn) {
+        self.epochs += 1;
+        self.stations_moved += churn.moved as u64;
+        self.slices_recomputed += churn.slices_recomputed as u64;
+        self.links_dirtied += churn.links_dirtied as u64;
+        self.links_recomputed += churn.links_recomputed as u64;
+        self.audible_added += churn.audible_added as u64;
+        self.audible_removed += churn.audible_removed as u64;
     }
 }
 
@@ -135,6 +180,8 @@ pub struct EngineStats {
     pub events: u64,
     /// Dispatched events broken down by kind (sums to `events`).
     pub kinds: EventKindCounts,
+    /// Link churn across mobility epochs (all zero on static scenarios).
+    pub mobility: MobilityStats,
     /// Largest number of pending events ever queued at once.
     pub queue_high_water: usize,
     /// Simulated time covered by the run.
@@ -364,6 +411,7 @@ mod tests {
             engine: EngineStats {
                 events: 1234,
                 kinds: EventKindCounts::default(),
+                mobility: MobilityStats::default(),
                 queue_high_water: 7,
                 sim_elapsed: SimDuration::from_secs(10),
                 wall: std::time::Duration::from_millis(20),
@@ -413,10 +461,10 @@ mod tests {
         kinds.measure_start = 1;
         assert_eq!(kinds.total(), 9);
         let named = kinds.iter_named();
-        assert_eq!(named.len(), 16, "every Event kind has a named counter");
+        assert_eq!(named.len(), 17, "every Event kind has a named counter");
         let mut names: Vec<&str> = named.iter().map(|(n, _)| *n).collect();
         names.dedup();
-        assert_eq!(names.len(), 16, "counter names are unique");
+        assert_eq!(names.len(), 17, "counter names are unique");
         assert_eq!(
             named.iter().find(|(n, _)| *n == "mac_backoff_bulk"),
             Some(&("mac_backoff_bulk", 5))
@@ -456,6 +504,7 @@ mod tests {
         let e = EngineStats {
             events: 10,
             kinds: EventKindCounts::default(),
+            mobility: MobilityStats::default(),
             queue_high_water: 1,
             sim_elapsed: SimDuration::from_secs(1),
             wall: std::time::Duration::ZERO,
@@ -483,6 +532,7 @@ mod tests {
         let e = EngineStats {
             events: 2,
             kinds,
+            mobility: MobilityStats::default(),
             queue_high_water: 1,
             sim_elapsed: SimDuration::from_secs(1),
             wall: std::time::Duration::from_nanos(200),

@@ -24,10 +24,13 @@ use dot11_phy::{
 };
 use dot11_trace::{FrameClass, NullSink, RxErrorCause, TraceRecord, TraceSink};
 
+use crate::mobility::MobilityEngine;
 use crate::node::{Node, UdpSink};
 use crate::scenario::{FlowSpec, Scenario, Traffic};
 use crate::shard::ShardMap;
-use crate::stats::{EngineStats, EventKindCounts, FlowReport, NodeReport, RunReport};
+use crate::stats::{
+    EngineStats, EventKindCounts, FlowReport, MobilityStats, NodeReport, RunReport,
+};
 
 fn frame_class(kind: FrameKind) -> FrameClass {
     match kind {
@@ -98,10 +101,15 @@ pub enum Event {
     },
     /// Warm-up over: snapshot delivered-byte counters.
     MeasureStart,
+    /// A mobility epoch boundary: advance the movement model and commit
+    /// the moved stations to the medium (incremental link maintenance).
+    /// Scheduled in the trailing event class so an epoch's topology
+    /// change lands after every ordinary event of the same instant.
+    TopologyUpdate,
 }
 
 /// The profiler's scope table: one scope per [`Event`] kind (indices
-/// `0..16`, matching
+/// `0..17`, matching
 /// [`EventKindCounts::iter_named`](crate::stats::EventKindCounts::iter_named)
 /// order so per-scope counts can be cross-checked against the kind
 /// histogram), then the hot-path phase scopes.
@@ -112,7 +120,7 @@ pub enum Event {
 /// that transmits charges its scatter to both `phase_mac_actions` and
 /// `phase_scatter`), so they explain where kind time goes but do not sum
 /// with it.
-pub const PROBE_SCOPES: [&str; 21] = [
+pub const PROBE_SCOPES: [&str; 22] = [
     "flow_start",
     "signal_start",
     "signal_end",
@@ -129,6 +137,7 @@ pub const PROBE_SCOPES: [&str; 21] = [
     "delack_timer",
     "cbr_tick",
     "measure_start",
+    "topology_update",
     "phase_scatter",
     "phase_arrival_scan",
     "phase_ber_eval",
@@ -137,12 +146,12 @@ pub const PROBE_SCOPES: [&str; 21] = [
 ];
 
 /// Phase-scope indices into [`PROBE_SCOPES`] (the kind scopes occupy
-/// `0..16`).
-const SCOPE_SCATTER: usize = 16;
-const SCOPE_ARRIVAL_SCAN: usize = 17;
-const SCOPE_BER_EVAL: usize = 18;
-const SCOPE_MAC_ACTIONS: usize = 19;
-const SCOPE_RESPONSE_BUILD: usize = 20;
+/// `0..17`).
+const SCOPE_SCATTER: usize = 17;
+const SCOPE_ARRIVAL_SCAN: usize = 18;
+const SCOPE_BER_EVAL: usize = 19;
+const SCOPE_MAC_ACTIONS: usize = 20;
+const SCOPE_RESPONSE_BUILD: usize = 21;
 
 /// Dense per-station timer-slot count: one slot per [`TimerKind`].
 const MAC_TIMER_SLOTS: usize = 8;
@@ -283,6 +292,13 @@ pub struct World<S: TraceSink + Clone = NullSink, P: Probe = NoProbe> {
     packet_scratch: Vec<Packet>,
     /// Dispatched events broken down by kind.
     kind_counts: EventKindCounts,
+    /// The movement model plus its epoch period and commit mode
+    /// (`Some` only on mobile scenarios).
+    mobility: Option<(MobilityEngine, SimDuration, bool)>,
+    /// Link churn accumulated over the run's mobility epochs.
+    mobility_stats: MobilityStats,
+    /// Recycled per-epoch move buffer.
+    move_scratch: Vec<(NodeId, dot11_phy::Position)>,
     /// Sharded-executor state; `Some` only inside
     /// [`World::run_sharded`], which guarantees `S: Send + Sync` and
     /// `P: Send` before constructing it (the parallel handlers move node
@@ -323,6 +339,7 @@ impl<S: TraceSink + Clone, P: Probe> World<S, P> {
             warmup,
             full_fanout,
             threads: _,
+            mobility,
         } = scenario;
         let master = SimRng::from_seed(seed);
         let shadowing = Shadowing::new(day.clone(), master.substream(b"shadowing"));
@@ -379,6 +396,14 @@ impl<S: TraceSink + Clone, P: Probe> World<S, P> {
             sim.schedule_at(SimTime::ZERO + f.start, Event::FlowStart { flow: f.id });
         }
         sim.schedule_at(SimTime::ZERO + warmup, Event::MeasureStart);
+        // Mobile scenario: build the movement engine over its dedicated
+        // substream and arm the first epoch. Trailing class: an epoch's
+        // topology change follows every ordinary event of its instant.
+        let mobility = mobility.map(|m| {
+            let engine = MobilityEngine::new(&m, &positions, &master.substream(b"mobility"));
+            sim.schedule_in_trailing(m.epoch, Event::TopologyUpdate);
+            (engine, m.epoch, m.rebuild_epochs)
+        });
         // Pre-warm the delivery pool: at most one in-flight transmission
         // per station (a keyed-up radio cannot start another), each
         // scattering to at most max_audible_count() receivers — the
@@ -413,6 +438,9 @@ impl<S: TraceSink + Clone, P: Probe> World<S, P> {
             delivery_pool,
             packet_scratch: Vec::new(),
             kind_counts: EventKindCounts::default(),
+            mobility,
+            mobility_stats: MobilityStats::default(),
+            move_scratch: Vec::new(),
             par: None,
         };
         world.install_endpoints();
@@ -568,6 +596,7 @@ impl<S: TraceSink + Clone, P: Probe> World<S, P> {
             Event::DelackTimer { .. } => 13,
             Event::CbrTick { .. } => 14,
             Event::MeasureStart => 15,
+            Event::TopologyUpdate => 16,
         }
     }
 
@@ -593,6 +622,7 @@ impl<S: TraceSink + Clone, P: Probe> World<S, P> {
             Event::DelackTimer { .. } => k.delack_timer += 1,
             Event::CbrTick { .. } => k.cbr_tick += 1,
             Event::MeasureStart => k.measure_start += 1,
+            Event::TopologyUpdate => k.topology_update += 1,
         }
     }
 
@@ -645,7 +675,49 @@ impl<S: TraceSink + Clone, P: Probe> World<S, P> {
                     self.snapshot.insert(f.id, bytes);
                 }
             }
+            Event::TopologyUpdate => self.on_topology_update(now),
         }
+    }
+
+    /// One mobility epoch: advance the movement model to `now`, commit
+    /// the moved stations to the medium (incrementally, or by full
+    /// rebuild when the scenario asked for the reference mode), re-bin
+    /// the spatial shard map if the sharded executor is live, and arm the
+    /// next epoch.
+    ///
+    /// Carrier-locked receivers are unaffected on purpose: an in-flight
+    /// transmission sampled its per-receiver powers at launch (the
+    /// block-fading assumption every signal already follows), so a move
+    /// mid-flight changes only *future* transmissions — which is exactly
+    /// what the epoch commit invalidates.
+    fn on_topology_update(&mut self, now: SimTime) {
+        let (mut engine, epoch, rebuild) = self.mobility.take().expect("mobile scenario");
+        let mut moves = std::mem::take(&mut self.move_scratch);
+        moves.clear();
+        engine.advance(
+            now.saturating_duration_since(SimTime::ZERO),
+            self.medium.positions(),
+            &mut moves,
+        );
+        let churn = if rebuild {
+            self.medium.commit_epoch_rebuild(&moves)
+        } else {
+            self.medium.commit_epoch(&moves)
+        };
+        self.mobility_stats.accumulate(churn);
+        if churn.moved > 0 {
+            if let Some(par) = self.par.as_mut() {
+                // Re-bin the spatial shards: worker affinity should keep
+                // following the geometry (pure function of positions, so
+                // this does not perturb the schedule — only which lane
+                // does which receiver's prework).
+                let threads = par.pool.threads();
+                par.shard_of = ShardMap::spatial(&self.medium, threads * 4).into_assignment();
+            }
+        }
+        self.move_scratch = moves;
+        self.mobility = Some((engine, epoch, rebuild));
+        self.sim.schedule_in_trailing(epoch, Event::TopologyUpdate);
     }
 
     // --- traffic ---------------------------------------------------------
@@ -1366,6 +1438,7 @@ impl<S: TraceSink + Clone, P: Probe> World<S, P> {
             engine: EngineStats {
                 events: self.sim.events_dispatched(),
                 kinds: self.kind_counts,
+                mobility: self.mobility_stats,
                 queue_high_water: self.sim.queue_high_water(),
                 // The accounted horizon (same `end` the airtime ledgers
                 // fold to), not the last event's timestamp: how far the

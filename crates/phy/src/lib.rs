@@ -49,8 +49,8 @@ pub mod units;
 
 pub use ber::{ber, packet_success_prob, Modulation};
 pub use medium::{
-    CullPolicy, FrontierReport, Medium, MediumConfig, ScatterJob, ScatterView, TxId, TxSignal,
-    CULL_MARGIN_DB,
+    CullPolicy, EpochChurn, FrontierReport, Medium, MediumConfig, ScatterJob, ScatterView, TxId,
+    TxSignal, CULL_MARGIN_DB,
 };
 pub use pathloss::{DualSlope, FreeSpace, LogDistance, PathLoss, PathLossModel, TwoRayGround};
 pub use plcp::{FrameAirtime, Preamble};

@@ -137,11 +137,16 @@ impl Default for DayProfile {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct LinkState {
+pub(crate) struct LinkState {
     at: SimTime,
     slow_db: f64,
     fast_db: f64,
 }
+
+/// One dense-store cell: the link's AR(1)/slow state plus its private
+/// substream, or `None` before first sample. [`crate::Medium`]'s epoch
+/// commit relocates these wholesale when the CSR layout changes.
+pub(crate) type SlotEntry = Option<(LinkState, SimRng)>;
 
 /// Initializes the state for the directed link `tx → rx`: derive the
 /// link's substream from the 15-byte `"shadow/" + tx + rx` label and draw
@@ -428,6 +433,78 @@ impl Shadowing {
         )
     }
 
+    // ---- epoch-commit support (crate-internal) ----------------------
+    //
+    // [`crate::Medium::commit_epoch`] relocates surviving link state when
+    // the CSR layout changes and drops state whose endpoint moved. All of
+    // this is mechanical slot surgery: the per-link process itself (the
+    // substream label, the slow-then-fast draw order, the AR(1) advance)
+    // is untouched, and `init_link_state` is a pure function of
+    // `(master, tx, rx)` — which together are what make an incremental
+    // epoch bitwise-identical to a from-scratch rebuild.
+
+    /// Removes and returns the state of dense slot `slot`.
+    pub(crate) fn take_slot(&mut self, slot: usize) -> SlotEntry {
+        self.slots[slot].take()
+    }
+
+    /// Installs `entry` at dense slot `slot` (used to relocate a
+    /// surviving link's state to its new CSR slot).
+    pub(crate) fn put_slot(&mut self, slot: usize, entry: SlotEntry) {
+        self.slots[slot] = entry;
+    }
+
+    /// Drops the state of dense slot `slot`: the next sample re-derives
+    /// it from the master stream exactly as a fresh construction would.
+    pub(crate) fn clear_slot(&mut self, slot: usize) {
+        self.slots[slot] = None;
+    }
+
+    /// Rebuilds the dense store at `new_len` slots, relocating each
+    /// `(from, to)` entry of `moves` and dropping everything else.
+    /// Destination slots must be distinct.
+    pub(crate) fn remap_slots(&mut self, new_len: usize, moves: &[(u32, u32)]) {
+        let mut old = std::mem::take(&mut self.slots);
+        let mut slots: Vec<SlotEntry> = Vec::new();
+        slots.resize_with(new_len, || None);
+        for &(from, to) in moves {
+            slots[to as usize] = old[from as usize].take();
+        }
+        self.slots = slots;
+    }
+
+    /// Drops every HashMap-backed link whose endpoint is flagged in
+    /// `moved` (indexed by station id; out-of-range ids — probe pairs
+    /// tests invent — count as unmoved).
+    pub(crate) fn retain_unmoved_links(&mut self, moved: &[bool]) {
+        self.links.retain(|&(a, b), _| {
+            !moved.get(a.index()).copied().unwrap_or(false)
+                && !moved.get(b.index()).copied().unwrap_or(false)
+        });
+    }
+
+    /// Moves every HashMap-backed link of `other` into `self` (the
+    /// rebuild reference path transplants surviving fallback state into
+    /// the freshly constructed process).
+    pub(crate) fn adopt_links_from(&mut self, other: &mut Shadowing) {
+        self.links.extend(other.links.drain());
+    }
+
+    /// A fresh process with the same profile and (already-salted) master
+    /// stream but no link state — what a from-scratch reconstruction of
+    /// the owning `Medium` starts from. Cloning the master directly is
+    /// deliberate: `Shadowing::new` already applied the profile salt, so
+    /// re-deriving through it would double-salt the stream.
+    pub(crate) fn fresh_like(&self) -> Shadowing {
+        Shadowing {
+            profile: self.profile.clone(),
+            master: self.master.clone(),
+            links: HashMap::new(),
+            slots: Vec::new(),
+            ar1_memo: Ar1Memo::new(),
+        }
+    }
+
     /// A `Send + Sync` view over the dense slot store for parallel
     /// scatter. Takes `&mut self` so no other access can overlap the
     /// borrow; disjointness *between* the view's concurrent users is
@@ -506,6 +583,62 @@ mod tests {
                     .to_bits()
             );
         }
+    }
+
+    /// Epoch commits shuffle link state between dense slots; none of the
+    /// surgery primitives may fork a link's random trajectory, and a
+    /// cleared slot must re-derive bitwise the state a fresh process
+    /// would create (the RNG-substream invariance the incremental
+    /// mobility path rests on).
+    #[test]
+    fn relocated_slot_state_continues_the_same_trajectory() {
+        let mut a = process(DayProfile::clear(), 42);
+        let mut b = process(DayProfile::clear(), 42);
+        a.reserve_slots(8);
+        b.reserve_slots(8);
+        for k in 0..20u64 {
+            let t = SimTime::from_millis(k * 11 + 3);
+            assert_eq!(
+                a.sample_slot(1, NodeId(4), NodeId(6), Meters(90.0), t)
+                    .0
+                    .to_bits(),
+                b.sample_slot(1, NodeId(4), NodeId(6), Meters(90.0), t)
+                    .0
+                    .to_bits()
+            );
+        }
+        // Relocate the link's state to a different slot (as an in-place
+        // epoch splice does) …
+        let entry = b.take_slot(1);
+        b.put_slot(5, entry);
+        // … then via a full remap to a larger store (as a compaction does).
+        b.remap_slots(16, &[(5, 7)]);
+        for k in 20..40u64 {
+            let t = SimTime::from_millis(k * 11 + 3);
+            assert_eq!(
+                a.sample_slot(1, NodeId(4), NodeId(6), Meters(90.0), t)
+                    .0
+                    .to_bits(),
+                b.sample_slot(7, NodeId(4), NodeId(6), Meters(90.0), t)
+                    .0
+                    .to_bits(),
+                "relocation must not fork the trajectory"
+            );
+        }
+        // A cleared slot re-derives from the master: bitwise the state a
+        // fresh process would create for the same directed pair.
+        let mut c = process(DayProfile::clear(), 42);
+        c.reserve_slots(1);
+        b.clear_slot(7);
+        let t = SimTime::from_secs(9);
+        assert_eq!(
+            b.sample_slot(7, NodeId(4), NodeId(6), Meters(90.0), t)
+                .0
+                .to_bits(),
+            c.sample_slot(0, NodeId(4), NodeId(6), Meters(90.0), t)
+                .0
+                .to_bits()
+        );
     }
 
     /// The parallel view must realize the exact same per-link process as

@@ -33,8 +33,11 @@ use crate::spec::{CellKey, CellSpec};
 /// the `chan_util`/`tx_util` airtime fractions, which v2 files lack;
 /// v3 → v4: cell keys and group labels picked up the MAC axis —
 /// policy/CW/retry/slot — so pre-axis entries must not serve axis-aware
-/// lookups).
-const FORMAT: &str = "dot11-sweep/v4";
+/// lookups; v4 → v5: mobile recipes entered the scenario space and the
+/// epoch-versioned medium landed — static results are bit-identical, but
+/// the key space is re-salted in lockstep so the two version tags never
+/// drift apart).
+const FORMAT: &str = "dot11-sweep/v5";
 
 /// A directory of cached cell results (see module docs).
 #[derive(Debug, Clone)]

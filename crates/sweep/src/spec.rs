@@ -11,7 +11,7 @@ use dot11_adhoc::analytic::AccessScheme;
 use dot11_adhoc::experiments::four_station::{self, FourStationLayout, SessionTransport};
 use dot11_adhoc::experiments::{hidden, ExpConfig};
 use dot11_adhoc::hash::StableHasher;
-use dot11_adhoc::{Scenario, ScenarioBuilder, Traffic};
+use dot11_adhoc::{MobilityConfig, Scenario, ScenarioBuilder, Traffic};
 use dot11_mac::{BackoffConfig, MacConfig};
 use dot11_phy::PhyRate;
 
@@ -78,6 +78,26 @@ pub enum SweepScenario {
         topo_seed: u64,
         /// NIC data rate.
         rate: PhyRate,
+    },
+    /// Mobile large topology: a [`SweepScenario::RandomDisk`] field whose
+    /// stations walk the random-waypoint model (PR 10's mobility family).
+    /// Epoch commits re-derive only the moved stations' link state; the
+    /// run report is bitwise-independent of the incremental-vs-rebuild
+    /// commit mode, so neither the mode nor the thread count enters the
+    /// cell key.
+    MobileDisk {
+        /// Number of stations (≥ 6).
+        n: u32,
+        /// Disk radius, meters.
+        radius_m: f64,
+        /// Seed of the dedicated topology stream.
+        topo_seed: u64,
+        /// NIC data rate.
+        rate: PhyRate,
+        /// Random-waypoint walking speed, m/s.
+        speed_mps: f64,
+        /// Mobility epoch — the interval between link-state commits, ms.
+        epoch_ms: u32,
     },
     /// The hidden-terminal triple: two mutually inaudible saturated
     /// senders aimed at one middle receiver
@@ -175,6 +195,22 @@ impl SweepScenario {
                 topo_seed,
                 rate_kbps(rate)
             ),
+            SweepScenario::MobileDisk {
+                n,
+                radius_m,
+                topo_seed,
+                rate,
+                speed_mps,
+                epoch_ms,
+            } => format!(
+                "mobile-disk/{}@{}m/t{}/v{}mps/e{}ms/{}k/udp",
+                n,
+                radius_m,
+                topo_seed,
+                speed_mps,
+                epoch_ms,
+                rate_kbps(rate)
+            ),
             SweepScenario::HiddenTriple {
                 rate,
                 scheme,
@@ -244,6 +280,22 @@ impl SweepScenario {
                 h.write_f64(radius_m);
                 h.write_u64(topo_seed);
                 h.write_u32(rate_kbps(rate));
+            }
+            SweepScenario::MobileDisk {
+                n,
+                radius_m,
+                topo_seed,
+                rate,
+                speed_mps,
+                epoch_ms,
+            } => {
+                h.write_str("mobile_disk");
+                h.write_u32(n);
+                h.write_f64(radius_m);
+                h.write_u64(topo_seed);
+                h.write_u32(rate_kbps(rate));
+                h.write_f64(speed_mps);
+                h.write_u32(epoch_ms);
             }
             SweepScenario::HiddenTriple {
                 rate,
@@ -358,6 +410,36 @@ impl SweepScenario {
                 }
                 b.build()
             }
+            SweepScenario::MobileDisk {
+                n,
+                radius_m,
+                topo_seed,
+                rate,
+                speed_mps,
+                epoch_ms,
+            } => {
+                assert!(n >= 6, "mobile_disk needs ≥ 6 stations for its flows");
+                let mut b = ScenarioBuilder::new(rate)
+                    .random_disk(n, radius_m, topo_seed)
+                    .seed(seed)
+                    .duration(params.duration)
+                    .warmup(params.warmup)
+                    .mobility(
+                        MobilityConfig::waypoint(speed_mps)
+                            .with_epoch(SimDuration::from_millis(epoch_ms as u64)),
+                    );
+                for (src, dst) in [(0, 1), (2, 3), (4, 5)] {
+                    b = b.flow(
+                        src,
+                        dst,
+                        Traffic::SaturatedUdp {
+                            payload_bytes: 512,
+                            backlog: 10,
+                        },
+                    );
+                }
+                b.build()
+            }
             SweepScenario::HiddenTriple {
                 rate,
                 scheme,
@@ -400,6 +482,23 @@ impl SweepScenario {
             }
         }
         v
+    }
+
+    /// The canonical mobile cell: 64 stations random-waypoint walking at
+    /// `speed_mps` on a 120 m disk — the disk20 scale, where
+    /// single-hop flows actually deliver at the calibrated 2 Mb/s data
+    /// range (topology stream 7, 2 Mb/s, 250 ms
+    /// epochs). The `repro --group mobile-disk64` family sweeps this
+    /// recipe over a speed ladder.
+    pub fn mobile_disk64(speed_mps: f64) -> SweepScenario {
+        SweepScenario::MobileDisk {
+            n: 64,
+            radius_m: 120.0,
+            topo_seed: 7,
+            rate: PhyRate::R2,
+            speed_mps,
+            epoch_ms: 250,
+        }
     }
 
     /// The hidden-terminal pair of cells — basic access (collapse) and
@@ -604,10 +703,10 @@ impl CellSpec {
     /// The cell's content hash over (format version, scenario, MAC axis,
     /// seed, params). The version tag is bumped whenever the *meaning*
     /// of a cached result changes, invalidating old cache dirs
-    /// wholesale; `v4` added the MAC axis.
+    /// wholesale; `v4` added the MAC axis, `v5` the mobility recipes.
     pub fn key(&self) -> CellKey {
         let mut h = StableHasher::new();
-        h.write_str("dot11-sweep/v4");
+        h.write_str("dot11-sweep/v5");
         self.scenario.encode(&mut h);
         self.mac.encode(&mut h);
         h.write_u64(self.seed);
@@ -973,6 +1072,10 @@ mod tests {
                 },
                 "disk/20@120m/t7/2000k/udp",
             ),
+            (
+                SweepScenario::mobile_disk64(20.0),
+                "mobile-disk/64@120m/t7/v20mps/e250ms/2000k/udp",
+            ),
         ];
         for (scenario, name) in cases {
             assert_eq!(scenario.name(), name);
@@ -1022,6 +1125,32 @@ mod tests {
                 radius_m: 80.0,
                 topo_seed: 2,
                 rate: PhyRate::R2,
+            },
+            // The same field, mobile — and each mobility dimension keys
+            // apart too.
+            SweepScenario::MobileDisk {
+                n: 16,
+                radius_m: 80.0,
+                topo_seed: 2,
+                rate: PhyRate::R2,
+                speed_mps: 10.0,
+                epoch_ms: 250,
+            },
+            SweepScenario::MobileDisk {
+                n: 16,
+                radius_m: 80.0,
+                topo_seed: 2,
+                rate: PhyRate::R2,
+                speed_mps: 20.0,
+                epoch_ms: 250,
+            },
+            SweepScenario::MobileDisk {
+                n: 16,
+                radius_m: 80.0,
+                topo_seed: 2,
+                rate: PhyRate::R2,
+                speed_mps: 10.0,
+                epoch_ms: 100,
             },
         ];
         let keys: Vec<_> = variants
@@ -1073,5 +1202,20 @@ mod tests {
                 "disk flow {flow} starved"
             );
         }
+        // A mobile disk commits epochs and still moves packets.
+        let mobile = SweepScenario::MobileDisk {
+            n: 6,
+            radius_m: 40.0,
+            topo_seed: 3,
+            rate: PhyRate::R2,
+            speed_mps: 15.0,
+            epoch_ms: 100,
+        };
+        let report = mobile.build(params, 5).run();
+        assert!(report.engine.mobility.epochs > 0, "no epochs committed");
+        assert!(
+            report.flow(dot11_net::FlowId(0)).delivered_packets > 0,
+            "mobile disk flow 0 starved"
+        );
     }
 }

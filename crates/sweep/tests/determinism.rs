@@ -19,17 +19,19 @@ use dot11_sweep::{
     run_sweep, CellSpec, MacAxis, RunParams, SweepOptions, SweepScenario, SweepSpec,
 };
 
-/// PR 7's MAC axis entered every key (`dot11-sweep/v1` → `v4`, matching
-/// the cache-entry format), so every golden below was deliberately
-/// re-pinned then; the identity axis keeps the *labels* unchanged.
+/// PR 7's MAC axis entered every key (`dot11-sweep/v1` → `v4`) and PR
+/// 10's mobility recipes re-salted the space again (`v4` → `v5`,
+/// matching the cache-entry format), so every golden below was
+/// deliberately re-pinned at each bump; the labels are unchanged
+/// throughout.
 #[test]
 fn cell_keys_are_golden() {
     let full = RunParams::full();
     let expected = [
-        ("four_station/asym11/11000k/udp/basic", "95b12622b972ff55"),
-        ("four_station/asym11/11000k/udp/rts", "4677cf32d2190e1c"),
-        ("four_station/asym11/11000k/tcp/basic", "0e8b525fd7c6a2b9"),
-        ("four_station/asym11/11000k/tcp/rts", "264a3c5adf7d1d30"),
+        ("four_station/asym11/11000k/udp/basic", "18b6ee39e5080f48"),
+        ("four_station/asym11/11000k/udp/rts", "bca147e70c6dd6d9"),
+        ("four_station/asym11/11000k/tcp/basic", "3d596780d0eef8e0"),
+        ("four_station/asym11/11000k/tcp/rts", "e0e9a305de37c761"),
     ];
     for (scenario, (label, key)) in SweepScenario::figure(7).into_iter().zip(expected) {
         let cell = CellSpec {
@@ -60,7 +62,7 @@ fn cell_keys_are_golden() {
             threads: 1,
         },
     };
-    assert_eq!(two.key().to_string(), "4f6480d8c06ac321");
+    assert_eq!(two.key().to_string(), "1040f6d12c452992");
 }
 
 /// The PR 7 additions hash to stable keys as well: the hidden-terminal
@@ -84,9 +86,9 @@ fn mac_axis_and_hidden_triple_keys_are_golden() {
         })
         .collect();
     assert_eq!(hidden[0].group_label(), "hidden3/512B/2000k/udp/basic");
-    assert_eq!(hidden[0].key().to_string(), "8db82d0c01a3d2f6");
+    assert_eq!(hidden[0].key().to_string(), "0bbca52583b6f9bb");
     assert_eq!(hidden[1].group_label(), "hidden3/512B/2000k/udp/rts");
-    assert_eq!(hidden[1].key().to_string(), "17e65660a8e4b153");
+    assert_eq!(hidden[1].key().to_string(), "1d747a32e1e98376");
 
     let base = CellSpec {
         scenario: SweepScenario::figure(7)[0],
@@ -105,7 +107,7 @@ fn mac_axis_and_hidden_triple_keys_are_golden() {
         cw8.group_label(),
         "four_station/asym11/11000k/udp/basic@cw8-1024"
     );
-    assert_eq!(cw8.key().to_string(), "012f76512701779c");
+    assert_eq!(cw8.key().to_string(), "b25cb8c28c218a3d");
     let fixed = CellSpec {
         mac: MacAxis {
             policy: BackoffConfig::FixedCw(64),
@@ -117,11 +119,12 @@ fn mac_axis_and_hidden_triple_keys_are_golden() {
         fixed.group_label(),
         "four_station/asym11/11000k/udp/basic@fixed64"
     );
-    assert_eq!(fixed.key().to_string(), "99029346137a8d31");
+    assert_eq!(fixed.key().to_string(), "a787c091c319be58");
 }
 
-/// The large-topology recipes added in PR 5 hash to stable keys too
-/// (re-pinned at the v4 bump like everything else; labels unchanged).
+/// The large-topology recipes added in PR 5 — and PR 10's mobile disk —
+/// hash to stable keys too (re-pinned at the v5 bump like everything
+/// else; labels unchanged).
 #[test]
 fn large_topology_cell_keys_are_golden() {
     let params = RunParams {
@@ -137,7 +140,7 @@ fn large_topology_cell_keys_are_golden() {
                 rate: PhyRate::R2,
             },
             "chain/16x80m/2000k/udp",
-            "6f74650b9d5ba77d",
+            "2b98d9024c7013e6",
         ),
         (
             SweepScenario::Chain {
@@ -146,7 +149,7 @@ fn large_topology_cell_keys_are_golden() {
                 rate: PhyRate::R2,
             },
             "chain/64x80m/2000k/udp",
-            "62f7e976241ad84d",
+            "4d575701cb68b2f6",
         ),
         (
             SweepScenario::Grid {
@@ -156,7 +159,7 @@ fn large_topology_cell_keys_are_golden() {
                 rate: PhyRate::R2,
             },
             "grid/4x4x80m/2000k/udp",
-            "73f9d77a0afcf81f",
+            "fd45cba009f3183e",
         ),
         (
             SweepScenario::RandomDisk {
@@ -166,7 +169,12 @@ fn large_topology_cell_keys_are_golden() {
                 rate: PhyRate::R2,
             },
             "disk/20@120m/t7/2000k/udp",
-            "cd523d85f53529f0",
+            "0a8bcc26db81fedf",
+        ),
+        (
+            SweepScenario::mobile_disk64(20.0),
+            "mobile-disk/64@120m/t7/v20mps/e250ms/2000k/udp",
+            "5c31812870056ea0",
         ),
     ];
     for (scenario, label, key) in expected {
@@ -217,6 +225,47 @@ fn chain16_sweep_is_deterministic_and_caches() {
     );
     let warm = run_sweep(&spec, &opts).expect("warm chain sweep");
     assert_eq!(warm.engine.simulated, 0);
+    assert_eq!(warm.engine.cached, 2);
+    assert_eq!(warm.deterministic_json(), serial.deterministic_json());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The mobile disk honours the same contracts: epoch-committing cells
+/// are byte-identical across worker counts, cache byte-identically, and
+/// a warm re-run simulates zero worlds — mobility state never leaks
+/// into the cache bytes.
+#[test]
+fn mobile_disk_sweep_is_deterministic_and_caches() {
+    let spec = SweepSpec::new(RunParams {
+        duration: SimDuration::from_millis(400),
+        warmup: SimDuration::from_millis(100),
+        threads: 1,
+    })
+    .scenario(SweepScenario::MobileDisk {
+        n: 12,
+        radius_m: 1_500.0,
+        topo_seed: 7,
+        rate: PhyRate::R2,
+        speed_mps: 30.0,
+        epoch_ms: 100,
+    })
+    .seeds(1..=2);
+    let dir = fresh_dir("mobiledisk");
+    let serial = run_sweep(&spec, &SweepOptions::serial()).expect("serial mobile sweep");
+    let opts = SweepOptions {
+        jobs: 8,
+        cache_dir: Some(dir.clone()),
+        progress: None,
+    };
+    let parallel = run_sweep(&spec, &opts).expect("parallel mobile sweep");
+    assert_eq!(parallel.engine.simulated, 2);
+    assert_eq!(
+        serial.deterministic_json(),
+        parallel.deterministic_json(),
+        "mobile-disk report depends on the worker count"
+    );
+    let warm = run_sweep(&spec, &opts).expect("warm mobile sweep");
+    assert_eq!(warm.engine.simulated, 0, "warm cache must skip every cell");
     assert_eq!(warm.engine.cached, 2);
     assert_eq!(warm.deterministic_json(), serial.deterministic_json());
     std::fs::remove_dir_all(&dir).ok();

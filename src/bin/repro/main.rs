@@ -13,6 +13,11 @@
 //!   UDP/basic-access cell (one JSON object per MAC/PHY/TCP event).
 //! * `--threads N` — worker threads per simulation run (sharded
 //!   executor; results are byte-identical to serial).
+//! * `--mobility waypoint:speed=S[,epoch=E]` or
+//!   `--mobility trace:file=PATH[,epoch=E]` — set the four-station
+//!   figures' stations in motion (random waypoint at `S` m/s, or
+//!   piecewise-linear playback of a `seconds node x y` trace file); the
+//!   JSON `engine` objects then carry per-run link-churn counters.
 //!
 //! Output sections are numbered after the paper's artifacts.
 //!
@@ -58,6 +63,10 @@ struct Opts {
     json: Option<String>,
     metrics: SimDuration,
     threads: usize,
+    /// `--mobility` raw spec + parsed config: sets the four-station
+    /// figures' stations in motion (off by default, so the static
+    /// outputs stay byte-identical).
+    mobility: Option<(String, dot11_adhoc::MobilityConfig)>,
 }
 
 fn parse_args() -> Opts {
@@ -67,6 +76,7 @@ fn parse_args() -> Opts {
         json: None,
         metrics: SimDuration::from_secs(1),
         threads: 1,
+        mobility: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -96,6 +106,12 @@ fn parse_args() -> Opts {
                     usage(&format!("bad interval {v:?} (try 1s, 500ms, 250us)"))
                 });
             }
+            "--mobility" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--mobility needs a model spec"));
+                opts.mobility = Some((v.clone(), parse_mobility(&v)));
+            }
             other => usage(&format!("unknown flag {other:?}")),
         }
     }
@@ -106,9 +122,73 @@ fn usage(msg: &str) -> ! {
     eprintln!("repro: {msg}");
     eprintln!(
         "usage: repro [--quick] [--threads N] [--json <path>] [--metrics <interval>] \
-         [--trace <path>]"
+         [--trace <path>] [--mobility waypoint:speed=S[,epoch=E] | trace:file=PATH[,epoch=E]]"
     );
     std::process::exit(2);
+}
+
+/// Parses a `--mobility` spec: `waypoint:speed=50[,epoch=250ms]` (random
+/// waypoint on the topology's bounding disk at `speed` m/s) or
+/// `trace:file=walk.txt[,epoch=100ms]` (piecewise-linear playback of a
+/// `seconds node x y` trace file). Exits with usage on any malformed
+/// spec so a typo never silently runs static.
+fn parse_mobility(spec: &str) -> dot11_adhoc::MobilityConfig {
+    use dot11_adhoc::mobility::parse_trace;
+    use dot11_adhoc::MobilityConfig;
+    let (kind, rest) = spec.split_once(':').unwrap_or((spec, ""));
+    let mut speed = None;
+    let mut file = None;
+    let mut epoch = None;
+    for part in rest.split(',').filter(|p| !p.is_empty()) {
+        let Some((k, v)) = part.split_once('=') else {
+            usage(&format!(
+                "bad --mobility parameter {part:?} (want key=value)"
+            ));
+        };
+        match k {
+            "speed" => {
+                speed = Some(
+                    v.parse::<f64>()
+                        .ok()
+                        .filter(|s| s.is_finite() && *s > 0.0)
+                        .unwrap_or_else(|| usage(&format!("bad --mobility speed {v:?}"))),
+                )
+            }
+            "file" => file = Some(v.to_owned()),
+            "epoch" => {
+                epoch = Some(
+                    parse_interval(v)
+                        .unwrap_or_else(|| usage(&format!("bad --mobility epoch {v:?}"))),
+                )
+            }
+            other => usage(&format!(
+                "unknown --mobility key {other:?} (try speed, file, epoch)"
+            )),
+        }
+    }
+    let mut config = match kind {
+        "waypoint" => MobilityConfig::waypoint(
+            speed.unwrap_or_else(|| usage("--mobility waypoint needs speed=<m/s>")),
+        ),
+        "trace" => {
+            let path = file.unwrap_or_else(|| usage("--mobility trace needs file=<path>"));
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("repro: reading mobility trace {path}: {e}");
+                std::process::exit(1);
+            });
+            MobilityConfig::trace(
+                parse_trace(&text)
+                    .unwrap_or_else(|e| usage(&format!("mobility trace {path}: {e}"))),
+            )
+        }
+        other => usage(&format!(
+            "unknown mobility model {other:?} (try waypoint, trace)"
+        )),
+    };
+    if let Some(e) = epoch {
+        config = config.with_epoch(e);
+    }
+    config
 }
 
 /// Parses `1s` / `500ms` / `250us` / `100ns` (a bare number means
@@ -165,20 +245,27 @@ fn main() {
     print_figure3(cfg);
     print_figure4(cfg);
     print_table3(cfg);
-    if opts.json.is_some() {
+    if opts.json.is_some() || opts.mobility.is_some() {
         // Instrumented path: rerun each four-station cell with an
         // interval-metrics sink so the JSON report carries the
         // throughput-vs-time series next to the headline numbers.
-        let figures = run_instrumented_figures(cfg, opts.metrics);
+        // `--mobility` rides the same path so its churn counters land in
+        // the JSON `engine` objects.
+        if let Some((spec, _)) = &opts.mobility {
+            println!("Mobility: {spec} (four-station figures run with stations in motion)\n");
+        }
+        let mobility = opts.mobility.as_ref().map(|(_, m)| m);
+        let figures = run_instrumented_figures(cfg, opts.metrics, mobility);
         for f in &figures {
             print_four_station(f.title, f.cells.iter().map(|c| c.cell).collect());
         }
-        let path = opts.json.as_deref().expect("checked above");
-        match std::fs::write(path, report_json(cfg, opts.metrics, &figures)) {
-            Ok(()) => println!("JSON report written to {path}"),
-            Err(e) => {
-                eprintln!("repro: writing {path}: {e}");
-                std::process::exit(1);
+        if let Some(path) = opts.json.as_deref() {
+            match std::fs::write(path, report_json(cfg, opts.metrics, &figures)) {
+                Ok(()) => println!("JSON report written to {path}"),
+                Err(e) => {
+                    eprintln!("repro: writing {path}: {e}");
+                    std::process::exit(1);
+                }
             }
         }
     } else {
@@ -215,7 +302,8 @@ fn sweep_usage(msg: &str) -> ! {
     eprintln!("repro sweep: {msg}");
     eprintln!(
         "usage: repro sweep \
-         [--scenarios fig7,fig9,fig11,fig12,chain16,chain64,grid16,disk20,disk4096,hidden3] \
+         [--scenarios fig7,fig9,fig11,fig12,chain16,chain64,grid16,disk20,disk4096,hidden3,\
+mobile-disk64[-slow|-fast]] \
          [--mac-grid key=v1,v2,...] [--seeds A..B|N] [--jobs N] [--threads N] \
          [--cache-dir <dir>] [--json <path>] [--progress <path|->] [--quick] \
          [--duration <interval>] [--warmup <interval>]"
@@ -339,6 +427,12 @@ fn parse_scenario_group(name: &str) -> Option<Vec<dot11_sweep::SweepScenario>> {
         // The hidden-terminal triple (PR 7): basic access collapses,
         // RTS/CTS recovers.
         "hidden3" => Some(SweepScenario::hidden3()),
+        // The mobile disk (PR 10): 64 stations random-waypoint walking on
+        // a 120 m disk (the calibrated 2 Mb/s data range), epoch-committed link
+        // state. The speed ladder makes throughput-vs-node-speed a one-flag sweep.
+        "mobile-disk64" => Some(vec![SweepScenario::mobile_disk64(20.0)]),
+        "mobile-disk64-slow" => Some(vec![SweepScenario::mobile_disk64(5.0)]),
+        "mobile-disk64-fast" => Some(vec![SweepScenario::mobile_disk64(50.0)]),
         _ => None,
     }
 }
@@ -369,7 +463,8 @@ fn parse_sweep_args(args: Vec<String>) -> SweepArgs {
                     let group = parse_scenario_group(name).unwrap_or_else(|| {
                         sweep_usage(&format!(
                             "unknown scenario {name:?} (try fig7, fig9, fig11, fig12, \
-                             chain16, chain64, grid16, disk20, disk4096, hidden3)"
+                             chain16, chain64, grid16, disk20, disk4096, hidden3, \
+                             mobile-disk64, mobile-disk64-slow, mobile-disk64-fast)"
                         ))
                     });
                     out.scenarios.push((name.to_owned(), group));
@@ -621,7 +716,11 @@ struct InstrumentedFigure {
     cells: Vec<InstrumentedCell>,
 }
 
-fn run_instrumented_figures(cfg: ExpConfig, interval: SimDuration) -> Vec<InstrumentedFigure> {
+fn run_instrumented_figures(
+    cfg: ExpConfig,
+    interval: SimDuration,
+    mobility: Option<&dot11_adhoc::MobilityConfig>,
+) -> Vec<InstrumentedFigure> {
     let specs = [
         (
             7,
@@ -644,11 +743,14 @@ fn run_instrumented_figures(cfg: ExpConfig, interval: SimDuration) -> Vec<Instru
                     // the per-kind timing lands in the JSON `engine`
                     // objects without touching physics (probe callbacks
                     // only read the monotonic clock).
-                    let report = four_station::scenario(cfg, rate, layout, transport, scheme)
-                        .run_probed(
-                            sink.clone(),
-                            desim::WallProbe::new(&dot11_adhoc::world::PROBE_SCOPES),
-                        );
+                    let mut scenario = four_station::scenario(cfg, rate, layout, transport, scheme);
+                    if let Some(m) = mobility {
+                        scenario = scenario.with_mobility(m.clone());
+                    }
+                    let report = scenario.run_probed(
+                        sink.clone(),
+                        desim::WallProbe::new(&dot11_adhoc::world::PROBE_SCOPES),
+                    );
                     cells.push(InstrumentedCell {
                         cell: FourStationCell {
                             transport,
@@ -707,9 +809,29 @@ fn engine_json(e: &EngineStats) -> String {
         }
         _ => String::new(),
     };
+    // Link-churn counters ride along only for mobile runs: static runs
+    // never commit an epoch, and omitting the block keeps their JSON
+    // byte-identical to the pre-mobility format.
+    let mobility = if e.mobility.epochs > 0 {
+        let m = &e.mobility;
+        format!(
+            ",\"mobility\":{{\"epochs\":{},\"stations_moved\":{},\"slices_recomputed\":{},\
+             \"links_dirtied\":{},\"links_recomputed\":{},\"audible_added\":{},\
+             \"audible_removed\":{}}}",
+            m.epochs,
+            m.stations_moved,
+            m.slices_recomputed,
+            m.links_dirtied,
+            m.links_recomputed,
+            m.audible_added,
+            m.audible_removed
+        )
+    } else {
+        String::new()
+    };
     format!(
         "{{\"events\":{},\"queue_high_water\":{},\"sim_elapsed_ns\":{},\"wall_ns\":{},\
-         \"speedup\":{:.1},\"events_per_sec\":{:.0},\"kinds\":{{{}}}{profile}}}",
+         \"speedup\":{:.1},\"events_per_sec\":{:.0},\"kinds\":{{{}}}{mobility}{profile}}}",
         e.events,
         e.queue_high_water,
         e.sim_elapsed.as_nanos(),
